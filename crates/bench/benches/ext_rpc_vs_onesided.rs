@@ -1,0 +1,177 @@
+//! Extension experiment (not a paper figure): one-sided verbs vs RPC to
+//! the memory blade's weak CPU — the quantitative version of §2.1's
+//! argument that memory blades "have only 1–2 CPU cores … unable to
+//! handle extensive computation".
+//!
+//! Both sides serve the same GET workload from the same RACE hash table:
+//!
+//! * **one-sided**: the client walks the index itself (2 bucket READs +
+//!   1 block READ, zero blade CPU) — RACE/SMART-HT's design;
+//! * **RPC**: the client SENDs the key, a blade core runs the lookup
+//!   locally and SENDs the value back (1 roundtrip, ~1 µs of blade CPU).
+//!
+//! Expected shape: RPC wins at trivial client counts (fewer roundtrips ⇒
+//! lower latency), then slams into the `2 cores / 1 µs ≈ 2 M req/s`
+//! blade-CPU ceiling, while the one-sided design keeps scaling to the
+//! RNIC's IOPS limit.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use smart::{QpPolicy, SmartConfig, SmartContext};
+use smart_bench::{banner, BenchTable, Mode};
+use smart_race::{RaceConfig, RaceHashTable};
+use smart_rnic::{rpc_call, BladeConfig, Cluster, ClusterConfig, Cq, DoorbellBinding, RpcService};
+use smart_rt::{Duration, Simulation};
+use smart_workloads::ycsb::YcsbGenerator;
+use smart_workloads::Mix;
+
+const KEYS: u64 = 100_000;
+
+fn run_onesided(threads: usize, warmup: Duration, measure: Duration) -> f64 {
+    let mut sim = Simulation::new(5);
+    let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 1));
+    let table = RaceHashTable::create(
+        cluster.blades(),
+        RaceConfig {
+            initial_depth: 4,
+            ..Default::default()
+        },
+    );
+    for k in 0..KEYS {
+        table.load(&k.to_le_bytes(), &k.to_be_bytes());
+    }
+    let ctx = SmartContext::new(
+        cluster.compute(0),
+        cluster.blades(),
+        SmartConfig::baseline(QpPolicy::ThreadAwareDoorbell, threads),
+    );
+    let done = Rc::new(Cell::new(0u64));
+    let base = YcsbGenerator::new(KEYS, 0.99, Mix::ReadOnly, 9);
+    for t in 0..threads {
+        let thread = ctx.create_thread();
+        for c in 0..8usize {
+            let coro = thread.coroutine();
+            let table = Rc::clone(&table);
+            let mut gen = base.fork((t * 8 + c) as u64);
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                loop {
+                    let k = gen.next_op().key();
+                    let v = table.get(&coro, &k.to_le_bytes()).await;
+                    debug_assert!(v.is_some());
+                    done.set(done.get() + 1);
+                }
+            });
+        }
+    }
+    sim.run_for(warmup);
+    let before = done.get();
+    sim.run_for(measure);
+    (done.get() - before) as f64 / measure.as_secs_f64() / 1e6
+}
+
+fn run_rpc(threads: usize, blade_cores: usize, warmup: Duration, measure: Duration) -> f64 {
+    let mut sim = Simulation::new(5);
+    let cluster = Cluster::new(
+        sim.handle(),
+        ClusterConfig {
+            compute_nodes: 1,
+            memory_blades: 1,
+            blade: BladeConfig::default(),
+            ..Default::default()
+        },
+    );
+    let table = RaceHashTable::create(
+        cluster.blades(),
+        RaceConfig {
+            initial_depth: 4,
+            ..Default::default()
+        },
+    );
+    for k in 0..KEYS {
+        table.load(&k.to_le_bytes(), &k.to_be_bytes());
+    }
+    // The blade CPU runs the same lookup the client would, against the
+    // same bytes, costing ~1 µs of core time per request.
+    let service = RpcService::new(cluster.blade(0), blade_cores, Duration::from_micros(1));
+    let table_for_handler = Rc::clone(&table);
+    service.set_handler(Box::new(move |_blade, req| {
+        table_for_handler.get_direct(req).unwrap_or_default()
+    }));
+
+    let ctx = cluster
+        .compute(0)
+        .open_context(Some(threads.max(12) as u32));
+    ctx.register_memory(64 * 1024 * 1024);
+    let done = Rc::new(Cell::new(0u64));
+    let base = YcsbGenerator::new(KEYS, 0.99, Mix::ReadOnly, 9);
+    for t in 0..threads {
+        // Thread-aware allocation for the RPC clients too: one doorbell
+        // per thread, so the comparison isolates the blade CPU.
+        let db = ctx.thread_doorbell(t);
+        let cq = Cq::new();
+        let qp = ctx.create_qp(
+            cluster.blade(0),
+            &cq,
+            DoorbellBinding::Explicit(db.index()),
+            false,
+        );
+        for c in 0..8usize {
+            let qp = Rc::clone(&qp);
+            let service = Rc::clone(&service);
+            let mut gen = base.fork((t * 8 + c) as u64);
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                loop {
+                    let k = gen.next_op().key();
+                    let v = rpc_call(&qp, &service, k.to_le_bytes().to_vec(), t as u64).await;
+                    debug_assert!(!v.is_empty());
+                    done.set(done.get() + 1);
+                }
+            });
+        }
+    }
+    sim.run_for(warmup);
+    let before = done.get();
+    sim.run_for(measure);
+    (done.get() - before) as f64 / measure.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let mode = Mode::from_env();
+    banner("Extension: one-sided verbs vs RPC on weak blade CPUs", mode);
+    let warmup = mode.pick(Duration::from_millis(1), Duration::from_millis(3));
+    let measure = mode.pick(Duration::from_millis(4), Duration::from_millis(10));
+    let mut table = BenchTable::new(
+        "ext_rpc_vs_onesided",
+        &[
+            "threads",
+            "one_sided_mops",
+            "rpc_2core_mops",
+            "rpc_8core_mops",
+        ],
+    );
+    for &threads in &mode.pick(
+        vec![1usize, 4, 8, 16, 32, 64, 96],
+        vec![1, 2, 4, 8, 16, 32, 48, 64, 96],
+    ) {
+        let os = run_onesided(threads, warmup, measure);
+        let rpc2 = run_rpc(threads, 2, warmup, measure);
+        let rpc8 = run_rpc(threads, 8, warmup, measure);
+        eprintln!(
+            "  threads={threads}: one-sided {os:.2} M lookups/s, RPC(2 cores) {rpc2:.2}, RPC(8 cores) {rpc8:.2}"
+        );
+        table.row(&[
+            &threads,
+            &format!("{os:.3}"),
+            &format!("{rpc2:.3}"),
+            &format!("{rpc8:.3}"),
+        ]);
+    }
+    table.finish();
+    println!(
+        "\nThe blade CPU caps RPC near cores/1us; one-sided lookups keep\n\
+         scaling to the RNIC IOPS limit - the disaggregation argument of §2.1."
+    );
+}

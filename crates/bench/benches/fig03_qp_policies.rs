@@ -1,0 +1,44 @@
+//! Figure 3: throughput of 8-byte READs/WRITEs under the four QP
+//! allocation policies (§3.1), depth 8, uniform addresses.
+//!
+//! Expected shape: SharedQp flat and lowest; MultiplexedQp in between;
+//! PerThreadQp scales to ~32 threads then collapses (implicit doorbell
+//! sharing); ThreadAwareDoorbell (per-thread doorbell) reaches the
+//! ~110 MOPS hardware ceiling.
+
+use smart::{run_microbench, MicroOp, MicrobenchSpec, QpPolicy, SmartConfig};
+use smart_bench::{banner, BenchTable, Mode};
+use smart_rt::Duration;
+
+fn main() {
+    let mode = Mode::from_env();
+    banner("Figure 3: QP allocation policies", mode);
+    let policies: &[(&str, QpPolicy)] = &[
+        ("shared-qp", QpPolicy::SharedQp),
+        (
+            "multiplexed-qp(8)",
+            QpPolicy::MultiplexedQp { threads_per_qp: 8 },
+        ),
+        ("per-thread-qp", QpPolicy::PerThreadQp),
+        ("per-thread-doorbell", QpPolicy::ThreadAwareDoorbell),
+    ];
+    let mut table = BenchTable::new("fig03", &["op", "policy", "threads", "mops"]);
+    for (opname, op) in [
+        ("read-8B", MicroOp::Read(8)),
+        ("write-8B", MicroOp::Write(8)),
+    ] {
+        for &(name, policy) in policies {
+            for &threads in &mode.thread_sweep() {
+                let mut spec =
+                    MicrobenchSpec::new(SmartConfig::baseline(policy, threads), threads, 8);
+                spec.op = op;
+                spec.warmup = mode.pick(Duration::from_millis(1), Duration::from_millis(3));
+                spec.measure = mode.pick(Duration::from_millis(3), Duration::from_millis(10));
+                let r = run_microbench(&spec);
+                eprintln!("  {opname} {name} threads={threads}: {:.1} MOPS", r.mops);
+                table.row(&[&opname, &name, &threads, &format!("{:.2}", r.mops)]);
+            }
+        }
+    }
+    table.finish();
+}

@@ -1,0 +1,90 @@
+//! Figure 14: conflict avoidance on SMART-HT with 100 % updates,
+//! zipf 0.99 (§6.3): (a) throughput and (b) average retries per update
+//! vs thread count for None / +Backoff / +DynLimit / +CoroThrot;
+//! (c) the retry-count distribution at 96 threads.
+//!
+//! Expected shape: without avoidance retries explode (paper: 11.5 per
+//! update at 96 threads); +Backoff caps them below ~1.7; +DynLimit and
+//! +CoroThrot recover throughput on top (≈ 1.6×/1.67× of +Backoff);
+//! with everything on, ≥ 90 % of updates need no retry.
+
+use smart::{QpPolicy, SmartConfig};
+use smart_bench::{banner, run_ht, BenchTable, HtParams, Mode};
+use smart_rt::Duration;
+use smart_workloads::ycsb::Mix;
+
+fn configs(threads: usize) -> Vec<(&'static str, SmartConfig)> {
+    let base = || {
+        SmartConfig::baseline(QpPolicy::ThreadAwareDoorbell, threads).with_work_req_throttle(true)
+    };
+    let mut backoff = base();
+    backoff.conflict_backoff = true;
+    let mut dyn_limit = backoff.clone();
+    dyn_limit.dynamic_backoff_limit = true;
+    let mut coro = dyn_limit.clone();
+    coro.coroutine_throttle = true;
+    vec![
+        ("none", base()),
+        ("+Backoff", backoff),
+        ("+DynLimit", dyn_limit),
+        ("+CoroThrot", coro),
+    ]
+}
+
+fn main() {
+    let mode = Mode::from_env();
+    banner("Figure 14: conflict avoidance", mode);
+    let keys = mode.pick(200_000, 2_000_000);
+    let threads_sweep = mode.pick(vec![8, 32, 96], vec![8, 16, 32, 48, 64, 96]);
+    let mut table = BenchTable::new("fig14ab", &["config", "threads", "mops", "avg_retries"]);
+    for &threads in &threads_sweep {
+        for (name, cfg) in configs(threads) {
+            let mut p = HtParams::new(cfg, threads, keys, Mix::UpdateOnly);
+            p.warmup = mode.pick(Duration::from_millis(30), Duration::from_millis(60));
+            p.measure = mode.pick(Duration::from_millis(5), Duration::from_millis(20));
+            let r = run_ht(&p);
+            eprintln!(
+                "  {name} threads={threads}: {:.2} MOPS, {:.2} retries/op",
+                r.mops, r.avg_retries
+            );
+            table.row(&[
+                &name,
+                &threads,
+                &format!("{:.3}", r.mops),
+                &format!("{:.3}", r.avg_retries),
+            ]);
+        }
+    }
+    table.finish();
+
+    // (c): retry distribution at 96 threads, none vs everything.
+    let mut table_c = BenchTable::new("fig14c", &["config", "retries", "fraction"]);
+    for (name, cfg) in [
+        ("none", configs(96).remove(0).1),
+        ("+CoroThrot", configs(96).remove(3).1),
+    ] {
+        let mut p = HtParams::new(cfg, 96, keys, Mix::UpdateOnly);
+        p.warmup = mode.pick(Duration::from_millis(30), Duration::from_millis(60));
+        p.measure = mode.pick(Duration::from_millis(6), Duration::from_millis(20));
+        let r = run_ht(&p);
+        let total: u64 = r.retry_hist.iter().sum();
+        for (retries, &count) in r.retry_hist.iter().enumerate().take(12) {
+            let frac = if total == 0 {
+                0.0
+            } else {
+                count as f64 / total as f64
+            };
+            table_c.row(&[&name, &retries, &format!("{:.4}", frac)]);
+        }
+        let zero_frac = if total == 0 {
+            1.0
+        } else {
+            r.retry_hist[0] as f64 / total as f64
+        };
+        eprintln!(
+            "  (c) {name}: {:.1}% of updates retry-free",
+            zero_frac * 100.0
+        );
+    }
+    table_c.finish();
+}

@@ -1,0 +1,84 @@
+//! Criterion microbenchmarks of the hot data structures underneath the
+//! simulator: the PRNG, Zipfian generator, LRU cache, node codec and the
+//! discrete-event executor itself. These measure real wall-clock cost
+//! (unlike the figure benches, which measure virtual-time throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use smart_rnic::lru::LruCache;
+use smart_rt::rng::SimRng;
+use smart_rt::{Duration, Simulation};
+use smart_sherman::Node;
+use smart_workloads::zipf::Zipfian;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut rng = SimRng::new(1);
+    c.bench_function("simrng/next_u64", |b| {
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    c.bench_function("simrng/next_u64_below", |b| {
+        b.iter(|| black_box(rng.next_u64_below(1_000_003)));
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut z = Zipfian::new(100_000_000, 0.99);
+    let mut rng = SimRng::new(2);
+    c.bench_function("zipf/next_theta099_100M", |b| {
+        b.iter(|| black_box(z.next(&mut rng)));
+    });
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut cache = LruCache::new(1024);
+    let mut rng = SimRng::new(3);
+    c.bench_function("lru/insert_touch_mixed", |b| {
+        b.iter(|| {
+            let k = rng.next_u64_below(4096);
+            if !cache.touch(&k) {
+                cache.insert(k);
+            }
+        });
+    });
+}
+
+fn bench_node_codec(c: &mut Criterion) {
+    let mut node = Node::new_leaf(0, u64::MAX);
+    for k in 0..smart_sherman::FANOUT as u64 {
+        node.upsert(k * 7, k);
+    }
+    let buf = node.encode();
+    c.bench_function("btree_node/encode", |b| {
+        b.iter(|| black_box(node.encode()));
+    });
+    c.bench_function("btree_node/decode", |b| {
+        b.iter(|| black_box(Node::decode(&buf)));
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    c.bench_function("executor/spawn_sleep_run_1000", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(0);
+            let h = sim.handle();
+            for i in 0..1000u64 {
+                let h = h.clone();
+                sim.spawn(async move {
+                    h.sleep(Duration::from_nanos(i)).await;
+                });
+            }
+            sim.run();
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_zipf,
+    bench_lru,
+    bench_node_codec,
+    bench_executor
+);
+criterion_main!(benches);

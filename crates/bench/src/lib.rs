@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # smart-bench — the experiment harness
+//!
+//! One `cargo bench` target per figure/table of the SMART paper (see
+//! `benches/`); this library holds the shared runners and reporting.
+//!
+//! Modes: `SMART_BENCH_MODE=quick` (default, coarse sweeps and short
+//! windows) or `full` (paper-scale). Results print as aligned tables and
+//! are also dumped as CSV under `crates/bench/bench_out/`.
+
+pub mod report;
+pub mod runners;
+
+pub use report::{banner, us, BenchTable, Mode};
+pub use runners::{
+    run_bt, run_dtx, run_ht, BtParams, BtVariant, DtxParams, DtxWorkload, HtParams, RunReport,
+};

@@ -1,0 +1,128 @@
+//! Table-style result reporting: aligned stdout output plus CSV dumps
+//! under `bench_out/` (the artifact's `ae/raw/*.csv` equivalent).
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Run length preset, selected by `SMART_BENCH_MODE` (`quick` default,
+/// `full` for paper-scale sweeps).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Short windows, coarse sweeps; minutes for the whole suite.
+    Quick,
+    /// Paper-scale sweeps; expect a long run.
+    Full,
+}
+
+impl Mode {
+    /// Reads the mode from the environment.
+    pub fn from_env() -> Mode {
+        match std::env::var("SMART_BENCH_MODE").as_deref() {
+            Ok("full") => Mode::Full,
+            _ => Mode::Quick,
+        }
+    }
+
+    /// Picks `quick` or `full` value.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Mode::Quick => quick,
+            Mode::Full => full,
+        }
+    }
+
+    /// The thread-count sweep used by most figures.
+    pub fn thread_sweep(self) -> Vec<usize> {
+        match self {
+            Mode::Quick => vec![2, 8, 16, 32, 48, 72, 96],
+            Mode::Full => vec![1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96],
+        }
+    }
+}
+
+/// A result table that prints aligned rows and writes a CSV.
+pub struct BenchTable {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl BenchTable {
+    /// Creates a table with the given CSV base name and column headers.
+    pub fn new(name: &str, headers: &[&str]) -> Self {
+        BenchTable {
+            name: name.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifies every cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows
+            .push(cells.iter().map(|c| format!("{c}")).collect());
+    }
+
+    /// Prints the aligned table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                s.push_str(&format!("{:>w$}  ", cell, w = widths[i]));
+            }
+            s.trim_end().to_string()
+        };
+        println!("{}", line(&self.headers));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+
+    /// Writes `bench_out/<name>.csv`.
+    pub fn write_csv(&self) {
+        let dir = PathBuf::from("bench_out");
+        if fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{}.csv", self.name));
+        let Ok(mut f) = fs::File::create(&path) else {
+            return;
+        };
+        let _ = writeln!(f, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(f, "{}", row.join(","));
+        }
+        eprintln!("[csv] wrote {}", path.display());
+    }
+
+    /// Prints and writes the CSV.
+    pub fn finish(&self) {
+        self.print();
+        self.write_csv();
+    }
+}
+
+/// Formats a duration in microseconds with two decimals.
+pub fn us(d: Duration) -> String {
+    format!("{:.2}", d.as_nanos() as f64 / 1e3)
+}
+
+/// Prints a figure banner.
+pub fn banner(title: &str, mode: Mode) {
+    eprintln!();
+    eprintln!("=== {title} [{mode:?} mode] ===");
+}

@@ -1,0 +1,311 @@
+//! The coroutine-level verb API (§5.1): `read`/`write`/`cas`/`faa` buffer
+//! work requests, `post_send` ships them (throttled), `sync` awaits their
+//! completions, and `backoff_cas_sync` adds conflict avoidance.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use smart_rnic::{Cqe, OneSidedOp, RemoteAddr, WorkRequest};
+
+use crate::thread::SmartThread;
+
+/// A coroutine handle: the unit through which applications issue verbs.
+///
+/// Verb builders (`read`, `write`, `cas`, `faa`) are synchronous — they
+/// append to the coroutine's WR buffer and return the `wr_id`. The async
+/// `post_send`/`sync` pair ships and awaits them; `*_sync` conveniences
+/// combine all three.
+pub struct SmartCoro {
+    thread: Rc<SmartThread>,
+    pending: RefCell<Vec<WorkRequest>>,
+    unsynced: RefCell<Vec<u64>>,
+    backoff_attempt: Cell<u32>,
+    holds_slot: Cell<bool>,
+    in_op: Cell<bool>,
+    op_conflicted: Cell<bool>,
+}
+
+/// Guard returned by [`SmartCoro::op_scope`]; dropping it ends the
+/// operation and releases the coroutine's concurrency slot.
+pub struct OpGuard<'a> {
+    coro: &'a SmartCoro,
+}
+
+impl std::fmt::Debug for OpGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpGuard").finish()
+    }
+}
+
+impl Drop for OpGuard<'_> {
+    fn drop(&mut self) {
+        self.coro.end_op();
+    }
+}
+
+impl std::fmt::Debug for SmartCoro {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmartCoro")
+            .field("thread", &self.thread.index())
+            .field("pending", &self.pending.borrow().len())
+            .field("unsynced", &self.unsynced.borrow().len())
+            .finish()
+    }
+}
+
+impl SmartCoro {
+    pub(crate) fn new(thread: Rc<SmartThread>) -> Self {
+        SmartCoro {
+            thread,
+            pending: RefCell::new(Vec::new()),
+            unsynced: RefCell::new(Vec::new()),
+            backoff_attempt: Cell::new(0),
+            holds_slot: Cell::new(false),
+            in_op: Cell::new(false),
+            op_conflicted: Cell::new(false),
+        }
+    }
+
+    /// Opens an application-operation scope, acquiring one of the
+    /// thread's `c_max` concurrency slots (§4.3) for the whole operation.
+    ///
+    /// The paper's coroutine throttling works at *operation* granularity:
+    /// "under high contention workloads, a coroutine does not suspend
+    /// until the current operation has been completed". Applications wrap
+    /// each index operation / transaction attempt in an `op_scope`, so
+    /// shrinking `c_max` reduces the number of whole operations in
+    /// flight — the mechanism that narrows the read→CAS vulnerability
+    /// window. Without a scope, `sync` releases the slot per verb.
+    pub async fn op_scope(&self) -> OpGuard<'_> {
+        if !self.holds_slot.get() {
+            self.thread.conflict.acquire_slot().await;
+            self.holds_slot.set(true);
+        }
+        self.in_op.set(true);
+        self.op_conflicted.set(false);
+        OpGuard { coro: self }
+    }
+
+    /// Marks the current operation as having suffered a contention retry
+    /// (failed CAS, lost lock, transaction abort). Feeds the γ retry rate
+    /// of §4.3 — "the percentage of retries for all operations".
+    pub fn mark_op_conflict(&self) {
+        if self.in_op.get() {
+            self.op_conflicted.set(true);
+        } else {
+            // No surrounding operation: count the event as an operation
+            // of its own.
+            self.thread.conflict.record(false);
+        }
+    }
+
+    fn end_op(&self) {
+        self.in_op.set(false);
+        self.thread.conflict.record(!self.op_conflicted.get());
+        self.op_conflicted.set(false);
+        if self.holds_slot.get() {
+            self.thread.conflict.release_slot();
+            self.holds_slot.set(false);
+        }
+    }
+
+    /// The owning thread.
+    pub fn thread(&self) -> &Rc<SmartThread> {
+        &self.thread
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> smart_rt::SimTime {
+        self.thread.now()
+    }
+
+    fn push(&self, op: OneSidedOp) -> u64 {
+        let id = self.thread.context().next_wr_id();
+        self.pending
+            .borrow_mut()
+            .push(WorkRequest { wr_id: id, op });
+        id
+    }
+
+    /// Buffers an RDMA READ of `len` bytes; returns its `wr_id`.
+    pub fn read(&self, addr: RemoteAddr, len: u32) -> u64 {
+        self.push(OneSidedOp::Read { addr, len })
+    }
+
+    /// Buffers an RDMA WRITE; returns its `wr_id`.
+    pub fn write(&self, addr: RemoteAddr, data: Vec<u8>) -> u64 {
+        self.push(OneSidedOp::Write {
+            addr,
+            data,
+            persistent: false,
+        })
+    }
+
+    /// Buffers an RDMA WRITE to persistent memory (pays the NVM write
+    /// latency at the blade); returns its `wr_id`.
+    pub fn write_persistent(&self, addr: RemoteAddr, data: Vec<u8>) -> u64 {
+        self.push(OneSidedOp::Write {
+            addr,
+            data,
+            persistent: true,
+        })
+    }
+
+    /// Buffers an RDMA CAS; returns its `wr_id`.
+    pub fn cas(&self, addr: RemoteAddr, expect: u64, swap: u64) -> u64 {
+        self.push(OneSidedOp::Cas { addr, expect, swap })
+    }
+
+    /// Buffers an RDMA FAA; returns its `wr_id`.
+    pub fn faa(&self, addr: RemoteAddr, add: u64) -> u64 {
+        self.push(OneSidedOp::Faa { addr, add })
+    }
+
+    /// Posts every buffered work request.
+    ///
+    /// Applies SMART's machinery in order: the coroutine-slot limit
+    /// (`c_max`, §4.3), the credit throttle (`C_max`, Algorithm 1 — chains
+    /// longer than the credit cap are split and stall between chunks),
+    /// the thread-CPU cost of building WQEs, and finally the QP/doorbell
+    /// path of the underlying RNIC.
+    pub async fn post_send(&self) {
+        let wrs = self.pending.take();
+        if wrs.is_empty() {
+            return;
+        }
+        if !self.holds_slot.get() {
+            self.thread.conflict.acquire_slot().await;
+            self.holds_slot.set(true);
+        }
+        let cfg = self.thread.context().config().clone();
+        // Partition by target blade, preserving per-blade order.
+        let mut groups: BTreeMap<u32, Vec<WorkRequest>> = BTreeMap::new();
+        for wr in wrs {
+            groups.entry(wr.op.target().0).or_default().push(wr);
+        }
+        for (blade, group) in groups {
+            let qp = Rc::clone(self.thread.qp_to(smart_rnic::BladeId(blade)));
+            let mut rest = group;
+            while !rest.is_empty() {
+                let want = rest.len().min(self.thread.throttle.chunk_limit());
+                let take = self.thread.throttle.acquire_chunk(want).await;
+                let chunk: Vec<WorkRequest> = rest.drain(..take).collect();
+                self.thread.stats().rdma_posted.add(chunk.len() as u64);
+                self.thread
+                    .cpu
+                    .use_for(cfg.cpu_build_wr * chunk.len() as u32 + cfg.cpu_post_overhead)
+                    .await;
+                let ids: Vec<u64> = chunk.iter().map(|w| w.wr_id).collect();
+                // The QP-lock/doorbell serialization below delays this
+                // coroutine directly; it is NOT additionally charged to
+                // the thread CPU — coroutines of one thread never truly
+                // spin against each other (they share the OS thread), and
+                // charging inter-thread lock waits twice would compound
+                // the contention model quadratically.
+                qp.post_send(chunk, Rc::as_ptr(&self.thread) as u64).await;
+                self.unsynced.borrow_mut().extend(ids);
+            }
+        }
+    }
+
+    /// Waits for every work request this coroutine has posted (and not
+    /// yet synced), returning their completions in posting order.
+    ///
+    /// Replenishes credits (Algorithm 1 `SMARTPOLLCQ`) and releases the
+    /// coroutine slot.
+    pub async fn sync(&self) -> Vec<Cqe> {
+        let ids = self.unsynced.take();
+        let cqes = if ids.is_empty() {
+            Vec::new()
+        } else {
+            let cqes = self.thread.hub.claim(&ids).await;
+            // Per-thread hubs replenish credits in the polling coroutine
+            // (Algorithm 1); shared hubs cannot know the owner, so the
+            // claimer replenishes its own credits here.
+            if self.thread.context().config().policy.shares_qps() {
+                self.thread.throttle.replenish(ids.len() as u64);
+            }
+            self.thread.stats().rdma_completed.add(ids.len() as u64);
+            cqes
+        };
+        // Inside an op_scope the slot is held until the guard drops.
+        if self.holds_slot.get() && !self.in_op.get() {
+            self.thread.conflict.release_slot();
+            self.holds_slot.set(false);
+        }
+        cqes
+    }
+
+    /// READ + `post_send` + `sync`, returning the data.
+    pub async fn read_sync(&self, addr: RemoteAddr, len: u32) -> Vec<u8> {
+        let id = self.read(addr, len);
+        self.roundtrip(id).await.read_data().to_vec()
+    }
+
+    /// WRITE + `post_send` + `sync`.
+    pub async fn write_sync(&self, addr: RemoteAddr, data: Vec<u8>) {
+        let id = self.write(addr, data);
+        self.roundtrip(id).await;
+    }
+
+    /// Persistent WRITE + `post_send` + `sync`.
+    pub async fn write_persistent_sync(&self, addr: RemoteAddr, data: Vec<u8>) {
+        let id = self.write_persistent(addr, data);
+        self.roundtrip(id).await;
+    }
+
+    /// CAS + `post_send` + `sync`, returning the old value.
+    pub async fn cas_sync(&self, addr: RemoteAddr, expect: u64, swap: u64) -> u64 {
+        let id = self.cas(addr, expect, swap);
+        self.roundtrip(id).await.atomic_old()
+    }
+
+    /// FAA + `post_send` + `sync`, returning the old value.
+    pub async fn faa_sync(&self, addr: RemoteAddr, add: u64) -> u64 {
+        let id = self.faa(addr, add);
+        self.roundtrip(id).await.atomic_old()
+    }
+
+    async fn roundtrip(&self, id: u64) -> Cqe {
+        self.post_send().await;
+        let cqes = self.sync().await;
+        cqes.into_iter()
+            .find(|c| c.wr_id == id)
+            .expect("posted wr must complete")
+    }
+
+    /// CAS with conflict avoidance (§4.3, §5.1): same semantics as
+    /// `cas` + `sync`, but a failed comparison also records a retry for
+    /// the γ controller and delays the coroutine by the truncated
+    /// exponential backoff before returning, "allowing the application to
+    /// change the expected value".
+    pub async fn backoff_cas_sync(&self, addr: RemoteAddr, expect: u64, swap: u64) -> u64 {
+        let old = self.cas_sync(addr, expect, swap).await;
+        let success = old == expect;
+        let stats = self.thread.stats();
+        stats.cas_attempts.incr();
+        if !success {
+            self.mark_op_conflict();
+        }
+        if success {
+            self.backoff_attempt.set(0);
+        } else {
+            stats.cas_failures.incr();
+            if self.thread.conflict.backoff_enabled() {
+                let d = self
+                    .thread
+                    .conflict
+                    .backoff_delay(self.backoff_attempt.get(), self.thread.handle());
+                self.thread.handle().sleep(d).await;
+            }
+            self.backoff_attempt.set(self.backoff_attempt.get() + 1);
+        }
+        old
+    }
+
+    /// The consecutive-failure count driving the exponential backoff.
+    pub fn backoff_attempt(&self) -> u32 {
+        self.backoff_attempt.get()
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-thread QP pools — Figure 6b of the paper.
+//!
+//! "SMART maintains a QP pool for each thread, where all the QPs in the
+//! same pool are associated with the same CQ and DB. Some QPs are active
+//! …, while others are idle. Each thread allocates QPs only from its own
+//! QP pool and releases them to its own QP pool after use."
+//!
+//! The pool matters when the set of memory blades a thread talks to is
+//! dynamic (elastic memory pools): instead of keeping one connection per
+//! blade forever, a thread acquires a QP when it needs a blade and
+//! releases it afterwards; released QPs are kept idle and reused, so
+//! reconnecting to a recently used blade is free — and every QP the pool
+//! ever creates rings the *thread's own doorbell*, preserving the
+//! thread-aware allocation invariant.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use smart_rnic::{BladeId, Cq, DeviceContext, DoorbellBinding, MemoryBlade, Qp};
+
+/// A per-thread pool of reliable-connected QPs.
+pub struct QpPool {
+    device: Rc<DeviceContext>,
+    cq: Rc<Cq>,
+    binding: DoorbellBinding,
+    idle: RefCell<HashMap<BladeId, Vec<Rc<Qp>>>>,
+    created: Cell<usize>,
+}
+
+impl std::fmt::Debug for QpPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QpPool")
+            .field("created", &self.created.get())
+            .field(
+                "idle",
+                &self.idle.borrow().values().map(Vec::len).sum::<usize>(),
+            )
+            .finish()
+    }
+}
+
+impl QpPool {
+    pub(crate) fn new(device: Rc<DeviceContext>, binding: DoorbellBinding) -> Self {
+        QpPool {
+            device,
+            // The pool's QPs share one CQ (Figure 6b). It is separate
+            // from the thread's framework CQ so that pool users can poll
+            // it directly without racing the framework's polling
+            // coroutine.
+            cq: Cq::new(),
+            binding,
+            idle: RefCell::new(HashMap::new()),
+            created: Cell::new(0),
+        }
+    }
+
+    /// Acquires a QP connected to `blade`: reuses an idle one if the pool
+    /// has it, otherwise creates a fresh QP bound to the pool's CQ and
+    /// doorbell.
+    pub fn acquire(&self, blade: &Rc<MemoryBlade>) -> Rc<Qp> {
+        if let Some(qp) = self
+            .idle
+            .borrow_mut()
+            .get_mut(&blade.id())
+            .and_then(Vec::pop)
+        {
+            return qp;
+        }
+        self.created.set(self.created.get() + 1);
+        self.device.create_qp(blade, &self.cq, self.binding, false)
+    }
+
+    /// Returns a QP to the pool for reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the QP still has outstanding work
+    /// requests — releasing a busy QP would let its completions race with
+    /// the next owner's.
+    pub fn release(&self, qp: Rc<Qp>) {
+        debug_assert_eq!(qp.outstanding(), 0, "released QP must be drained");
+        self.idle
+            .borrow_mut()
+            .entry(qp.target().id())
+            .or_default()
+            .push(qp);
+    }
+
+    /// Total QPs ever created by this pool.
+    pub fn created(&self) -> usize {
+        self.created.get()
+    }
+
+    /// QPs currently idle in the pool.
+    pub fn idle_count(&self) -> usize {
+        self.idle.borrow().values().map(Vec::len).sum()
+    }
+
+    /// The completion queue every pooled QP reports to.
+    pub fn cq(&self) -> &Rc<Cq> {
+        &self.cq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QpPolicy, SmartConfig, SmartContext};
+    use smart_rnic::{Cluster, ClusterConfig};
+    use smart_rt::Simulation;
+
+    fn setup() -> (Simulation, Cluster, Rc<crate::SmartThread>) {
+        let sim = Simulation::new(6);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 3));
+        let ctx = SmartContext::new(
+            cluster.compute(0),
+            cluster.blades(),
+            SmartConfig::baseline(QpPolicy::ThreadAwareDoorbell, 2),
+        );
+        let thread = ctx.create_thread();
+        (sim, cluster, thread)
+    }
+
+    #[test]
+    fn acquire_creates_then_reuses() {
+        let (_sim, cluster, thread) = setup();
+        let pool = thread.qp_pool().expect("pool available");
+        let q1 = pool.acquire(cluster.blade(0));
+        assert_eq!(pool.created(), 1);
+        pool.release(q1);
+        assert_eq!(pool.idle_count(), 1);
+        let q2 = pool.acquire(cluster.blade(0));
+        assert_eq!(pool.created(), 1, "idle QP reused, not recreated");
+        assert_eq!(pool.idle_count(), 0);
+        drop(q2);
+    }
+
+    #[test]
+    fn pool_qps_share_the_threads_doorbell_and_cq() {
+        let (_sim, cluster, thread) = setup();
+        let pool = thread.qp_pool().expect("pool available");
+        let q1 = pool.acquire(cluster.blade(0));
+        let q2 = pool.acquire(cluster.blade(1));
+        let q3 = pool.acquire(cluster.blade(2));
+        // Figure 6b: one doorbell + one CQ per thread, shared by all of
+        // its pool's QPs — including the thread's pre-created QPs.
+        let db = thread.qp_to(cluster.blade(0).id()).doorbell().index();
+        for q in [&q1, &q2, &q3] {
+            assert_eq!(q.doorbell().index(), db);
+            assert!(Rc::ptr_eq(q.cq(), pool.cq()));
+        }
+    }
+
+    #[test]
+    fn distinct_blades_get_distinct_qps() {
+        let (_sim, cluster, thread) = setup();
+        let pool = thread.qp_pool().expect("pool available");
+        let q1 = pool.acquire(cluster.blade(0));
+        let q2 = pool.acquire(cluster.blade(1));
+        assert!(!Rc::ptr_eq(&q1, &q2));
+        assert_eq!(pool.created(), 2);
+        pool.release(q1);
+        // Re-acquiring blade 1 does not steal blade 0's idle QP.
+        let q2b = pool.acquire(cluster.blade(1));
+        assert_eq!(pool.created(), 3);
+        drop((q2, q2b));
+    }
+
+    #[test]
+    fn concurrent_acquires_of_same_blade_create_multiple_qps() {
+        let (_sim, cluster, thread) = setup();
+        let pool = thread.qp_pool().expect("pool available");
+        let a = pool.acquire(cluster.blade(0));
+        let b = pool.acquire(cluster.blade(0));
+        assert!(!Rc::ptr_eq(&a, &b), "two coroutines, two active QPs");
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.idle_count(), 2);
+    }
+
+    #[test]
+    fn shared_policies_have_no_pool() {
+        let sim = Simulation::new(7);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 1));
+        let ctx = SmartContext::new(
+            cluster.compute(0),
+            cluster.blades(),
+            SmartConfig::baseline(QpPolicy::SharedQp, 2),
+        );
+        let thread = ctx.create_thread();
+        assert!(
+            thread.qp_pool().is_none(),
+            "shared QPs cannot be pooled per thread"
+        );
+    }
+
+    #[test]
+    fn pooled_qp_actually_works_end_to_end() {
+        let (mut sim, cluster, thread) = setup();
+        let blade = Rc::clone(cluster.blade(1));
+        let off = blade.alloc(8, 8);
+        blade.write_u64(off, 7);
+        let pool_qp = thread.qp_pool().expect("pool").acquire(&blade);
+        let addr = smart_rnic::RemoteAddr::new(blade.id(), off);
+        let old = sim.block_on(async move {
+            pool_qp
+                .post_send(
+                    vec![smart_rnic::WorkRequest {
+                        wr_id: 9,
+                        op: smart_rnic::OneSidedOp::Faa { addr, add: 3 },
+                    }],
+                    0,
+                )
+                .await;
+            pool_qp.cq().wait_nonempty().await;
+            pool_qp.cq().poll(1).remove(0).atomic_old()
+        });
+        assert_eq!(old, 7);
+        assert_eq!(blade.read_u64(off), 10);
+    }
+}

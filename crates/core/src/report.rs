@@ -1,0 +1,138 @@
+//! Contention diagnostics — the paper's measurement methodology (§3, §6.3
+//! use `perf`, Intel VTune and Mellanox Neo-Host counters) exposed as an
+//! API over the simulated RNIC's counters.
+//!
+//! [`SmartContext::contention_report`](crate::SmartContext) collects, per
+//! doorbell: bound QPs, rings and time lost to the driver spinlock (the
+//! paper's "74 % of execution time in `pthread_spin_lock`"), plus the
+//! WQE/MTT cache hit rates and PCIe-inbound traffic — everything needed
+//! to diagnose which of the three bottlenecks is biting.
+
+use std::fmt;
+
+use crate::context::SmartContext;
+
+/// Per-doorbell statistics.
+#[derive(Clone, Debug)]
+pub struct DoorbellReport {
+    /// Doorbell index within its context.
+    pub index: usize,
+    /// QPs bound to it.
+    pub bound_qps: u32,
+    /// Total rings.
+    pub rings: u64,
+    /// Whether rings from more than one thread were observed.
+    pub cross_thread: bool,
+    /// Cumulative time lost to spinlock queueing/handoff.
+    pub contention: std::time::Duration,
+}
+
+/// A snapshot of every contention point the paper analyses.
+#[derive(Clone, Debug)]
+pub struct ContentionReport {
+    /// Per-doorbell details, busiest first.
+    pub doorbells: Vec<DoorbellReport>,
+    /// Completed one-sided operations.
+    pub ops_completed: u64,
+    /// WQE-cache hit ratio (§3.2's thrashing indicator).
+    pub wqe_hit_ratio: f64,
+    /// MTT/MPT cache hit ratio (§2.2's context-sharing indicator).
+    pub mtt_hit_ratio: f64,
+    /// PCIe-inbound DRAM bytes per completed work request (Figure 4b).
+    pub dram_bytes_per_op: f64,
+    /// Work requests currently in flight.
+    pub outstanding: u64,
+}
+
+impl ContentionReport {
+    /// Total doorbell rings across the context.
+    pub fn total_rings(&self) -> u64 {
+        self.doorbells.iter().map(|d| d.rings).sum()
+    }
+
+    /// Total time lost to doorbell spinlocks.
+    pub fn total_doorbell_contention(&self) -> std::time::Duration {
+        self.doorbells.iter().map(|d| d.contention).sum()
+    }
+
+    /// Number of doorbells rung by more than one *thread* — the §3.1 red
+    /// flag (with thread-aware allocation this is zero, even though a
+    /// thread's several QPs legitimately share its doorbell).
+    pub fn shared_doorbells(&self) -> usize {
+        self.doorbells.iter().filter(|d| d.cross_thread).count()
+    }
+}
+
+impl fmt::Display for ContentionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "contention report:")?;
+        writeln!(
+            f,
+            "  ops completed {}, outstanding {}, DRAM {:.1} B/WR",
+            self.ops_completed, self.outstanding, self.dram_bytes_per_op
+        )?;
+        writeln!(
+            f,
+            "  WQE cache hit {:.1} %, MTT/MPT hit {:.1} %",
+            self.wqe_hit_ratio * 100.0,
+            self.mtt_hit_ratio * 100.0
+        )?;
+        writeln!(
+            f,
+            "  {} doorbells rung by >1 thread; total spinlock loss {:?}",
+            self.shared_doorbells(),
+            self.total_doorbell_contention()
+        )?;
+        for d in self.doorbells.iter().take(8) {
+            writeln!(
+                f,
+                "    DB{:>3}: {} QPs, {} rings, {:?} contended",
+                d.index, d.bound_qps, d.rings, d.contention
+            )?;
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn collect(ctx: &SmartContext) -> ContentionReport {
+    let node = ctx.node();
+    let counters = node.counters();
+    let mut doorbells: Vec<DoorbellReport> = match ctx.device() {
+        Some(device) => device
+            .doorbells()
+            .iter()
+            .map(|db| DoorbellReport {
+                index: db.index(),
+                bound_qps: db.bound_qps(),
+                rings: db.rings(),
+                cross_thread: db.cross_thread(),
+                contention: db.contention_time(),
+            })
+            .filter(|d| d.bound_qps > 0)
+            .collect(),
+        None => Vec::new(),
+    };
+    doorbells.sort_by_key(|d| std::cmp::Reverse(d.contention));
+    let wqe_total = counters.wqe_hits + counters.wqe_misses;
+    let mtt_total = counters.mtt_hits + counters.mtt_misses;
+    ContentionReport {
+        doorbells,
+        ops_completed: counters.ops_completed,
+        wqe_hit_ratio: if wqe_total == 0 {
+            1.0
+        } else {
+            counters.wqe_hits as f64 / wqe_total as f64
+        },
+        mtt_hit_ratio: if mtt_total == 0 {
+            1.0
+        } else {
+            counters.mtt_hits as f64 / mtt_total as f64
+        },
+        dram_bytes_per_op: if counters.ops_completed == 0 {
+            0.0
+        } else {
+            counters.dram_bytes as f64 / counters.ops_completed as f64
+        },
+        outstanding: counters.outstanding,
+    }
+}

@@ -1,0 +1,47 @@
+//! Per-thread operation statistics.
+
+use smart_rt::metrics::Counter;
+
+/// Counters kept by each SMART thread.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadStats {
+    /// RDMA work requests posted.
+    pub rdma_posted: Counter,
+    /// RDMA work requests completed (drives the `C_max` tuner).
+    pub rdma_completed: Counter,
+    /// CAS operations attempted through the conflict-avoidance path.
+    pub cas_attempts: Counter,
+    /// CAS operations that failed (lost the race).
+    pub cas_failures: Counter,
+}
+
+impl ThreadStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of CAS attempts that failed, `0.0` when none were made.
+    pub fn cas_failure_ratio(&self) -> f64 {
+        let a = self.cas_attempts.get();
+        if a == 0 {
+            0.0
+        } else {
+            self.cas_failures.get() as f64 / a as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_ratio() {
+        let s = ThreadStats::new();
+        assert_eq!(s.cas_failure_ratio(), 0.0);
+        s.cas_attempts.add(10);
+        s.cas_failures.add(3);
+        assert!((s.cas_failure_ratio() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-thread framework state.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use smart_rnic::{BladeId, Qp};
+use smart_rt::sync::FifoResource;
+use smart_rt::{SimHandle, SimTime};
+
+use crate::conflict::ConflictControl;
+use crate::context::SmartContext;
+use crate::coro::SmartCoro;
+use crate::hub::CompletionHub;
+use crate::pool::QpPool;
+use crate::stats::ThreadStats;
+use crate::throttle::WrThrottle;
+
+/// One application thread's SMART state: its QP pool (one QP per memory
+/// blade), completion hub, CPU model, credit throttle and
+/// conflict-avoidance state.
+///
+/// Threads are scheduling domains: all coroutines of a thread share its
+/// QPs, CQ and doorbell (§4.1) and serialize on its CPU.
+pub struct SmartThread {
+    ctx: Rc<SmartContext>,
+    idx: usize,
+    pub(crate) cpu: FifoResource,
+    qps: Vec<Rc<Qp>>,
+    pub(crate) hub: Rc<CompletionHub>,
+    pub(crate) throttle: Rc<WrThrottle>,
+    pub(crate) conflict: Rc<ConflictControl>,
+    pool: Option<QpPool>,
+    stats: ThreadStats,
+}
+
+impl std::fmt::Debug for SmartThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmartThread")
+            .field("idx", &self.idx)
+            .field("qps", &self.qps.len())
+            .finish()
+    }
+}
+
+impl SmartThread {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        ctx: Rc<SmartContext>,
+        idx: usize,
+        cpu: FifoResource,
+        qps: Vec<Rc<Qp>>,
+        hub: Rc<CompletionHub>,
+        throttle: Rc<WrThrottle>,
+        conflict: Rc<ConflictControl>,
+        pool: Option<QpPool>,
+        stats: ThreadStats,
+    ) -> Rc<Self> {
+        Rc::new(SmartThread {
+            ctx,
+            idx,
+            cpu,
+            qps,
+            hub,
+            throttle,
+            conflict,
+            pool,
+            stats,
+        })
+    }
+
+    /// This thread's QP pool (Figure 6b): acquire/release QPs to blades
+    /// dynamically, all bound to this thread's CQ and doorbell.
+    ///
+    /// `None` under the shared-QP and multiplexed policies, whose QPs
+    /// belong to thread groups rather than single threads.
+    pub fn qp_pool(&self) -> Option<&QpPool> {
+        self.pool.as_ref()
+    }
+
+    /// This thread's index within its context.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// The owning context.
+    pub fn context(&self) -> &Rc<SmartContext> {
+        &self.ctx
+    }
+
+    /// The simulation handle.
+    pub fn handle(&self) -> &SimHandle {
+        self.ctx.handle()
+    }
+
+    /// Current virtual time (convenience for latency measurements).
+    pub fn now(&self) -> SimTime {
+        self.ctx.handle().now()
+    }
+
+    /// This thread's statistics.
+    pub fn stats(&self) -> &ThreadStats {
+        &self.stats
+    }
+
+    /// This thread's credit throttle (§4.2).
+    pub fn throttle(&self) -> &Rc<WrThrottle> {
+        &self.throttle
+    }
+
+    /// This thread's conflict-avoidance state (§4.3).
+    pub fn conflict(&self) -> &Rc<ConflictControl> {
+        &self.conflict
+    }
+
+    /// The QP connected to `blade`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blade is not connected.
+    pub fn qp_to(&self, blade: BladeId) -> &Rc<Qp> {
+        &self.qps[self.ctx.blade_index(blade)]
+    }
+
+    /// All of this thread's QPs (one per blade).
+    pub fn qps(&self) -> &[Rc<Qp>] {
+        &self.qps
+    }
+
+    /// Creates a coroutine bound to this thread. All verbs are issued
+    /// through coroutines; a thread typically spawns
+    /// [`SmartConfig::coroutines_per_thread`](crate::SmartConfig) of them.
+    pub fn coroutine(self: &Rc<Self>) -> SmartCoro {
+        SmartCoro::new(Rc::clone(self))
+    }
+
+    /// Charges `d` of application compute time to this thread's CPU
+    /// (sibling coroutines queue behind it).
+    pub async fn cpu_work(&self, d: Duration) {
+        self.cpu.use_for(d).await;
+    }
+}

@@ -1,0 +1,290 @@
+//! End-to-end tests of the SMART coroutine API over the simulated RNIC.
+
+use std::rc::Rc;
+
+use smart::{QpPolicy, SmartConfig, SmartContext};
+use smart_rnic::{Cluster, ClusterConfig, RemoteAddr};
+use smart_rt::{Duration, Simulation};
+
+fn setup(policy: QpPolicy, threads: usize) -> (Simulation, Cluster, Rc<SmartContext>) {
+    let sim = Simulation::new(3);
+    let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
+    for b in cluster.blades() {
+        b.alloc(1 << 20, 8);
+    }
+    let ctx = SmartContext::new(
+        cluster.compute(0),
+        cluster.blades(),
+        SmartConfig::baseline(policy, threads),
+    );
+    (sim, cluster, ctx)
+}
+
+#[test]
+fn batched_wrs_complete_in_posting_order() {
+    let (mut sim, cluster, ctx) = setup(QpPolicy::PerThreadQp, 1);
+    let blade = cluster.blade(0).id();
+    let thread = ctx.create_thread();
+    sim.block_on(async move {
+        let coro = thread.coroutine();
+        let mut ids = Vec::new();
+        for i in 0..10u64 {
+            coro.write(
+                RemoteAddr::new(blade, 64 + i * 8),
+                (i + 1).to_le_bytes().to_vec(),
+            );
+            ids.push(coro.read(RemoteAddr::new(blade, 64 + i * 8), 8));
+        }
+        coro.post_send().await;
+        let cqes = coro.sync().await;
+        assert_eq!(cqes.len(), 20);
+        // sync returns completions in posting order.
+        let got: Vec<u64> = cqes.iter().map(|c| c.wr_id).collect();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(got, sorted);
+    });
+}
+
+#[test]
+fn one_batch_may_span_multiple_blades() {
+    let (mut sim, cluster, ctx) = setup(QpPolicy::PerThreadQp, 1);
+    let b0 = cluster.blade(0).id();
+    let b1 = cluster.blade(1).id();
+    let thread = ctx.create_thread();
+    sim.block_on(async move {
+        let coro = thread.coroutine();
+        coro.write(RemoteAddr::new(b0, 64), 111u64.to_le_bytes().to_vec());
+        coro.write(RemoteAddr::new(b1, 64), 222u64.to_le_bytes().to_vec());
+        coro.post_send().await;
+        coro.sync().await;
+    });
+    assert_eq!(cluster.blade(0).read_u64(64), 111);
+    assert_eq!(cluster.blade(1).read_u64(64), 222);
+}
+
+#[test]
+fn sync_without_posts_returns_empty() {
+    let (mut sim, _cluster, ctx) = setup(QpPolicy::PerThreadQp, 1);
+    let thread = ctx.create_thread();
+    sim.block_on(async move {
+        let coro = thread.coroutine();
+        assert!(coro.sync().await.is_empty());
+    });
+}
+
+#[test]
+fn faa_serializes_across_coroutines_and_threads() {
+    let (mut sim, cluster, ctx) = setup(QpPolicy::ThreadAwareDoorbell, 4);
+    let addr = RemoteAddr::new(cluster.blade(0).id(), 64);
+    cluster.blade(0).write_u64(64, 0);
+    let mut joins = Vec::new();
+    for _ in 0..4 {
+        let thread = ctx.create_thread();
+        for _ in 0..4 {
+            let coro = thread.coroutine();
+            joins.push(sim.spawn(async move {
+                for _ in 0..50 {
+                    coro.faa_sync(addr, 1).await;
+                }
+            }));
+        }
+    }
+    sim.run_for(Duration::from_secs(1));
+    for j in &joins {
+        assert!(j.is_finished());
+    }
+    assert_eq!(cluster.blade(0).read_u64(64), 4 * 4 * 50);
+}
+
+#[test]
+fn cas_arbitration_has_exactly_one_winner_per_round() {
+    let (mut sim, cluster, ctx) = setup(QpPolicy::ThreadAwareDoorbell, 8);
+    let addr = RemoteAddr::new(cluster.blade(0).id(), 64);
+    cluster.blade(0).write_u64(64, 0);
+    let winners = Rc::new(std::cell::Cell::new(0u32));
+    let mut joins = Vec::new();
+    for i in 0..8u64 {
+        let thread = ctx.create_thread();
+        let coro = thread.coroutine();
+        let winners = Rc::clone(&winners);
+        joins.push(sim.spawn(async move {
+            // Everyone tries 0 -> i+1 simultaneously.
+            let old = coro.cas_sync(addr, 0, i + 1).await;
+            if old == 0 {
+                winners.set(winners.get() + 1);
+            }
+        }));
+    }
+    sim.run_for(Duration::from_millis(1));
+    for j in &joins {
+        assert!(j.is_finished());
+    }
+    assert_eq!(winners.get(), 1, "exactly one CAS may win");
+    let v = cluster.blade(0).read_u64(64);
+    assert!((1..=8).contains(&v));
+}
+
+#[test]
+fn backoff_cas_sync_tracks_consecutive_failures() {
+    let (mut sim, cluster, ctx) = setup(QpPolicy::PerThreadQp, 1);
+    let addr = RemoteAddr::new(cluster.blade(0).id(), 64);
+    cluster.blade(0).write_u64(64, 5);
+    let thread = ctx.create_thread();
+    let stats = thread.stats().clone();
+    sim.block_on(async move {
+        let coro = thread.coroutine();
+        // Two failures (wrong expected), then a success.
+        assert_eq!(coro.backoff_cas_sync(addr, 1, 9).await, 5);
+        assert_eq!(coro.backoff_attempt(), 1);
+        assert_eq!(coro.backoff_cas_sync(addr, 2, 9).await, 5);
+        assert_eq!(coro.backoff_attempt(), 2);
+        assert_eq!(coro.backoff_cas_sync(addr, 5, 9).await, 5);
+        assert_eq!(coro.backoff_attempt(), 0, "reset on success");
+    });
+    assert_eq!(stats.cas_attempts.get(), 3);
+    assert_eq!(stats.cas_failures.get(), 2);
+}
+
+#[test]
+fn op_scope_holds_one_slot_across_many_syncs() {
+    let mut cfg = SmartConfig::smart_full(1);
+    cfg.coroutines_per_thread = 2; // c_max cap = 2
+    let mut sim = Simulation::new(4);
+    let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 1));
+    cluster.blade(0).alloc(1 << 16, 8);
+    let ctx = SmartContext::new(cluster.compute(0), cluster.blades(), cfg);
+    let thread = ctx.create_thread();
+    let addr = RemoteAddr::new(cluster.blade(0).id(), 64);
+    let conflict = Rc::clone(thread.conflict());
+    sim.block_on(async move {
+        let coro = thread.coroutine();
+        {
+            let _op = coro.op_scope().await;
+            coro.read_sync(addr, 8).await;
+            coro.read_sync(addr, 8).await;
+            assert_eq!(conflict.c_max(), 2);
+        }
+        // Slot released when the guard drops; a second scope reacquires.
+        let _op = coro.op_scope().await;
+        coro.read_sync(addr, 8).await;
+    });
+}
+
+#[test]
+fn per_thread_context_policy_opens_one_context_per_thread() {
+    let (mut sim, cluster, ctx) = setup(QpPolicy::PerThreadContext, 4);
+    for _ in 0..4 {
+        ctx.create_thread();
+    }
+    // One implicit probe: each thread opened its own device context.
+    assert_eq!(cluster.compute(0).context_count(), 4);
+    sim.run_for(Duration::from_micros(1));
+}
+
+#[test]
+fn shared_policies_reuse_qps_across_threads() {
+    let (_sim, _cluster, ctx) = setup(QpPolicy::SharedQp, 4);
+    let a = ctx.create_thread();
+    let b = ctx.create_thread();
+    assert!(Rc::ptr_eq(
+        a.qp_to(_cluster.blade(0).id()),
+        b.qp_to(_cluster.blade(0).id())
+    ));
+    let (_sim2, _cluster2, ctx2) = setup(QpPolicy::MultiplexedQp { threads_per_qp: 2 }, 4);
+    let t0 = ctx2.create_thread();
+    let t1 = ctx2.create_thread();
+    let t2 = ctx2.create_thread();
+    assert!(Rc::ptr_eq(
+        t0.qp_to(_cluster2.blade(0).id()),
+        t1.qp_to(_cluster2.blade(0).id())
+    ));
+    assert!(!Rc::ptr_eq(
+        t0.qp_to(_cluster2.blade(0).id()),
+        t2.qp_to(_cluster2.blade(0).id())
+    ));
+}
+
+#[test]
+fn thread_aware_threads_get_distinct_doorbells() {
+    let (_sim, cluster, ctx) = setup(QpPolicy::ThreadAwareDoorbell, 8);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..8 {
+        let t = ctx.create_thread();
+        // Both of a thread's QPs (one per blade) ring the same doorbell...
+        let db0 = t.qp_to(cluster.blade(0).id()).doorbell().index();
+        let db1 = t.qp_to(cluster.blade(1).id()).doorbell().index();
+        assert_eq!(db0, db1, "a thread's QPs share its doorbell");
+        // ...and no two threads share one.
+        assert!(seen.insert(db0), "doorbell {db0} reused across threads");
+    }
+}
+
+#[test]
+fn per_thread_qp_threads_share_doorbells_at_scale() {
+    let (_sim, cluster, ctx) = setup(QpPolicy::PerThreadQp, 48);
+    let mut counts = std::collections::HashMap::new();
+    for _ in 0..48 {
+        let t = ctx.create_thread();
+        for blade in cluster.blades() {
+            *counts
+                .entry(t.qp_to(blade.id()).doorbell().index())
+                .or_insert(0u32) += 1;
+        }
+    }
+    // 96 QPs over 16 driver doorbells: sharing is unavoidable — the
+    // implicit contention SMART removes.
+    assert!(counts.values().any(|&c| c >= 6));
+}
+
+#[test]
+fn contention_report_diagnoses_doorbell_sharing() {
+    // Per-thread QPs at 48 threads x 2 blades: shared medium doorbells.
+    let (mut sim, cluster, ctx) = setup(QpPolicy::PerThreadQp, 48);
+    let addr = RemoteAddr::new(cluster.blade(0).id(), 64);
+    for _ in 0..48 {
+        let thread = ctx.create_thread();
+        let coro = thread.coroutine();
+        sim.spawn(async move {
+            loop {
+                coro.read_sync(addr, 8).await;
+            }
+        });
+    }
+    sim.run_for(Duration::from_millis(1));
+    let report = ctx.contention_report();
+    assert!(
+        report.shared_doorbells() > 0,
+        "driver mapping must share doorbells"
+    );
+    assert!(report.total_doorbell_contention() > Duration::ZERO);
+    assert!(report.ops_completed > 0);
+    let text = report.to_string();
+    assert!(text.contains("spinlock loss"));
+
+    // Thread-aware allocation: zero sharing, (near-)zero spin loss.
+    let (mut sim2, cluster2, ctx2) = setup(QpPolicy::ThreadAwareDoorbell, 48);
+    let addr2 = RemoteAddr::new(cluster2.blade(0).id(), 64);
+    for _ in 0..48 {
+        let thread = ctx2.create_thread();
+        let coro = thread.coroutine();
+        sim2.spawn(async move {
+            loop {
+                coro.read_sync(addr2, 8).await;
+            }
+        });
+    }
+    sim2.run_for(Duration::from_millis(1));
+    let smart_report = ctx2.contention_report();
+    assert_eq!(
+        smart_report.shared_doorbells(),
+        0,
+        "thread-aware: no sharing"
+    );
+    assert!(
+        smart_report.total_doorbell_contention() < report.total_doorbell_contention() / 4,
+        "thread-aware spin loss {:?} must be far below per-thread QP {:?}",
+        smart_report.total_doorbell_contention(),
+        report.total_doorbell_contention()
+    );
+}

@@ -1,0 +1,635 @@
+//! FORD-style distributed transactions over disaggregated persistent
+//! memory (Zhang et al., FAST '22), driven by one-sided verbs.
+//!
+//! Record layout on a blade (all records pre-allocated, NVM-resident):
+//!
+//! ```text
+//! [ lock: u64 ][ version: u64 ][ payload: table.payload_bytes ]
+//! ```
+//!
+//! Transaction protocol (optimistic concurrency with write locks):
+//!
+//! 1. **fetch** — READ whole records of the read+write set (one batch);
+//! 2. **lock**  — CAS each write-set lock `0 → txn_id` (one batch); any
+//!    loss releases the acquired locks and aborts;
+//! 3. **validate** — re-READ headers of read-only entries; a changed
+//!    version or a foreign lock aborts;
+//! 4. **log** — WRITE the undo images to the coordinator thread's log
+//!    region (persistent write: pays the NVM latency);
+//! 5. **write** — WRITE `version+1` and the new payload in place
+//!    (persistent);
+//! 6. **unlock** — WRITE `0` to each lock word.
+//!
+//! Every phase is one doorbell batch, matching FORD's message pattern —
+//! which is exactly what makes it doorbell-sensitive in the SMART paper
+//! (§6.2.2).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use smart::SmartCoro;
+use smart_rnic::{MemoryBlade, RemoteAddr};
+use smart_rt::metrics::Counter;
+
+/// Record header bytes (lock + version).
+pub const HEADER_BYTES: u64 = 16;
+
+/// Why a transaction aborted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DtxError {
+    /// A write-set record was locked by another transaction.
+    LockConflict,
+    /// A read-set record changed between fetch and validation.
+    ValidationFailed,
+    /// A record was locked while fetching (dirty snapshot).
+    FetchConflict,
+}
+
+impl std::fmt::Display for DtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DtxError::LockConflict => write!(f, "write-set lock conflict"),
+            DtxError::ValidationFailed => write!(f, "read-set validation failed"),
+            DtxError::FetchConflict => write!(f, "record locked during fetch"),
+        }
+    }
+}
+
+impl std::error::Error for DtxError {}
+
+/// A table: fixed-size records partitioned round-robin across blades.
+#[derive(Clone, Debug)]
+pub struct TableMeta {
+    name: &'static str,
+    records: u64,
+    payload_bytes: u64,
+    /// Base offset of this table's slab on each blade.
+    bases: Vec<u64>,
+}
+
+impl TableMeta {
+    /// Bytes per record including the header.
+    pub fn record_bytes(&self) -> u64 {
+        HEADER_BYTES + self.payload_bytes
+    }
+
+    /// Number of records.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Payload bytes per record.
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Identifies a record: table index + key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RecordId {
+    /// Index of the table in the database schema.
+    pub table: usize,
+    /// Record key in `[0, records)`.
+    pub key: u64,
+}
+
+/// Commit/abort counters.
+#[derive(Clone, Debug, Default)]
+pub struct DtxStats {
+    /// Committed transactions.
+    pub committed: Counter,
+    /// Aborts (a transaction may abort several times before committing).
+    pub aborted: Counter,
+}
+
+impl DtxStats {
+    /// Abort rate: aborts / (aborts + commits).
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.committed.get() + self.aborted.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.aborted.get() as f64 / total as f64
+        }
+    }
+}
+
+/// The database: schema + blade placement + per-thread undo-log regions.
+pub struct DtxDb {
+    blades: Vec<Rc<MemoryBlade>>,
+    tables: Vec<TableMeta>,
+    log_bytes_per_thread: u64,
+    stats: DtxStats,
+    next_txn: Cell<u64>,
+}
+
+impl std::fmt::Debug for DtxDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DtxDb")
+            .field("tables", &self.tables.len())
+            .field("blades", &self.blades.len())
+            .finish()
+    }
+}
+
+impl DtxDb {
+    /// Creates a database with the given schema, allocating every table
+    /// slab on the blades (records zero-initialized: lock 0, version 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blades` is empty or a blade runs out of memory.
+    pub fn create(
+        blades: &[Rc<MemoryBlade>],
+        schema: &[(&'static str, u64, u64)], // (name, records, payload_bytes)
+    ) -> Rc<Self> {
+        assert!(!blades.is_empty(), "need at least one memory blade");
+        let tables = schema
+            .iter()
+            .map(|&(name, records, payload_bytes)| {
+                let record_bytes = HEADER_BYTES + payload_bytes;
+                let per_blade = records.div_ceil(blades.len() as u64);
+                let bases = blades
+                    .iter()
+                    .map(|b| b.alloc(per_blade * record_bytes, 8))
+                    .collect();
+                TableMeta {
+                    name,
+                    records,
+                    payload_bytes,
+                    bases,
+                }
+            })
+            .collect();
+        Rc::new(DtxDb {
+            blades: blades.to_vec(),
+            tables,
+            log_bytes_per_thread: 16 * 1024,
+            stats: DtxStats::default(),
+            next_txn: Cell::new(1),
+        })
+    }
+
+    /// The schema.
+    pub fn tables(&self) -> &[TableMeta] {
+        &self.tables
+    }
+
+    /// Commit/abort statistics.
+    pub fn stats(&self) -> &DtxStats {
+        &self.stats
+    }
+
+    fn fresh_txn_id(&self) -> u64 {
+        let id = self.next_txn.get();
+        self.next_txn.set(id + 1);
+        id
+    }
+
+    /// The remote address of a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table index or key is out of range.
+    pub fn record_addr(&self, id: RecordId) -> RemoteAddr {
+        let table = &self.tables[id.table];
+        assert!(id.key < table.records, "key {} out of range", id.key);
+        let blade_idx = (id.key % self.blades.len() as u64) as usize;
+        let idx = id.key / self.blades.len() as u64;
+        RemoteAddr::new(
+            self.blades[blade_idx].id(),
+            table.bases[blade_idx] + idx * table.record_bytes(),
+        )
+    }
+
+    /// Allocates an undo-log region for a coordinator thread; returns its
+    /// base address (on blade 0 — logs are small and append-only).
+    pub fn alloc_log_region(&self) -> RemoteAddr {
+        let off = self.blades[0].alloc(self.log_bytes_per_thread, 8);
+        RemoteAddr::new(self.blades[0].id(), off)
+    }
+
+    /// Host-side record initialization for the load phase.
+    pub fn load_record(&self, id: RecordId, payload: &[u8]) {
+        let table = &self.tables[id.table];
+        assert_eq!(
+            payload.len() as u64,
+            table.payload_bytes,
+            "payload size mismatch"
+        );
+        let addr = self.record_addr(id);
+        let blade = &self.blades[(id.key % self.blades.len() as u64) as usize];
+        debug_assert_eq!(blade.id(), addr.blade);
+        blade.write_u64(addr.offset_bytes, 0); // lock
+        blade.write_u64(addr.offset_bytes + 8, 0); // version
+        blade.write_bytes(addr.offset_bytes + 16, payload);
+    }
+
+    /// Host-side record read (test/verification helper).
+    pub fn read_record_direct(&self, id: RecordId) -> (u64, u64, Vec<u8>) {
+        let table = &self.tables[id.table];
+        let addr = self.record_addr(id);
+        let blade = &self.blades[(id.key % self.blades.len() as u64) as usize];
+        (
+            blade.read_u64(addr.offset_bytes),
+            blade.read_u64(addr.offset_bytes + 8),
+            blade.read_bytes(addr.offset_bytes + 16, table.payload_bytes),
+        )
+    }
+
+    /// Begins a transaction coordinated by `coro`, logging to `log_base`.
+    ///
+    /// ```rust
+    /// # use std::rc::Rc;
+    /// # use smart::{SmartConfig, SmartContext};
+    /// # use smart_ford::{DtxDb, RecordId};
+    /// # use smart_rnic::{Cluster, ClusterConfig};
+    /// # use smart_rt::Simulation;
+    /// let mut sim = Simulation::new(1);
+    /// let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
+    /// let db = DtxDb::create(cluster.blades(), &[("accounts", 16, 8)]);
+    /// db.load_record(RecordId { table: 0, key: 3 }, &100u64.to_le_bytes());
+    /// let ctx = SmartContext::new(cluster.compute(0), cluster.blades(),
+    ///                             SmartConfig::smart_full(1));
+    /// let thread = ctx.create_thread();
+    /// let log = db.alloc_log_region();
+    /// let db2 = Rc::clone(&db);
+    /// sim.block_on(async move {
+    ///     let coro = thread.coroutine();
+    ///     let rid = RecordId { table: 0, key: 3 };
+    ///     let mut txn = db2.begin(&coro, log);
+    ///     let vals = txn.fetch(&[rid]).await.expect("fetch");
+    ///     let balance = u64::from_le_bytes(vals[0].clone().try_into().unwrap());
+    ///     txn.stage(rid, (balance + 50).to_le_bytes().to_vec());
+    ///     txn.commit().await.expect("commit");
+    /// });
+    /// assert_eq!(db.read_record_direct(RecordId { table: 0, key: 3 }).2,
+    ///            150u64.to_le_bytes());
+    /// ```
+    pub fn begin<'a>(&'a self, coro: &'a SmartCoro, log_base: RemoteAddr) -> Txn<'a> {
+        Txn {
+            db: self,
+            coro,
+            id: self.fresh_txn_id(),
+            entries: Vec::new(),
+            log_base,
+        }
+    }
+}
+
+struct Entry {
+    id: RecordId,
+    version: u64,
+    old_payload: Vec<u8>,
+    new_payload: Option<Vec<u8>>,
+}
+
+/// Fault-injection points inside the commit protocol, for testing
+/// recovery: the coordinator "crashes" (stops, leaving remote state as
+/// is) right after the named phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrashPoint {
+    /// Locks acquired, nothing logged or written.
+    AfterLock,
+    /// Undo log persisted, data not yet written.
+    AfterLog,
+    /// New data written in place, locks still held.
+    AfterDataWrite,
+}
+
+/// An in-flight transaction.
+pub struct Txn<'a> {
+    db: &'a DtxDb,
+    coro: &'a SmartCoro,
+    id: u64,
+    entries: Vec<Entry>,
+    log_base: RemoteAddr,
+}
+
+impl std::fmt::Debug for Txn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("id", &self.id)
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
+impl<'a> Txn<'a> {
+    /// This transaction's id (used as the lock value).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Fetches `ids` in one READ batch, adding them to the read set;
+    /// returns their payloads in order.
+    ///
+    /// # Errors
+    ///
+    /// [`DtxError::FetchConflict`] if any record is currently locked.
+    pub async fn fetch(&mut self, ids: &[RecordId]) -> Result<Vec<Vec<u8>>, DtxError> {
+        let mut wr_ids = Vec::with_capacity(ids.len());
+        for &rid in ids {
+            let table = &self.db.tables[rid.table];
+            let addr = self.db.record_addr(rid);
+            wr_ids.push(self.coro.read(addr, table.record_bytes() as u32));
+        }
+        self.coro.post_send().await;
+        let cqes = self.coro.sync().await;
+        let mut out = Vec::with_capacity(ids.len());
+        for (i, &rid) in ids.iter().enumerate() {
+            let cqe = cqes
+                .iter()
+                .find(|c| c.wr_id == wr_ids[i])
+                .expect("completion");
+            let data = cqe.read_data();
+            let lock = u64::from_le_bytes(data[0..8].try_into().expect("8B"));
+            let version = u64::from_le_bytes(data[8..16].try_into().expect("8B"));
+            if lock != 0 && lock != self.id {
+                return Err(DtxError::FetchConflict);
+            }
+            let payload = data[16..].to_vec();
+            out.push(payload.clone());
+            self.entries.push(Entry {
+                id: rid,
+                version,
+                old_payload: payload,
+                new_payload: None,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Stages a new payload for a previously fetched record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record was not fetched or the payload size is wrong.
+    pub fn stage(&mut self, rid: RecordId, payload: Vec<u8>) {
+        assert_eq!(
+            payload.len() as u64,
+            self.db.tables[rid.table].payload_bytes,
+            "payload size mismatch for table {}",
+            self.db.tables[rid.table].name
+        );
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.id == rid)
+            .unwrap_or_else(|| panic!("record {rid:?} staged without fetch"));
+        entry.new_payload = Some(payload);
+    }
+
+    /// Whether the transaction has staged writes.
+    pub fn is_read_write(&self) -> bool {
+        self.entries.iter().any(|e| e.new_payload.is_some())
+    }
+
+    async fn unlock(&self, locked: &[usize]) {
+        if locked.is_empty() {
+            return;
+        }
+        for &i in locked {
+            let addr = self.db.record_addr(self.entries[i].id);
+            self.coro.write(addr, 0u64.to_le_bytes().to_vec());
+        }
+        self.coro.post_send().await;
+        self.coro.sync().await;
+    }
+
+    /// Runs the commit protocol. Consumes the transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`DtxError::LockConflict`] or [`DtxError::ValidationFailed`]; the
+    /// caller re-executes the transaction from scratch (FORD's abort
+    /// model — locks are already released when this returns).
+    pub async fn commit(self) -> Result<(), DtxError> {
+        self.commit_inner(None).await.map(|_| ())
+    }
+
+    /// Like [`Txn::commit`], but the coordinator stops dead right after
+    /// `crash` — locks, log and data are left exactly as a real crash
+    /// would. Use [`DtxDb::recover_from_log`] afterwards. Returns whether
+    /// the crash point was reached (a transaction that aborts first never
+    /// gets there).
+    ///
+    /// # Errors
+    ///
+    /// Same abort reasons as [`Txn::commit`].
+    pub async fn commit_crashing_at(self, crash: CrashPoint) -> Result<bool, DtxError> {
+        self.commit_inner(Some(crash)).await
+    }
+
+    async fn commit_inner(self, crash: Option<CrashPoint>) -> Result<bool, DtxError> {
+        let write_idx: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.new_payload.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let read_idx: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.new_payload.is_none())
+            .map(|(i, _)| i)
+            .collect();
+
+        // --- 2. lock the write set (one CAS batch) -----------------------
+        if !write_idx.is_empty() {
+            let mut cas_ids = Vec::with_capacity(write_idx.len());
+            for &i in &write_idx {
+                let addr = self.db.record_addr(self.entries[i].id);
+                cas_ids.push(self.coro.cas(addr, 0, self.id));
+            }
+            self.coro.post_send().await;
+            let cqes = self.coro.sync().await;
+            let mut acquired = Vec::new();
+            let mut conflicted = false;
+            for (slot, &i) in write_idx.iter().enumerate() {
+                let cqe = cqes
+                    .iter()
+                    .find(|c| c.wr_id == cas_ids[slot])
+                    .expect("completion");
+                let won = cqe.atomic_old() == 0;
+                if !won {
+                    self.coro.mark_op_conflict();
+                }
+                if won {
+                    acquired.push(i);
+                } else {
+                    conflicted = true;
+                }
+            }
+            if conflicted {
+                self.unlock(&acquired).await;
+                self.db.stats.aborted.incr();
+                return Err(DtxError::LockConflict);
+            }
+            if crash == Some(CrashPoint::AfterLock) {
+                return Ok(true);
+            }
+            // Locking bumps nothing; verify the versions we read are
+            // still current (the lock now protects them).
+            let mut ver_ids = Vec::with_capacity(write_idx.len());
+            for &i in &write_idx {
+                let addr = self.db.record_addr(self.entries[i].id);
+                ver_ids.push(self.coro.read(addr.offset(8), 8));
+            }
+            self.coro.post_send().await;
+            let cqes = self.coro.sync().await;
+            for (slot, &i) in write_idx.iter().enumerate() {
+                let cqe = cqes
+                    .iter()
+                    .find(|c| c.wr_id == ver_ids[slot])
+                    .expect("completion");
+                let v = u64::from_le_bytes(cqe.read_data().try_into().expect("8B version"));
+                if v != self.entries[i].version {
+                    self.unlock(&write_idx).await;
+                    self.db.stats.aborted.incr();
+                    return Err(DtxError::ValidationFailed);
+                }
+            }
+        }
+
+        // --- 3. validate the read set ------------------------------------
+        if !read_idx.is_empty() && !write_idx.is_empty() {
+            let mut ids = Vec::with_capacity(read_idx.len());
+            for &i in &read_idx {
+                let addr = self.db.record_addr(self.entries[i].id);
+                ids.push(self.coro.read(addr, 16)); // lock + version
+            }
+            self.coro.post_send().await;
+            let cqes = self.coro.sync().await;
+            for (slot, &i) in read_idx.iter().enumerate() {
+                let cqe = cqes
+                    .iter()
+                    .find(|c| c.wr_id == ids[slot])
+                    .expect("completion");
+                let data = cqe.read_data();
+                let lock = u64::from_le_bytes(data[0..8].try_into().expect("8B"));
+                let version = u64::from_le_bytes(data[8..16].try_into().expect("8B"));
+                if version != self.entries[i].version || (lock != 0 && lock != self.id) {
+                    self.unlock(&write_idx).await;
+                    self.db.stats.aborted.incr();
+                    return Err(DtxError::ValidationFailed);
+                }
+            }
+        }
+
+        if write_idx.is_empty() {
+            // Read-only: the fetch snapshot is the serialization point
+            // (records were unlocked; versions re-checked is unnecessary
+            // for single-fetch transactions).
+            self.db.stats.committed.incr();
+            return Ok(false);
+        }
+
+        // --- 4. undo log (persistent, one batch) -------------------------
+        // Layout: [txn_id][entry count] then per entry
+        // [table][key][version][old payload (padded to 8)].
+        let mut log = Vec::new();
+        log.extend_from_slice(&self.id.to_le_bytes());
+        log.extend_from_slice(&(write_idx.len() as u64).to_le_bytes());
+        for &i in &write_idx {
+            let e = &self.entries[i];
+            log.extend_from_slice(&(e.id.table as u64).to_le_bytes());
+            log.extend_from_slice(&e.id.key.to_le_bytes());
+            log.extend_from_slice(&e.version.to_le_bytes());
+            log.extend_from_slice(&e.old_payload);
+            let pad = e.old_payload.len().div_ceil(8) * 8 - e.old_payload.len();
+            log.extend_from_slice(&vec![0u8; pad]);
+        }
+        self.coro.write_persistent(self.log_base, log);
+        self.coro.post_send().await;
+        self.coro.sync().await;
+        if crash == Some(CrashPoint::AfterLog) {
+            return Ok(true);
+        }
+
+        // --- 5. write new versions + payloads in place (persistent) ------
+        for &i in &write_idx {
+            let e = &self.entries[i];
+            let addr = self.db.record_addr(e.id);
+            let mut buf = Vec::with_capacity(8 + e.old_payload.len());
+            buf.extend_from_slice(&(e.version + 1).to_le_bytes());
+            buf.extend_from_slice(e.new_payload.as_ref().expect("write entry"));
+            self.coro.write_persistent(addr.offset(8), buf);
+        }
+        self.coro.post_send().await;
+        self.coro.sync().await;
+        if crash == Some(CrashPoint::AfterDataWrite) {
+            return Ok(true);
+        }
+
+        // --- 6. unlock ----------------------------------------------------
+        self.unlock(&write_idx).await;
+        self.db.stats.committed.incr();
+        Ok(false)
+    }
+}
+
+impl DtxDb {
+    /// Recovers from a coordinator crash using the undo log at
+    /// `log_base` (host-side, as a takeover coordinator or the memory
+    /// node's recovery agent would).
+    ///
+    /// For every logged record still locked by the crashed transaction,
+    /// the old version and payload are restored and the lock cleared.
+    /// Idempotent: re-running recovers nothing further. Returns the
+    /// number of records rolled back.
+    pub fn recover_from_log(&self, log_base: RemoteAddr) -> u32 {
+        let blade = self
+            .blades
+            .iter()
+            .find(|b| b.id() == log_base.blade)
+            .expect("log on a known blade");
+        let txn_id = blade.read_u64(log_base.offset_bytes);
+        let count = blade.read_u64(log_base.offset_bytes + 8);
+        if txn_id == 0 || count == 0 || count > 64 {
+            return 0; // empty or garbage log
+        }
+        let mut off = log_base.offset_bytes + 16;
+        let mut undone = 0;
+        for _ in 0..count {
+            let table = blade.read_u64(off) as usize;
+            let key = blade.read_u64(off + 8);
+            let version = blade.read_u64(off + 16);
+            if table >= self.tables.len() || key >= self.tables[table].records {
+                break; // torn log tail: stop (the txn never finished logging)
+            }
+            let payload_bytes = self.tables[table].payload_bytes;
+            let padded = payload_bytes.div_ceil(8) * 8;
+            let old_payload = blade.read_bytes(off + 24, payload_bytes);
+            off += 24 + padded;
+
+            let rid = RecordId { table, key };
+            let addr = self.record_addr(rid);
+            let rec_blade = &self.blades[(key % self.blades.len() as u64) as usize];
+            if rec_blade.read_u64(addr.offset_bytes) == txn_id {
+                rec_blade.write_u64(addr.offset_bytes + 8, version);
+                rec_blade.write_bytes(addr.offset_bytes + 16, &old_payload);
+                rec_blade.write_u64(addr.offset_bytes, 0);
+                undone += 1;
+            }
+        }
+        undone
+    }
+}
+
+/// Backs off after an abort using the thread's conflict-avoidance state —
+/// the SMART-DTX refactor's use of §4.3 (a no-op when backoff is off).
+pub async fn backoff_after_abort(coro: &SmartCoro, attempt: u32) {
+    let conflict = coro.thread().conflict();
+    if conflict.backoff_enabled() {
+        let d = conflict.backoff_delay(attempt, coro.thread().handle());
+        coro.thread().handle().sleep(d).await;
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # smart-ford — FORD-style one-sided RDMA distributed transactions
+//!
+//! A reimplementation of the transaction protocol of FORD (Zhang et al.,
+//! FAST '22) over the simulated disaggregated-memory cluster: optimistic
+//! reads with versions, CAS write locks, undo logging to persistent
+//! memory, in-place persistent writes and unlock — each phase one
+//! doorbell batch. The SMART paper's SMART-DTX is this engine run under
+//! [`smart::SmartConfig::smart_full`]; the FORD+ baseline is the same
+//! engine under [`smart::QpPolicy::PerThreadQp`] (its 16-line refactor).
+//!
+//! Two OLTP applications are included: [`SmallBank`] (85 % read-write)
+//! and [`Tatp`] (80 % read-only), matching §6.2.2.
+//!
+//! ```rust
+//! use std::rc::Rc;
+//! use smart::{SmartConfig, SmartContext};
+//! use smart_ford::SmallBank;
+//! use smart_rnic::{Cluster, ClusterConfig};
+//! use smart_rt::Simulation;
+//! use smart_workloads::smallbank::SmallBankTxn;
+//!
+//! let mut sim = Simulation::new(5);
+//! let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
+//! let bank = SmallBank::create(cluster.blades(), 100, 1_000);
+//! let ctx = SmartContext::new(cluster.compute(0), cluster.blades(), SmartConfig::smart_full(1));
+//! let thread = ctx.create_thread();
+//! let log = bank.db().alloc_log_region();
+//! let b = Rc::clone(&bank);
+//! sim.block_on(async move {
+//!     let coro = thread.coroutine();
+//!     let txn = SmallBankTxn::DepositChecking { account: 7, amount: 50 };
+//!     b.execute(&coro, log, &txn).await.expect("commit");
+//! });
+//! assert_eq!(bank.total_money(), 100 * 2 * 1_000 + 50);
+//! ```
+
+pub mod dtx;
+pub mod smallbank_app;
+pub mod tatp_app;
+
+pub use dtx::{backoff_after_abort, CrashPoint, DtxDb, DtxError, DtxStats, RecordId, Txn};
+pub use smallbank_app::SmallBank;
+pub use tatp_app::Tatp;

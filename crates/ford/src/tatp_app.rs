@@ -1,0 +1,234 @@
+//! TATP on the FORD transaction engine.
+
+use std::rc::Rc;
+
+use smart::SmartCoro;
+use smart_rnic::{MemoryBlade, RemoteAddr};
+use smart_workloads::tatp::TatpTxn;
+
+use crate::dtx::{DtxDb, DtxError, DtxStats, RecordId};
+
+const SUBSCRIBER: usize = 0;
+const ACCESS_INFO: usize = 1;
+const SPECIAL_FACILITY: usize = 2;
+const CALL_FORWARDING: usize = 3;
+
+/// Subscriber payload: `[bit: u8; 7 pad][location: u64][vlr: u64][pad to 40]`.
+const SUB_PAYLOAD: u64 = 40;
+/// Access-info payload: `[data1..4][pad to 16]`.
+const AI_PAYLOAD: u64 = 16;
+/// Special-facility payload: `[is_active: u8][data][pad to 16]`.
+const SF_PAYLOAD: u64 = 16;
+/// Call-forwarding payload: `[exists: u8][end_time: u8][numberx][pad to 24]`.
+const CF_PAYLOAD: u64 = 24;
+
+/// The TATP database over the blades.
+pub struct Tatp {
+    db: Rc<DtxDb>,
+    subscribers: u64,
+}
+
+impl std::fmt::Debug for Tatp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tatp")
+            .field("subscribers", &self.subscribers)
+            .finish()
+    }
+}
+
+impl Tatp {
+    /// Creates and loads the four TATP tables for `subscribers`
+    /// subscribers (4 access-info and special-facility rows per
+    /// subscriber, 3 call-forwarding slots per special facility, per the
+    /// TATP population rules).
+    pub fn create(blades: &[Rc<MemoryBlade>], subscribers: u64) -> Rc<Self> {
+        let db = DtxDb::create(
+            blades,
+            &[
+                ("subscriber", subscribers, SUB_PAYLOAD),
+                ("access_info", subscribers * 4, AI_PAYLOAD),
+                ("special_facility", subscribers * 4, SF_PAYLOAD),
+                ("call_forwarding", subscribers * 12, CF_PAYLOAD),
+            ],
+        );
+        for sid in 0..subscribers {
+            let mut sub = vec![0u8; SUB_PAYLOAD as usize];
+            sub[8..16].copy_from_slice(&sid.to_le_bytes()); // initial location
+            db.load_record(
+                RecordId {
+                    table: SUBSCRIBER,
+                    key: sid,
+                },
+                &sub,
+            );
+            for t in 0..4 {
+                let mut ai = vec![0u8; AI_PAYLOAD as usize];
+                ai[0] = t as u8 + 1;
+                db.load_record(
+                    RecordId {
+                        table: ACCESS_INFO,
+                        key: sid * 4 + t,
+                    },
+                    &ai,
+                );
+                let mut sf = vec![0u8; SF_PAYLOAD as usize];
+                sf[0] = 1; // is_active
+                db.load_record(
+                    RecordId {
+                        table: SPECIAL_FACILITY,
+                        key: sid * 4 + t,
+                    },
+                    &sf,
+                );
+                for slot in 0..3 {
+                    let cf = vec![0u8; CF_PAYLOAD as usize];
+                    db.load_record(
+                        RecordId {
+                            table: CALL_FORWARDING,
+                            key: (sid * 4 + t) * 3 + slot,
+                        },
+                        &cf,
+                    );
+                }
+            }
+        }
+        Rc::new(Tatp { db, subscribers })
+    }
+
+    /// The underlying transaction engine.
+    pub fn db(&self) -> &Rc<DtxDb> {
+        &self.db
+    }
+
+    /// Commit/abort statistics.
+    pub fn stats(&self) -> &DtxStats {
+        self.db.stats()
+    }
+
+    /// Number of subscribers.
+    pub fn subscribers(&self) -> u64 {
+        self.subscribers
+    }
+
+    fn sf_key(sid: u64, sf_type: u8) -> u64 {
+        sid * 4 + (sf_type - 1) as u64
+    }
+
+    fn cf_key(sid: u64, sf_type: u8, start_time: u8) -> u64 {
+        Self::sf_key(sid, sf_type) * 3 + (start_time / 8) as u64
+    }
+
+    /// Executes one transaction attempt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine abort reasons; the caller retries.
+    pub async fn execute(
+        &self,
+        coro: &SmartCoro,
+        log: RemoteAddr,
+        txn: &TatpTxn,
+    ) -> Result<(), DtxError> {
+        let _op = coro.op_scope().await;
+        let mut t = self.db.begin(coro, log);
+        match *txn {
+            TatpTxn::GetSubscriberData { sid } => {
+                t.fetch(&[RecordId {
+                    table: SUBSCRIBER,
+                    key: sid,
+                }])
+                .await?;
+            }
+            TatpTxn::GetNewDestination { sid, sf_type } => {
+                let sf = RecordId {
+                    table: SPECIAL_FACILITY,
+                    key: Self::sf_key(sid, sf_type),
+                };
+                let cf0 = RecordId {
+                    table: CALL_FORWARDING,
+                    key: Self::cf_key(sid, sf_type, 0),
+                };
+                let cf1 = RecordId {
+                    table: CALL_FORWARDING,
+                    key: Self::cf_key(sid, sf_type, 8),
+                };
+                let cf2 = RecordId {
+                    table: CALL_FORWARDING,
+                    key: Self::cf_key(sid, sf_type, 16),
+                };
+                t.fetch(&[sf, cf0, cf1, cf2]).await?;
+            }
+            TatpTxn::GetAccessData { sid, ai_type } => {
+                let ai = RecordId {
+                    table: ACCESS_INFO,
+                    key: sid * 4 + (ai_type - 1) as u64,
+                };
+                t.fetch(&[ai]).await?;
+            }
+            TatpTxn::UpdateSubscriberData { sid, sf_type, bit } => {
+                let sub = RecordId {
+                    table: SUBSCRIBER,
+                    key: sid,
+                };
+                let sf = RecordId {
+                    table: SPECIAL_FACILITY,
+                    key: Self::sf_key(sid, sf_type),
+                };
+                let vals = t.fetch(&[sub, sf]).await?;
+                let mut s = vals[0].clone();
+                s[0] = bit as u8;
+                t.stage(sub, s);
+                let mut f = vals[1].clone();
+                f[1] = f[1].wrapping_add(1); // data_a churn
+                t.stage(sf, f);
+            }
+            TatpTxn::UpdateLocation { sid, location } => {
+                let sub = RecordId {
+                    table: SUBSCRIBER,
+                    key: sid,
+                };
+                let vals = t.fetch(&[sub]).await?;
+                let mut s = vals[0].clone();
+                s[8..16].copy_from_slice(&location.to_le_bytes());
+                t.stage(sub, s);
+            }
+            TatpTxn::InsertCallForwarding {
+                sid,
+                sf_type,
+                start_time,
+            } => {
+                let cf = RecordId {
+                    table: CALL_FORWARDING,
+                    key: Self::cf_key(sid, sf_type, start_time),
+                };
+                let vals = t.fetch(&[cf]).await?;
+                let mut c = vals[0].clone();
+                c[0] = 1; // exists
+                c[1] = start_time + 8; // end_time
+                t.stage(cf, c);
+            }
+            TatpTxn::DeleteCallForwarding {
+                sid,
+                sf_type,
+                start_time,
+            } => {
+                let cf = RecordId {
+                    table: CALL_FORWARDING,
+                    key: Self::cf_key(sid, sf_type, start_time),
+                };
+                t.fetch(&[cf]).await?;
+                t.stage(cf, vec![0u8; CF_PAYLOAD as usize]);
+            }
+        }
+        t.commit().await
+    }
+
+    /// Host-side read of a subscriber's location (verification helper).
+    pub fn location_direct(&self, sid: u64) -> u64 {
+        let (_l, _v, p) = self.db.read_record_direct(RecordId {
+            table: SUBSCRIBER,
+            key: sid,
+        });
+        u64::from_le_bytes(p[8..16].try_into().expect("8B location"))
+    }
+}

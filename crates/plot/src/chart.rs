@@ -1,0 +1,408 @@
+//! A small SVG line-chart renderer: linear or log axes, multiple series,
+//! markers, legend — enough to regenerate the paper's figures from the
+//! benchmark CSVs without any plotting dependency.
+
+use std::fmt::Write as _;
+
+/// Axis scale.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Log10 axis (all values must be positive).
+    Log10,
+}
+
+/// One named series of (x, y) points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration and data.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// Series to draw.
+    pub series: Vec<Series>,
+    /// Canvas width in px.
+    pub width: u32,
+    /// Canvas height in px.
+    pub height: u32,
+}
+
+const PALETTE: &[&str] = &[
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+];
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+
+impl Chart {
+    /// A chart with sensible defaults (720×440, linear axes).
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Chart {
+        Chart {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: Vec::new(),
+            width: 720,
+            height: 440,
+        }
+    }
+
+    /// Adds a series.
+    pub fn series(&mut self, name: &str, points: Vec<(f64, f64)>) -> &mut Chart {
+        self.series.push(Series {
+            name: name.to_string(),
+            points,
+        });
+        self
+    }
+
+    /// Sets the y scale.
+    pub fn y_log(&mut self) -> &mut Chart {
+        self.y_scale = Scale::Log10;
+        self
+    }
+
+    /// Sets the x scale.
+    pub fn x_log(&mut self) -> &mut Chart {
+        self.x_scale = Scale::Log10;
+        self
+    }
+
+    fn data_bounds(&self) -> ((f64, f64), (f64, f64)) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = |v: &[f64]| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        ((min(&xs), max(&xs)), (min(&ys), max(&ys)))
+    }
+
+    /// Renders the chart to an SVG string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no data points, or if a log axis sees a
+    /// non-positive value.
+    pub fn to_svg(&self) -> String {
+        assert!(
+            self.series.iter().any(|s| !s.points.is_empty()),
+            "chart has no data points"
+        );
+        let ((x0, x1), (y0, y1)) = self.data_bounds();
+        let (x0, x1) = pad_domain(x0, x1, self.x_scale);
+        let (y0, y1) = pad_domain(y0, y1, self.y_scale);
+
+        let plot_w = self.width as f64 - MARGIN_L - MARGIN_R;
+        let plot_h = self.height as f64 - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + project(x, x0, x1, self.x_scale) * plot_w;
+        let sy = |y: f64| MARGIN_T + (1.0 - project(y, y0, y1, self.y_scale)) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#,
+            w = self.width,
+            h = self.height
+        );
+        let _ = write!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="20" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+            self.width / 2,
+            escape(&self.title)
+        );
+
+        // Gridlines + ticks.
+        for t in ticks(x0, x1, self.x_scale) {
+            let x = sx(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{t0:.1}" x2="{x:.1}" y2="{t1:.1}" stroke="#eee"/>"##,
+                t0 = MARGIN_T,
+                t1 = MARGIN_T + plot_h
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{x:.1}" y="{y:.1}" text-anchor="middle">{}</text>"#,
+                fmt_tick(t),
+                y = MARGIN_T + plot_h + 16.0
+            );
+        }
+        for t in ticks(y0, y1, self.y_scale) {
+            let y = sy(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{x0:.1}" y1="{y:.1}" x2="{x1:.1}" y2="{y:.1}" stroke="#eee"/>"##,
+                x0 = MARGIN_L,
+                x1 = MARGIN_L + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{x:.1}" y="{yy:.1}" text-anchor="end">{}</text>"#,
+                fmt_tick(t),
+                x = MARGIN_L - 6.0,
+                yy = y + 4.0
+            );
+        }
+        // Axes.
+        let _ = write!(
+            svg,
+            r##"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="none" stroke="#333"/>"##,
+            x = MARGIN_L,
+            y = MARGIN_T,
+            w = plot_w,
+            h = plot_h
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            self.height as f64 - 10.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let mut path = String::new();
+            for (j, &(x, y)) in s.points.iter().enumerate() {
+                let _ = write!(
+                    path,
+                    "{}{:.1},{:.1} ",
+                    if j == 0 { "M" } else { "L" },
+                    sx(x),
+                    sy(y)
+                );
+            }
+            let _ = write!(
+                svg,
+                r#"<path d="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.trim_end()
+            );
+            for &(x, y) in &s.points {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 14.0 + i as f64 * 16.0;
+            let lx = MARGIN_L + plot_w - 150.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+                lx + 18.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+                lx + 24.0,
+                ly + 4.0,
+                escape(&s.name)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn pad_domain(lo: f64, hi: f64, scale: Scale) -> (f64, f64) {
+    match scale {
+        Scale::Linear => {
+            let span = (hi - lo).max(1e-12);
+            let lo = if lo > 0.0 && lo < span * 0.5 {
+                0.0
+            } else {
+                lo - span * 0.05
+            };
+            (lo, hi + span * 0.05)
+        }
+        Scale::Log10 => {
+            assert!(lo > 0.0, "log axis requires positive values, got {lo}");
+            (lo / 1.3, hi * 1.3)
+        }
+    }
+}
+
+fn project(v: f64, lo: f64, hi: f64, scale: Scale) -> f64 {
+    match scale {
+        Scale::Linear => (v - lo) / (hi - lo).max(1e-12),
+        Scale::Log10 => {
+            assert!(v > 0.0, "log axis requires positive values, got {v}");
+            (v.log10() - lo.log10()) / (hi.log10() - lo.log10()).max(1e-12)
+        }
+    }
+}
+
+/// Computes "nice" tick positions covering `[lo, hi]`.
+pub fn ticks(lo: f64, hi: f64, scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Linear => {
+            let span = (hi - lo).max(1e-12);
+            let raw_step = span / 6.0;
+            let mag = 10f64.powf(raw_step.log10().floor());
+            let step = [1.0, 2.0, 5.0, 10.0]
+                .iter()
+                .map(|m| m * mag)
+                .find(|s| span / s <= 7.0)
+                .unwrap_or(mag * 10.0);
+            let mut t = (lo / step).ceil() * step;
+            let mut out = Vec::new();
+            while t <= hi + step * 1e-9 {
+                out.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+                t += step;
+            }
+            out
+        }
+        Scale::Log10 => {
+            let mut out = Vec::new();
+            let mut decade = 10f64.powf(lo.log10().floor());
+            while decade <= hi * 1.0001 {
+                if decade >= lo * 0.9999 {
+                    out.push(decade);
+                }
+                decade *= 10.0;
+            }
+            if out.len() < 2 {
+                out = vec![lo, hi];
+            }
+            out
+        }
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1_000_000.0 {
+        format!("{:.0}M", v / 1e6)
+    } else if v.abs() >= 10_000.0 {
+        format!("{:.0}k", v / 1e3)
+    } else if v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> Chart {
+        let mut c = Chart::new("Title", "threads", "MOPS");
+        c.series("A", vec![(1.0, 2.0), (2.0, 4.0), (4.0, 8.0)]);
+        c.series("B", vec![(1.0, 1.0), (2.0, 1.5), (4.0, 1.75)]);
+        c
+    }
+
+    #[test]
+    fn svg_contains_structure() {
+        let svg = sample_chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2, "one path per series");
+        assert_eq!(svg.matches("<circle").count(), 6, "one marker per point");
+        assert!(svg.contains("Title"));
+        assert!(svg.contains("threads"));
+        assert!(svg.contains("MOPS"));
+        assert!(svg.contains(">A</text>"));
+        assert!(svg.contains(">B</text>"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let mut c = Chart::new("a<b & c>", "x", "y");
+        c.series("s", vec![(1.0, 1.0)]);
+        let svg = c.to_svg();
+        assert!(svg.contains("a&lt;b &amp; c&gt;"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn linear_ticks_are_nice_and_cover() {
+        let t = ticks(0.0, 100.0, Scale::Linear);
+        assert_eq!(t, vec![0.0, 20.0, 40.0, 60.0, 80.0, 100.0]);
+        let t = ticks(3.0, 7.0, Scale::Linear);
+        assert!(t.len() >= 4 && t.len() <= 8);
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        let t = ticks(0.5, 2000.0, Scale::Log10);
+        assert_eq!(t, vec![1.0, 10.0, 100.0, 1000.0]);
+    }
+
+    #[test]
+    fn log_axis_renders() {
+        let mut c = Chart::new("log", "x", "y");
+        c.series("s", vec![(1.0, 1.0), (10.0, 100.0), (100.0, 10000.0)]);
+        c.y_log().x_log();
+        let svg = c.to_svg();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no data points")]
+    fn empty_chart_panics() {
+        let _ = Chart::new("t", "x", "y").to_svg();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn log_axis_rejects_nonpositive() {
+        let mut c = Chart::new("t", "x", "y");
+        c.series("s", vec![(0.0, 1.0)]);
+        c.x_log();
+        let _ = c.to_svg();
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(0.0), "0");
+        assert_eq!(fmt_tick(2_000_000.0), "2M");
+        assert_eq!(fmt_tick(50_000.0), "50k");
+        assert_eq!(fmt_tick(42.0), "42");
+        assert_eq!(fmt_tick(1.5), "1.5");
+    }
+}

@@ -1,0 +1,228 @@
+//! Minimal CSV reading for the benchmark outputs (simple comma-separated
+//! files with a header row; no quoting — the harness never emits commas
+//! inside cells).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed CSV: header + rows, with typed column accessors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csv {
+    headers: Vec<String>,
+    index: HashMap<String, usize>,
+    rows: Vec<Vec<String>>,
+}
+
+/// Errors from [`Csv::parse`] and the accessors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    Empty,
+    /// A row had a different arity than the header.
+    RaggedRow {
+        /// 1-based data-row number.
+        row: usize,
+    },
+    /// A requested column does not exist.
+    NoSuchColumn(String),
+    /// A cell could not be parsed as a number.
+    NotANumber {
+        /// Column name.
+        column: String,
+        /// 0-based row index.
+        row: usize,
+        /// The offending cell text.
+        cell: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Empty => write!(f, "empty csv input"),
+            CsvError::RaggedRow { row } => write!(f, "row {row} has wrong arity"),
+            CsvError::NoSuchColumn(c) => write!(f, "no column named {c:?}"),
+            CsvError::NotANumber { column, row, cell } => {
+                write!(
+                    f,
+                    "cell {cell:?} at row {row} of column {column:?} is not a number"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl Csv {
+    /// Parses CSV text.
+    ///
+    /// # Errors
+    ///
+    /// [`CsvError::Empty`] without a header; [`CsvError::RaggedRow`] on
+    /// arity mismatches.
+    pub fn parse(text: &str) -> Result<Csv, CsvError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header_line = lines.next().ok_or(CsvError::Empty)?;
+        let headers: Vec<String> = header_line
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect();
+        let index = headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (h.clone(), i))
+            .collect();
+        let mut rows = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let cells: Vec<String> = line.split(',').map(|s| s.trim().to_string()).collect();
+            if cells.len() != headers.len() {
+                return Err(CsvError::RaggedRow { row: i + 1 });
+            }
+            rows.push(cells);
+        }
+        Ok(Csv {
+            headers,
+            index,
+            rows,
+        })
+    }
+
+    /// Column headers, in file order.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn col(&self, name: &str) -> Result<usize, CsvError> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| CsvError::NoSuchColumn(name.to_string()))
+    }
+
+    /// The string cells of a column.
+    ///
+    /// # Errors
+    ///
+    /// [`CsvError::NoSuchColumn`].
+    pub fn strings(&self, name: &str) -> Result<Vec<&str>, CsvError> {
+        let c = self.col(name)?;
+        Ok(self.rows.iter().map(|r| r[c].as_str()).collect())
+    }
+
+    /// The numeric cells of a column.
+    ///
+    /// # Errors
+    ///
+    /// [`CsvError::NoSuchColumn`] or [`CsvError::NotANumber`].
+    pub fn numbers(&self, name: &str) -> Result<Vec<f64>, CsvError> {
+        let c = self.col(name)?;
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(row, r)| {
+                r[c].parse::<f64>().map_err(|_| CsvError::NotANumber {
+                    column: name.to_string(),
+                    row,
+                    cell: r[c].clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// The distinct values of a column, in first-appearance order.
+    ///
+    /// # Errors
+    ///
+    /// [`CsvError::NoSuchColumn`].
+    pub fn distinct(&self, name: &str) -> Result<Vec<String>, CsvError> {
+        let c = self.col(name)?;
+        let mut seen = Vec::new();
+        for r in &self.rows {
+            if !seen.contains(&r[c]) {
+                seen.push(r[c].clone());
+            }
+        }
+        Ok(seen)
+    }
+
+    /// Returns a view containing only the rows where `column == value`.
+    ///
+    /// # Errors
+    ///
+    /// [`CsvError::NoSuchColumn`].
+    pub fn filter(&self, column: &str, value: &str) -> Result<Csv, CsvError> {
+        let c = self.col(column)?;
+        Ok(Csv {
+            headers: self.headers.clone(),
+            index: self.index.clone(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| r[c] == value)
+                .cloned()
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "sys,threads,mops\nA,2,1.5\nA,4,2.5\nB,2,0.5\n";
+
+    #[test]
+    fn parse_and_access() {
+        let csv = Csv::parse(SAMPLE).expect("parses");
+        assert_eq!(csv.len(), 3);
+        assert_eq!(csv.headers(), &["sys", "threads", "mops"]);
+        assert_eq!(csv.numbers("threads").expect("nums"), vec![2.0, 4.0, 2.0]);
+        assert_eq!(csv.strings("sys").expect("strs"), vec!["A", "A", "B"]);
+    }
+
+    #[test]
+    fn distinct_preserves_order() {
+        let csv = Csv::parse(SAMPLE).expect("parses");
+        assert_eq!(csv.distinct("sys").expect("distinct"), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn filter_narrows_rows() {
+        let csv = Csv::parse(SAMPLE).expect("parses");
+        let a = csv.filter("sys", "A").expect("filter");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.numbers("mops").expect("nums"), vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(Csv::parse(""), Err(CsvError::Empty));
+        assert_eq!(Csv::parse("a,b\n1\n"), Err(CsvError::RaggedRow { row: 1 }));
+        let csv = Csv::parse(SAMPLE).expect("parses");
+        assert!(matches!(
+            csv.numbers("sys"),
+            Err(CsvError::NotANumber { .. })
+        ));
+        assert!(matches!(
+            csv.numbers("nope"),
+            Err(CsvError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = Csv::parse("a,b\n\n1,2\n\n3,4\n").expect("parses");
+        assert_eq!(csv.len(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # smart-plot — SVG figures from the benchmark CSVs
+//!
+//! The SMART artifact ships Python scripts that turn raw CSVs into the
+//! paper's figures; this crate is the dependency-free Rust equivalent:
+//! a tiny CSV reader ([`Csv`]) and an SVG line-chart renderer
+//! ([`Chart`]). The `render_figures` binary walks
+//! `crates/bench/bench_out/*.csv` and writes one SVG per figure:
+//!
+//! ```bash
+//! cargo bench --workspace              # produce the CSVs
+//! cargo run --release -p smart-plot    # render bench_out/*.svg
+//! ```
+//!
+//! ```rust
+//! use smart_plot::{Chart, Csv};
+//!
+//! let csv = Csv::parse("threads,mops\n2,10\n4,19\n8,35\n").expect("parse");
+//! let mut chart = Chart::new("Scaling", "threads", "MOPS");
+//! chart.series(
+//!     "smart",
+//!     csv.numbers("threads").expect("x")
+//!         .into_iter()
+//!         .zip(csv.numbers("mops").expect("y"))
+//!         .collect(),
+//! );
+//! let svg = chart.to_svg();
+//! assert!(svg.contains("<svg"));
+//! ```
+
+pub mod chart;
+pub mod csv;
+
+pub use chart::{Chart, Scale, Series};
+pub use csv::{Csv, CsvError};
+
+/// Builds one series per distinct value of `group` from `csv`, using the
+/// numeric columns `x` and `y` — the shape every figure CSV shares.
+///
+/// # Errors
+///
+/// Propagates [`CsvError`] for missing/NaN columns.
+pub fn grouped_series(csv: &Csv, group: &str, x: &str, y: &str) -> Result<Vec<Series>, CsvError> {
+    let mut out = Vec::new();
+    for g in csv.distinct(group)? {
+        let sub = csv.filter(group, &g)?;
+        let points = sub.numbers(x)?.into_iter().zip(sub.numbers(y)?).collect();
+        out.push(Series { name: g, points });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_series_splits_by_column() {
+        let csv = Csv::parse("sys,x,y\nA,1,10\nB,1,20\nA,2,11\nB,2,21\n").expect("parse");
+        let series = grouped_series(&csv, "sys", "x", "y").expect("groups");
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].name, "A");
+        assert_eq!(series[0].points, vec![(1.0, 10.0), (2.0, 11.0)]);
+        assert_eq!(series[1].points, vec![(1.0, 20.0), (2.0, 21.0)]);
+    }
+}

@@ -1,0 +1,285 @@
+//! `render_figures`: turns every benchmark CSV in `crates/bench/bench_out`
+//! into an SVG chart next to it — the reproduction's equivalent of the
+//! artifact's `ae/plot` scripts.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use smart_plot::{grouped_series, Chart, Csv};
+
+struct FigureSpec {
+    csv: &'static str,
+    title: &'static str,
+    group: Option<&'static str>,
+    /// Extra column to facet by (one SVG per distinct value).
+    facet: Option<&'static str>,
+    x: &'static str,
+    y: &'static str,
+    x_label: &'static str,
+    y_label: &'static str,
+    y_log: bool,
+    x_log: bool,
+}
+
+const SPECS: &[FigureSpec] = &[
+    FigureSpec {
+        csv: "fig03",
+        title: "Figure 3: QP allocation policies",
+        group: Some("policy"),
+        facet: Some("op"),
+        x: "threads",
+        y: "mops",
+        x_label: "threads",
+        y_label: "MOPS",
+        y_log: false,
+        x_log: false,
+    },
+    FigureSpec {
+        csv: "fig04",
+        title: "Figure 4a: throughput vs outstanding WRs",
+        group: Some("threads"),
+        facet: Some("op"),
+        x: "owr_per_thread",
+        y: "mops",
+        x_label: "outstanding WRs per thread",
+        y_label: "MOPS",
+        y_log: false,
+        x_log: true,
+    },
+    FigureSpec {
+        csv: "fig05a",
+        title: "Figure 5a: RACE updates vs threads",
+        group: None,
+        facet: None,
+        x: "threads",
+        y: "p99_us",
+        x_label: "threads",
+        y_label: "p99 latency (us)",
+        y_log: true,
+        x_log: false,
+    },
+    FigureSpec {
+        csv: "fig07_scaleup",
+        title: "Figure 7a-c: hash table scale-up",
+        group: Some("system"),
+        facet: Some("mix"),
+        x: "threads",
+        y: "mops",
+        x_label: "threads",
+        y_label: "MOPS",
+        y_log: false,
+        x_log: false,
+    },
+    FigureSpec {
+        csv: "fig07_scaleout",
+        title: "Figure 7d-f: hash table scale-out",
+        group: Some("system"),
+        facet: Some("mix"),
+        x: "threads_total",
+        y: "mops",
+        x_label: "total threads",
+        y_label: "MOPS",
+        y_log: false,
+        x_log: false,
+    },
+    FigureSpec {
+        csv: "fig08",
+        title: "Figure 8: technique breakdown",
+        group: Some("config"),
+        facet: Some("mix"),
+        x: "threads",
+        y: "mops",
+        x_label: "threads",
+        y_label: "MOPS",
+        y_log: false,
+        x_log: false,
+    },
+    FigureSpec {
+        csv: "fig09",
+        title: "Figure 9: throughput vs median latency",
+        group: Some("system"),
+        facet: None,
+        x: "mops",
+        y: "p50_us",
+        x_label: "MOPS",
+        y_label: "median latency (us)",
+        y_log: true,
+        x_log: false,
+    },
+    FigureSpec {
+        csv: "fig10",
+        title: "Figure 10: DTX scalability",
+        group: Some("system"),
+        facet: Some("workload"),
+        x: "threads",
+        y: "mtps",
+        x_label: "threads",
+        y_label: "Mtxn/s",
+        y_log: false,
+        x_log: false,
+    },
+    FigureSpec {
+        csv: "fig11",
+        title: "Figure 11: DTX throughput vs latency",
+        group: Some("system"),
+        facet: Some("workload"),
+        x: "mtps",
+        y: "p50_us",
+        x_label: "Mtxn/s",
+        y_label: "median latency (us)",
+        y_log: true,
+        x_log: false,
+    },
+    FigureSpec {
+        csv: "fig12_scaleup",
+        title: "Figure 12a-c: B+Tree scale-up",
+        group: Some("system"),
+        facet: Some("mix"),
+        x: "threads",
+        y: "mops",
+        x_label: "threads",
+        y_label: "MOPS",
+        y_log: false,
+        x_log: false,
+    },
+    FigureSpec {
+        csv: "fig12_scaleout",
+        title: "Figure 12d-f: B+Tree scale-out",
+        group: Some("system"),
+        facet: Some("mix"),
+        x: "threads_total",
+        y: "mops",
+        x_label: "total threads",
+        y_label: "MOPS",
+        y_log: false,
+        x_log: false,
+    },
+    FigureSpec {
+        csv: "fig13a",
+        title: "Figure 13a: allocation + throttling vs threads",
+        group: Some("config"),
+        facet: None,
+        x: "threads",
+        y: "mops",
+        x_label: "threads",
+        y_label: "MOPS",
+        y_log: false,
+        x_log: false,
+    },
+    FigureSpec {
+        csv: "fig13b",
+        title: "Figure 13b: allocation + throttling vs batch size",
+        group: Some("config"),
+        facet: None,
+        x: "batch",
+        y: "mops",
+        x_label: "work request batch size",
+        y_label: "MOPS",
+        y_log: false,
+        x_log: true,
+    },
+    FigureSpec {
+        csv: "fig14ab",
+        title: "Figure 14a: conflict avoidance throughput",
+        group: Some("config"),
+        facet: None,
+        x: "threads",
+        y: "mops",
+        x_label: "threads",
+        y_label: "MOPS",
+        y_log: false,
+        x_log: false,
+    },
+    FigureSpec {
+        csv: "fig14c",
+        title: "Figure 14c: retry distribution (96 threads)",
+        group: Some("config"),
+        facet: None,
+        x: "retries",
+        y: "fraction",
+        x_label: "retries per update",
+        y_label: "fraction of updates",
+        y_log: false,
+        x_log: false,
+    },
+];
+
+fn find_bench_out() -> Option<PathBuf> {
+    for c in ["crates/bench/bench_out", "bench_out", "../bench/bench_out"] {
+        let p = PathBuf::from(c);
+        if p.is_dir() {
+            return Some(p);
+        }
+    }
+    None
+}
+
+fn render(dir: &Path, spec: &FigureSpec) -> Result<usize, Box<dyn std::error::Error>> {
+    let path = dir.join(format!("{}.csv", spec.csv));
+    let text = fs::read_to_string(&path)?;
+    let full = Csv::parse(&text)?;
+    let facets: Vec<Option<String>> = match spec.facet {
+        Some(col) => full.distinct(col)?.into_iter().map(Some).collect(),
+        None => vec![None],
+    };
+    let mut written = 0;
+    for facet in facets {
+        let (csv, suffix) = match (&facet, spec.facet) {
+            (Some(v), Some(col)) => (full.filter(col, v)?, format!("_{v}")),
+            _ => (full.clone(), String::new()),
+        };
+        if csv.is_empty() {
+            continue;
+        }
+        let title = match &facet {
+            Some(v) => format!("{} ({v})", spec.title),
+            None => spec.title.to_string(),
+        };
+        let mut chart = Chart::new(&title, spec.x_label, spec.y_label);
+        match spec.group {
+            Some(group) => {
+                for s in grouped_series(&csv, group, spec.x, spec.y)? {
+                    chart.series(&s.name, s.points);
+                }
+            }
+            None => {
+                let points = csv
+                    .numbers(spec.x)?
+                    .into_iter()
+                    .zip(csv.numbers(spec.y)?)
+                    .collect();
+                chart.series(spec.y, points);
+            }
+        }
+        if spec.y_log {
+            chart.y_log();
+        }
+        if spec.x_log {
+            chart.x_log();
+        }
+        let out = dir.join(format!(
+            "{}{}.svg",
+            spec.csv,
+            suffix.replace([' ', '/'], "_")
+        ));
+        fs::write(&out, chart.to_svg())?;
+        println!("wrote {}", out.display());
+        written += 1;
+    }
+    Ok(written)
+}
+
+fn main() {
+    let Some(dir) = find_bench_out() else {
+        eprintln!("no bench_out directory found — run `cargo bench --workspace` first");
+        std::process::exit(1);
+    };
+    let mut total = 0;
+    for spec in SPECS {
+        match render(&dir, spec) {
+            Ok(n) => total += n,
+            Err(e) => eprintln!("skipping {}: {e}", spec.csv),
+        }
+    }
+    println!("{total} figures rendered into {}", dir.display());
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # smart-race — a RACE-style lock-free disaggregated hash table
+//!
+//! From-scratch implementation of the extendible hash table of RACE (Zuo
+//! et al., USENIX ATC '21 / TOS '22), the system the SMART paper uses as
+//! its hash-table case study (the RACE code is not public; the SMART
+//! authors also reimplemented it, §5.2).
+//!
+//! All client operations go through one-sided verbs on
+//! [`smart::SmartCoro`]; switching the framework configuration between
+//! [`smart::SmartConfig::baseline`] and [`smart::SmartConfig::smart_full`]
+//! is the reproduction of the paper's RACE → SMART-HT refactor.
+//!
+//! ```rust
+//! use std::rc::Rc;
+//! use smart::{SmartConfig, SmartContext};
+//! use smart_race::{RaceConfig, RaceHashTable};
+//! use smart_rnic::{Cluster, ClusterConfig};
+//! use smart_rt::Simulation;
+//!
+//! let mut sim = Simulation::new(3);
+//! let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
+//! let table = RaceHashTable::create(cluster.blades(), RaceConfig::default());
+//! table.load(b"hello", b"world");
+//!
+//! let ctx = SmartContext::new(cluster.compute(0), cluster.blades(), SmartConfig::smart_full(1));
+//! let coro = ctx.create_thread().coroutine();
+//! let t = Rc::clone(&table);
+//! let got = sim.block_on(async move { t.get(&coro, b"hello").await });
+//! assert_eq!(got.as_deref(), Some(b"world".as_slice()));
+//! ```
+
+pub mod layout;
+pub mod stats;
+pub mod table;
+
+pub use stats::{RaceStats, RETRY_HIST_BUCKETS};
+pub use table::{RaceConfig, RaceError, RaceHashTable};

@@ -1,0 +1,100 @@
+//! Operation statistics for the hash table (Figure 14's metrics).
+
+use std::cell::RefCell;
+
+use smart_rt::metrics::Counter;
+
+/// Longest retry count tracked individually; longer runs land in the last
+/// histogram bucket.
+pub const RETRY_HIST_BUCKETS: usize = 32;
+
+/// Counters for hash-table operations.
+#[derive(Debug, Default)]
+pub struct RaceStats {
+    /// Completed lookups.
+    pub lookups: Counter,
+    /// Completed inserts.
+    pub inserts: Counter,
+    /// Completed updates.
+    pub updates: Counter,
+    /// Completed removes.
+    pub removes: Counter,
+    /// Total unsuccessful CAS retries across all operations.
+    pub cas_retries: Counter,
+    retry_hist: RefCell<[u64; RETRY_HIST_BUCKETS]>,
+}
+
+impl RaceStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that one update finished after `retries` unsuccessful
+    /// retries.
+    pub fn record_update_retries(&self, retries: u32) {
+        self.cas_retries.add(retries as u64);
+        let idx = (retries as usize).min(RETRY_HIST_BUCKETS - 1);
+        self.retry_hist.borrow_mut()[idx] += 1;
+    }
+
+    /// The retry-count distribution (index = retries per operation,
+    /// Figure 14c).
+    pub fn retry_histogram(&self) -> [u64; RETRY_HIST_BUCKETS] {
+        *self.retry_hist.borrow()
+    }
+
+    /// Average retries per recorded operation (Figure 14b).
+    pub fn avg_retries(&self) -> f64 {
+        let hist = self.retry_hist.borrow();
+        let ops: u64 = hist.iter().sum();
+        if ops == 0 {
+            0.0
+        } else {
+            self.cas_retries.get() as f64 / ops as f64
+        }
+    }
+
+    /// Fraction of recorded operations that needed no retry.
+    pub fn zero_retry_fraction(&self) -> f64 {
+        let hist = self.retry_hist.borrow();
+        let ops: u64 = hist.iter().sum();
+        if ops == 0 {
+            1.0
+        } else {
+            hist[0] as f64 / ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_and_average() {
+        let s = RaceStats::new();
+        s.record_update_retries(0);
+        s.record_update_retries(0);
+        s.record_update_retries(4);
+        assert_eq!(s.retry_histogram()[0], 2);
+        assert_eq!(s.retry_histogram()[4], 1);
+        assert!((s.avg_retries() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.zero_retry_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_runs_saturate_last_bucket() {
+        let s = RaceStats::new();
+        s.record_update_retries(1000);
+        assert_eq!(s.retry_histogram()[RETRY_HIST_BUCKETS - 1], 1);
+        assert_eq!(s.cas_retries.get(), 1000);
+    }
+
+    #[test]
+    fn empty_stats_defaults() {
+        let s = RaceStats::new();
+        assert_eq!(s.avg_retries(), 0.0);
+        assert_eq!(s.zero_retry_fraction(), 1.0);
+    }
+}

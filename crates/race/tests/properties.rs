@@ -1,0 +1,98 @@
+//! Property-based tests for the hash-table layout and full-table model
+//! equivalence.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use smart::{SmartConfig, SmartContext};
+use smart_race::layout::{decode_block, encode_block, hash_key, Slot, MAX_BLOCK_BYTES};
+use smart_race::{RaceConfig, RaceHashTable};
+use smart_rnic::{Cluster, ClusterConfig};
+use smart_rt::Simulation;
+
+proptest! {
+    /// Slot encoding is a lossless round-trip over its full field ranges.
+    #[test]
+    fn slot_roundtrip(fp in any::<u8>(), units in 1usize..=255, off in 0u64..(1 << 48)) {
+        let s = Slot::encode(fp, units * 8, off);
+        prop_assert_eq!(s.fp(), fp);
+        prop_assert_eq!(s.block_bytes(), units * 8);
+        prop_assert_eq!(s.offset(), off);
+        prop_assert!(!s.is_empty() || (fp == 0 && units == 0 && off == 0));
+    }
+
+    /// Key/value blocks round-trip for arbitrary contents within the
+    /// encodable size.
+    #[test]
+    fn block_roundtrip(
+        key in prop::collection::vec(any::<u8>(), 0..128),
+        value in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let buf = encode_block(&key, &value);
+        prop_assert!(buf.len() <= MAX_BLOCK_BYTES);
+        prop_assert_eq!(buf.len() % 8, 0);
+        let (k, v) = decode_block(&buf).expect("valid");
+        prop_assert_eq!(k, &key[..]);
+        prop_assert_eq!(v, &value[..]);
+    }
+
+    /// Fingerprints never collide with the empty-slot sentinel and the
+    /// two bucket hashes are independent of each other.
+    #[test]
+    fn hashes_well_formed(key in prop::collection::vec(any::<u8>(), 0..64)) {
+        let kh = hash_key(&key);
+        prop_assert_ne!(kh.fp, 0);
+        // h1 == h2 would make the "two choices" degenerate; allow the
+        // astronomically unlikely collision only for the empty key.
+        if key.len() > 1 {
+            prop_assert_ne!(kh.h1, kh.h2);
+        }
+    }
+
+    /// A random single-client operation sequence over the RDMA path
+    /// matches a HashMap model (smaller/faster variant of the fixed-seed
+    /// integration test, across arbitrary seeds and sequences).
+    #[test]
+    fn table_matches_hashmap(
+        ops in prop::collection::vec((0u8..3, 0u64..24, any::<u64>()), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Simulation::new(seed);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
+        let table = RaceHashTable::create(
+            cluster.blades(),
+            RaceConfig { buckets_per_subtable: 64, initial_depth: 1, ..Default::default() },
+        );
+        let ctx = SmartContext::new(
+            cluster.compute(0),
+            cluster.blades(),
+            SmartConfig::smart_full(1),
+        );
+        let thread = ctx.create_thread();
+        let t = Rc::clone(&table);
+        sim.block_on(async move {
+            let coro = thread.coroutine();
+            let mut model: HashMap<u64, u64> = HashMap::new();
+            for (op, key, val) in ops {
+                let kb = key.to_le_bytes();
+                match op {
+                    0 => {
+                        t.insert(&coro, &kb, &val.to_le_bytes()).await.expect("insert");
+                        model.insert(key, val);
+                    }
+                    1 => {
+                        let present = t.remove(&coro, &kb).await.expect("remove");
+                        assert_eq!(present, model.remove(&key).is_some());
+                    }
+                    _ => {
+                        let got = t.get(&coro, &kb).await.map(|v| {
+                            u64::from_le_bytes(v.try_into().expect("8B"))
+                        });
+                        assert_eq!(got, model.get(&key).copied());
+                    }
+                }
+            }
+        });
+    }
+}

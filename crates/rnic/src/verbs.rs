@@ -1,0 +1,114 @@
+//! The life of a work request inside the simulated RNIC and fabric.
+//!
+//! Stages (for a requester-side op posted on a QP):
+//!
+//! 1. **Requester pipeline** — WQE fetch from host DRAM (PCIe traffic),
+//!    MTT/MPT translation of the local buffer page (cache miss ⇒ extra DMA
+//!    + pipeline time), base processing at the IOPS ceiling.
+//! 2. **Fabric, request leg** — one-way latency; large payloads (WRITEs)
+//!    also serialize on the requester PCIe and the blade ingress link.
+//! 3. **Responder** — the blade RNIC's pipeline; atomics additionally
+//!    serialize on the blade's atomic unit and execute there, in arrival
+//!    order; persistent WRITEs pay the NVM write latency.
+//! 4. **Fabric, response leg** — one-way latency; READ payloads serialize
+//!    on the blade egress link and the requester PCIe.
+//! 5. **Completion** — WQE-cache lookup (thrashing ⇒ DMA re-fetch: extra
+//!    pipeline time, latency and DRAM traffic), CQE DMA write, CQ push.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::qp::Qp;
+use crate::types::{Cqe, OneSidedOp, OpResult, WorkRequest};
+
+pub(crate) async fn lifecycle(qp: Rc<Qp>, wr: WorkRequest) {
+    let ctx = Rc::clone(qp.context());
+    let node = Rc::clone(ctx.node());
+    let cfg = Rc::clone(&node.cfg);
+    let blade = Rc::clone(qp.target());
+    let handle = node.handle.clone();
+    let one_way = node.fabric.one_way_latency;
+    let header = node.fabric.header_bytes;
+
+    node.outstanding.set(node.outstanding.get() + 1);
+
+    // --- 1. requester pipeline -------------------------------------------
+    node.dram_bytes.add(cfg.wqe_fetch_bytes);
+    let mut service = cfg.base_service;
+    let mut extra_latency = Duration::ZERO;
+    let (mtt_service, mtt_latency, mtt_bytes) = node.mtt_lookup(ctx.id(), ctx.registered_pages());
+    service += mtt_service;
+    extra_latency += mtt_latency;
+    node.dram_bytes.add(mtt_bytes);
+    node.pipeline.use_for(service).await;
+
+    // --- 2. request leg ---------------------------------------------------
+    let req_payload = wr.op.request_payload();
+    if let OneSidedOp::Write { data, .. } = &wr.op {
+        // The RNIC DMA-reads the payload from host memory before sending
+        // (small payloads are inlined in the WQE and already accounted).
+        if data.len() as u64 >= cfg.small_payload_cutoff {
+            node.dram_bytes.add(data.len() as u64);
+            node.pcie.transfer(data.len() as u64).await;
+        }
+    }
+    let req_wire = header + req_payload;
+    if req_wire >= cfg.small_payload_cutoff {
+        blade.ingress.transfer(req_wire).await;
+    }
+    handle.sleep(one_way + extra_latency).await;
+
+    // --- 3. responder -----------------------------------------------------
+    blade.responder.use_for(cfg.responder_service).await;
+    if wr.op.is_atomic() {
+        blade.atomic_unit.use_for(cfg.atomic_service).await;
+    }
+    let result = match &wr.op {
+        OneSidedOp::Read { addr, len } => {
+            OpResult::Read(blade.read_bytes(addr.offset_bytes, *len as u64))
+        }
+        OneSidedOp::Write {
+            addr,
+            data,
+            persistent,
+        } => {
+            blade.write_bytes(addr.offset_bytes, data);
+            if *persistent {
+                handle.sleep(blade.nvm_write_latency).await;
+            }
+            OpResult::Write
+        }
+        OneSidedOp::Cas { addr, expect, swap } => {
+            OpResult::Atomic(blade.cas_u64(addr.offset_bytes, *expect, *swap))
+        }
+        OneSidedOp::Faa { addr, add } => OpResult::Atomic(blade.faa_u64(addr.offset_bytes, *add)),
+    };
+    blade.count_op();
+
+    // --- 4. response leg --------------------------------------------------
+    let resp_payload = wr.op.response_payload();
+    let resp_wire = header + resp_payload;
+    if resp_wire >= cfg.small_payload_cutoff {
+        blade.egress.transfer(resp_wire).await;
+    }
+    handle.sleep(one_way).await;
+    node.dram_bytes.add(resp_payload);
+    if resp_payload >= cfg.small_payload_cutoff {
+        node.pcie.transfer(resp_payload).await;
+    }
+
+    // --- 5. completion ----------------------------------------------------
+    if !node.wqe_lookup_is_hit() {
+        node.dram_bytes.add(cfg.wqe_refetch_bytes);
+        node.pipeline.use_for(cfg.wqe_miss_service).await;
+        handle.sleep(cfg.wqe_miss_latency).await;
+    }
+    node.dram_bytes.add(cfg.cqe_bytes);
+    node.outstanding.set(node.outstanding.get() - 1);
+    node.ops_completed.incr();
+    qp.complete_one();
+    qp.cq().push(Cqe {
+        wr_id: wr.wr_id,
+        result,
+    });
+}

@@ -1,0 +1,286 @@
+//! Tests of the work-request lifecycle: latency composition, bandwidth
+//! engagement, persistence latency, atomic-unit ordering and counters.
+
+use std::rc::Rc;
+
+use smart_rnic::{
+    BladeConfig, Cluster, ClusterConfig, Cq, DoorbellBinding, OneSidedOp, RemoteAddr, WorkRequest,
+};
+use smart_rt::{Duration, Simulation};
+
+struct Rig {
+    sim: Simulation,
+    cluster: Cluster,
+    qp: Rc<smart_rnic::Qp>,
+}
+
+fn rig() -> Rig {
+    let sim = Simulation::new(1);
+    let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 1));
+    cluster.blade(0).alloc(1 << 20, 8);
+    let ctx = cluster.compute(0).open_context(None);
+    ctx.register_memory(64 * 1024 * 1024);
+    let cq = Cq::new();
+    let qp = ctx.create_qp(cluster.blade(0), &cq, DoorbellBinding::DriverDefault, false);
+    Rig { sim, cluster, qp }
+}
+
+async fn roundtrip(qp: &Rc<smart_rnic::Qp>, op: OneSidedOp) -> smart_rnic::Cqe {
+    qp.post_send(vec![WorkRequest { wr_id: 1, op }], 0).await;
+    qp.cq().wait_nonempty().await;
+    qp.cq().poll(1).remove(0)
+}
+
+#[test]
+fn small_read_latency_is_two_fabric_legs_plus_processing() {
+    let mut rig = rig();
+    let blade = rig.cluster.blade(0).id();
+    let qp = Rc::clone(&rig.qp);
+    let h = rig.sim.handle();
+    let elapsed = rig.sim.block_on(async move {
+        let t0 = h.now();
+        roundtrip(
+            &qp,
+            OneSidedOp::Read {
+                addr: RemoteAddr::new(blade, 64),
+                len: 8,
+            },
+        )
+        .await;
+        h.now() - t0
+    });
+    // 2 × 1150 ns fabric + doorbell 300 + pipeline ~17 ns ⇒ ~2.6–2.7 µs.
+    assert!(elapsed >= Duration::from_nanos(2_300), "{elapsed:?}");
+    assert!(elapsed <= Duration::from_nanos(3_200), "{elapsed:?}");
+}
+
+#[test]
+fn large_read_pays_link_and_pcie_serialization() {
+    let mut rig = rig();
+    let blade = rig.cluster.blade(0).id();
+    let qp = Rc::clone(&rig.qp);
+    let h = rig.sim.handle();
+    let (small, big) = rig.sim.block_on(async move {
+        let t0 = h.now();
+        roundtrip(
+            &qp,
+            OneSidedOp::Read {
+                addr: RemoteAddr::new(blade, 64),
+                len: 8,
+            },
+        )
+        .await;
+        let small = h.now() - t0;
+        let t0 = h.now();
+        roundtrip(
+            &qp,
+            OneSidedOp::Read {
+                addr: RemoteAddr::new(blade, 64),
+                len: 65_536,
+            },
+        )
+        .await;
+        let big = h.now() - t0;
+        (small, big)
+    });
+    // 64 KiB at 25 GB/s (link) + 16 GB/s (PCIe) ≈ 2.6 + 4.1 µs extra.
+    let extra = big - small;
+    assert!(extra >= Duration::from_micros(6), "extra {extra:?}");
+    assert!(extra <= Duration::from_micros(9), "extra {extra:?}");
+}
+
+#[test]
+fn persistent_write_adds_nvm_latency() {
+    let sim = Simulation::new(2);
+    let mut cfg = ClusterConfig::new(1, 1);
+    cfg.blade = BladeConfig {
+        nvm_write_latency: Duration::from_micros(5),
+        ..Default::default()
+    };
+    let cluster = Cluster::new(sim.handle(), cfg);
+    cluster.blade(0).alloc(1 << 16, 8);
+    let ctx = cluster.compute(0).open_context(None);
+    ctx.register_memory(1 << 20);
+    let cq = Cq::new();
+    let qp = ctx.create_qp(cluster.blade(0), &cq, DoorbellBinding::DriverDefault, false);
+    let blade = cluster.blade(0).id();
+    let h = sim.handle();
+    let mut sim = sim;
+    let (volatile, persistent) = sim.block_on(async move {
+        let t0 = h.now();
+        roundtrip(
+            &qp,
+            OneSidedOp::Write {
+                addr: RemoteAddr::new(blade, 64),
+                data: vec![1; 8],
+                persistent: false,
+            },
+        )
+        .await;
+        let volatile = h.now() - t0;
+        let t0 = h.now();
+        roundtrip(
+            &qp,
+            OneSidedOp::Write {
+                addr: RemoteAddr::new(blade, 64),
+                data: vec![2; 8],
+                persistent: true,
+            },
+        )
+        .await;
+        (volatile, h.now() - t0)
+    });
+    let extra = persistent - volatile;
+    assert!(
+        (Duration::from_micros(4)..Duration::from_micros(6)).contains(&extra),
+        "NVM extra {extra:?}"
+    );
+}
+
+#[test]
+fn concurrent_cas_to_one_word_have_exactly_one_winner() {
+    let mut rig = rig();
+    let blade = Rc::clone(rig.cluster.blade(0));
+    blade.write_u64(128, 0);
+    let addr = RemoteAddr::new(blade.id(), 128);
+    let qp = Rc::clone(&rig.qp);
+    let winners = rig.sim.block_on(async move {
+        let mut wrs = Vec::new();
+        for i in 0..16u64 {
+            wrs.push(WorkRequest {
+                wr_id: i,
+                op: OneSidedOp::Cas {
+                    addr,
+                    expect: 0,
+                    swap: i + 1,
+                },
+            });
+        }
+        qp.post_send(wrs, 0).await;
+        let mut got = Vec::new();
+        while got.len() < 16 {
+            qp.cq().wait_nonempty().await;
+            got.extend(qp.cq().poll(16));
+        }
+        got.iter().filter(|c| c.atomic_old() == 0).count()
+    });
+    assert_eq!(winners, 1, "CAS must linearize at the blade's atomic unit");
+    assert!((1..=16).contains(&blade.read_u64(128)));
+}
+
+#[test]
+fn dram_traffic_counter_matches_op_mix() {
+    let mut rig = rig();
+    let blade = rig.cluster.blade(0).id();
+    let node = Rc::clone(rig.cluster.compute(0));
+    let qp = Rc::clone(&rig.qp);
+    // Warm the MTT/MPT cache first (cold translation misses add 64 B
+    // each), then measure the steady-state delta.
+    let before = rig.sim.block_on(async move {
+        for i in 0..200u64 {
+            roundtrip(
+                &qp,
+                OneSidedOp::Read {
+                    addr: RemoteAddr::new(blade, 64 + i * 8),
+                    len: 8,
+                },
+            )
+            .await;
+        }
+        let before = qp.context().node().counters();
+        for i in 0..100u64 {
+            roundtrip(
+                &qp,
+                OneSidedOp::Read {
+                    addr: RemoteAddr::new(blade, 64 + i * 8),
+                    len: 8,
+                },
+            )
+            .await;
+        }
+        before
+    });
+    let c = node.counters();
+    assert_eq!(c.ops_completed, 300);
+    // 64 (WQE fetch) + 8 (payload) + 21 (CQE) = 93 B per 8-byte READ.
+    let per_op = c.dram_bytes_per_op_since(&before);
+    assert!((92.0..95.0).contains(&per_op), "{per_op} B/WR");
+    assert_eq!(c.wqe_misses, 0, "sequential ops cannot thrash");
+}
+
+#[test]
+fn blade_ops_counter_and_outstanding_return_to_zero() {
+    let mut rig = rig();
+    let blade_id = rig.cluster.blade(0).id();
+    let qp = Rc::clone(&rig.qp);
+    rig.sim.block_on(async move {
+        let mut wrs = Vec::new();
+        for i in 0..32u64 {
+            wrs.push(WorkRequest {
+                wr_id: i,
+                op: OneSidedOp::Write {
+                    addr: RemoteAddr::new(blade_id, 64 + i * 8),
+                    data: i.to_le_bytes().to_vec(),
+                    persistent: false,
+                },
+            });
+        }
+        qp.post_send(wrs, 0).await;
+        let mut seen = 0;
+        while seen < 32 {
+            qp.cq().wait_nonempty().await;
+            seen += qp.cq().poll(64).len();
+        }
+    });
+    assert_eq!(rig.cluster.blade(0).ops_served(), 32);
+    assert_eq!(rig.cluster.compute(0).counters().outstanding, 0);
+    assert_eq!(rig.qp.outstanding(), 0);
+    for i in 0..32u64 {
+        assert_eq!(rig.cluster.blade(0).read_u64(64 + i * 8), i);
+    }
+}
+
+#[test]
+fn responder_pipeline_caps_a_single_blade() {
+    // One blade serves at most 1/responder_service ops/s regardless of
+    // how many compute nodes hammer it.
+    let sim = Simulation::new(3);
+    let cluster = Cluster::new(sim.handle(), ClusterConfig::new(2, 1));
+    cluster.blade(0).alloc(1 << 20, 8);
+    let mut sim = sim;
+    for node in 0..2 {
+        let ctx = cluster.compute(node).open_context(None);
+        ctx.register_memory(1 << 20);
+        for _ in 0..48 {
+            let cq = Cq::new();
+            let qp = ctx.create_qp(cluster.blade(0), &cq, DoorbellBinding::DriverDefault, false);
+            let h = sim.handle();
+            sim.spawn(async move {
+                loop {
+                    let off = 64 + h.rand_below(1000) * 8;
+                    let addr = RemoteAddr::new(qp.target().id(), off);
+                    let mut wrs = Vec::new();
+                    for i in 0..8 {
+                        wrs.push(WorkRequest {
+                            wr_id: i,
+                            op: OneSidedOp::Read { addr, len: 8 },
+                        });
+                    }
+                    qp.post_send(wrs, Rc::as_ptr(&qp) as u64).await;
+                    let mut seen = 0;
+                    while seen < 8 {
+                        qp.cq().wait_nonempty().await;
+                        seen += qp.cq().poll(8).len();
+                    }
+                }
+            });
+        }
+    }
+    sim.run_for(Duration::from_millis(2));
+    let before = cluster.blade(0).ops_served();
+    sim.run_for(Duration::from_millis(3));
+    let rate = (cluster.blade(0).ops_served() - before) as f64 / 3e-3 / 1e6;
+    // responder_service = 8 ns ⇒ 125 MOPS blade-side cap.
+    assert!(rate <= 126.0, "one blade served {rate} MOPS");
+    assert!(rate >= 90.0, "blade underutilized at {rate} MOPS");
+}

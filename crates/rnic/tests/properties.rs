@@ -1,0 +1,172 @@
+//! Property-based tests for the RNIC model's data structures and memory
+//! semantics.
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use smart_rnic::lru::LruCache;
+use smart_rnic::{BladeConfig, BladeId, FabricConfig, MemoryBlade, RnicConfig};
+use smart_rt::Simulation;
+
+fn blade(bytes: u64) -> (Simulation, std::rc::Rc<MemoryBlade>) {
+    let sim = Simulation::new(0);
+    let b = MemoryBlade::new(
+        sim.handle(),
+        BladeId(0),
+        &BladeConfig {
+            region_bytes: bytes,
+            ..Default::default()
+        },
+        &RnicConfig::default(),
+        &FabricConfig::default(),
+    );
+    (sim, b)
+}
+
+/// A trivially correct reference LRU.
+struct ModelLru {
+    cap: usize,
+    order: VecDeque<u64>, // front = LRU, back = MRU
+}
+
+impl ModelLru {
+    fn touch(&mut self, k: u64) -> bool {
+        if let Some(pos) = self.order.iter().position(|&x| x == k) {
+            self.order.remove(pos);
+            self.order.push_back(k);
+            true
+        } else {
+            false
+        }
+    }
+    fn insert(&mut self, k: u64) {
+        if self.touch(k) {
+            return;
+        }
+        if self.order.len() == self.cap {
+            self.order.pop_front();
+        }
+        self.order.push_back(k);
+    }
+    fn remove(&mut self, k: u64) -> bool {
+        match self.order.iter().position(|&x| x == k) {
+            Some(pos) => {
+                self.order.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+proptest! {
+    /// The O(1) LRU behaves exactly like the naive reference model under
+    /// arbitrary operation sequences.
+    #[test]
+    fn lru_matches_reference_model(
+        cap in 1usize..16,
+        ops in prop::collection::vec((0u8..3, 0u64..32), 1..200),
+    ) {
+        let mut lru = LruCache::new(cap);
+        let mut model = ModelLru { cap, order: VecDeque::new() };
+        for (op, key) in ops {
+            match op {
+                0 => {
+                    lru.insert(key);
+                    model.insert(key);
+                }
+                1 => prop_assert_eq!(lru.touch(&key), model.touch(key)),
+                _ => prop_assert_eq!(lru.remove(&key), model.remove(key)),
+            }
+            prop_assert_eq!(lru.len(), model.order.len());
+            prop_assert!(lru.len() <= cap);
+        }
+        // Final membership agrees.
+        let members: HashSet<u64> = model.order.iter().copied().collect();
+        for k in 0u64..32 {
+            prop_assert_eq!(lru.touch(&k), members.contains(&k), "key {}", k);
+        }
+    }
+
+    /// Blade memory: arbitrary writes then reads round-trip, and writes
+    /// to disjoint ranges never interfere.
+    #[test]
+    fn blade_memory_roundtrip(
+        writes in prop::collection::vec(
+            (0u64..64, prop::collection::vec(any::<u8>(), 1..32)),
+            1..20,
+        ),
+    ) {
+        let (_sim, b) = blade(1 << 16);
+        // Non-overlapping 32-byte slots indexed by the first tuple field.
+        let mut model: Vec<Option<Vec<u8>>> = vec![None; 64];
+        for (slot, data) in writes {
+            let off = 64 + slot * 32;
+            b.write_bytes(off, &data);
+            let mut padded = data.clone();
+            padded.resize(32, 0);
+            // Overwrite keeps the tail of the previous write beyond len.
+            let prev = model[slot as usize].take().unwrap_or_else(|| vec![0; 32]);
+            let mut merged = prev;
+            merged[..data.len()].copy_from_slice(&data);
+            model[slot as usize] = Some(merged);
+        }
+        for (slot, expect) in model.iter().enumerate() {
+            if let Some(expect) = expect {
+                let got = b.read_bytes(64 + slot as u64 * 32, 32);
+                prop_assert_eq!(&got, expect, "slot {}", slot);
+            }
+        }
+    }
+
+    /// CAS follows compare-and-swap semantics against a model cell.
+    #[test]
+    fn blade_cas_matches_model(ops in prop::collection::vec((any::<u64>(), any::<u64>()), 1..50)) {
+        let (_sim, b) = blade(4096);
+        let off = b.alloc(8, 8);
+        let mut model = 0u64;
+        b.write_u64(off, model);
+        for (expect, swap) in ops {
+            let old = b.cas_u64(off, expect, swap);
+            prop_assert_eq!(old, model);
+            if model == expect {
+                model = swap;
+            }
+            prop_assert_eq!(b.read_u64(off), model);
+        }
+    }
+
+    /// FAA is a wrapping fetch-add.
+    #[test]
+    fn blade_faa_matches_model(adds in prop::collection::vec(any::<u64>(), 1..50)) {
+        let (_sim, b) = blade(4096);
+        let off = b.alloc(8, 8);
+        let mut model = 0u64;
+        for add in adds {
+            let old = b.faa_u64(off, add);
+            prop_assert_eq!(old, model);
+            model = model.wrapping_add(add);
+        }
+        prop_assert_eq!(b.read_u64(off), model);
+    }
+
+    /// The bump allocator returns non-overlapping, properly aligned
+    /// ranges.
+    #[test]
+    fn blade_alloc_disjoint_and_aligned(
+        reqs in prop::collection::vec((1u64..512, 0u32..4), 1..40),
+    ) {
+        let (_sim, b) = blade(1 << 20);
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for (len, align_pow) in reqs {
+            let align = 8u64 << align_pow;
+            let off = b.alloc(len, align);
+            prop_assert_eq!(off % align, 0);
+            for &(o, l) in &ranges {
+                prop_assert!(off >= o + l || off + len <= o, "overlap");
+            }
+            ranges.push((off, len));
+        }
+    }
+}

@@ -1,0 +1,586 @@
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::join::{JoinHandle, JoinState};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+type TaskId = usize;
+
+struct Task {
+    future: Pin<Box<dyn Future<Output = ()>>>,
+    waker: Waker,
+    scheduled: Arc<AtomicBool>,
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<Mutex<VecDeque<TaskId>>>,
+    scheduled: Arc<AtomicBool>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        if !self.scheduled.swap(true, Ordering::Relaxed) {
+            self.ready.lock().push_back(self.id);
+        }
+    }
+}
+
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+pub(crate) struct Inner {
+    now: Cell<SimTime>,
+    seq: Cell<u64>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    ready: Arc<Mutex<VecDeque<TaskId>>>,
+    tasks: RefCell<Vec<Option<Task>>>,
+    free: RefCell<Vec<TaskId>>,
+    rng: RefCell<SimRng>,
+}
+
+/// A cheaply clonable handle onto a running [`Simulation`].
+///
+/// Handles are how code *inside* tasks reaches the executor: reading the
+/// virtual clock, sleeping, spawning sub-tasks and drawing random numbers.
+/// All handles refer to the same underlying simulation.
+///
+/// ```rust
+/// use smart_rt::{Duration, Simulation};
+///
+/// let mut sim = Simulation::new(7);
+/// let h = sim.handle();
+/// sim.block_on(async move {
+///     let h2 = h.clone();
+///     let child = h.spawn(async move {
+///         h2.sleep(Duration::from_nanos(100)).await;
+///         5u32
+///     });
+///     assert_eq!(child.await, 5);
+/// });
+/// ```
+#[derive(Clone)]
+pub struct SimHandle {
+    inner: Rc<Inner>,
+}
+
+impl std::fmt::Debug for SimHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimHandle")
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+impl SimHandle {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Spawns a task onto the simulation and returns a [`JoinHandle`] that
+    /// resolves to its output.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let state = Rc::new(RefCell::new(JoinState::default()));
+        let state2 = Rc::clone(&state);
+        let wrapped = async move {
+            let out = future.await;
+            JoinState::finish(&state2, out);
+        };
+        self.spawn_raw(Box::pin(wrapped));
+        JoinHandle::new(state)
+    }
+
+    fn spawn_raw(&self, future: Pin<Box<dyn Future<Output = ()>>>) {
+        let mut tasks = self.inner.tasks.borrow_mut();
+        let id = match self.inner.free.borrow_mut().pop() {
+            Some(id) => id,
+            None => {
+                tasks.push(None);
+                tasks.len() - 1
+            }
+        };
+        let scheduled = Arc::new(AtomicBool::new(true));
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.inner.ready),
+            scheduled: Arc::clone(&scheduled),
+        }));
+        tasks[id] = Some(Task {
+            future,
+            waker,
+            scheduled,
+        });
+        self.inner.ready.lock().push_back(id);
+    }
+
+    /// Registers `waker` to be woken at virtual time `at`.
+    ///
+    /// This is the low-level primitive beneath [`sleep`](Self::sleep); the
+    /// queueing primitives in [`crate::sync`] use it directly.
+    pub fn wake_at(&self, at: SimTime, waker: Waker) {
+        let seq = self.inner.seq.get();
+        self.inner.seq.set(seq + 1);
+        self.inner
+            .timers
+            .borrow_mut()
+            .push(Reverse(TimerEntry { at, seq, waker }));
+    }
+
+    /// Returns a future that completes once virtual time reaches
+    /// `self.now() + duration`.
+    pub fn sleep(&self, duration: Duration) -> Sleep {
+        self.sleep_until(self.now() + duration)
+    }
+
+    /// Returns a future that completes once virtual time reaches `deadline`.
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            handle: self.clone(),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Draws from the simulation's deterministic PRNG.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut SimRng) -> R) -> R {
+        f(&mut self.inner.rng.borrow_mut())
+    }
+
+    /// Uniform random `u64` in `[0, bound)` from the simulation PRNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn rand_below(&self, bound: u64) -> u64 {
+        assert!(bound > 0, "rand_below bound must be positive");
+        self.with_rng(|r| r.next_u64_below(bound))
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`] and [`SimHandle::sleep_until`].
+#[derive(Debug)]
+pub struct Sleep {
+    handle: SimHandle,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.handle.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let deadline = self.deadline;
+            self.handle.wake_at(deadline, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+/// A deterministic discrete-event simulation: the executor, the virtual
+/// clock and the task set.
+///
+/// `Simulation` owns everything; [`SimHandle`]s (from [`Self::handle`]) are
+/// used inside tasks. Dropping the `Simulation` drops all tasks, breaking
+/// any `Rc` cycles between tasks and the executor.
+///
+/// ```rust
+/// use smart_rt::{Duration, Simulation};
+///
+/// let mut sim = Simulation::new(1);
+/// let h = sim.handle();
+/// let t = sim.block_on(async move {
+///     h.sleep(Duration::from_micros(5)).await;
+///     h.now()
+/// });
+/// assert_eq!(t.as_nanos(), 5_000);
+/// ```
+pub struct Simulation {
+    handle: SimHandle,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.handle.now())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation whose PRNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            handle: SimHandle {
+                inner: Rc::new(Inner {
+                    now: Cell::new(SimTime::ZERO),
+                    seq: Cell::new(0),
+                    timers: RefCell::new(BinaryHeap::new()),
+                    ready: Arc::new(Mutex::new(VecDeque::new())),
+                    tasks: RefCell::new(Vec::new()),
+                    free: RefCell::new(Vec::new()),
+                    rng: RefCell::new(SimRng::new(seed)),
+                }),
+            },
+        }
+    }
+
+    /// Returns a handle usable inside tasks.
+    pub fn handle(&self) -> SimHandle {
+        self.handle.clone()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.handle.now()
+    }
+
+    /// Spawns a task; see [`SimHandle::spawn`].
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        self.handle.spawn(future)
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        let task = self.handle.inner.tasks.borrow_mut()[id].take();
+        let Some(mut task) = task else { return };
+        task.scheduled.store(false, Ordering::Relaxed);
+        let waker = task.waker.clone();
+        let mut cx = Context::from_waker(&waker);
+        match task.future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.handle.inner.free.borrow_mut().push(id);
+            }
+            Poll::Pending => {
+                self.handle.inner.tasks.borrow_mut()[id] = Some(task);
+            }
+        }
+    }
+
+    /// Runs one scheduling step. Returns `false` if no work remains.
+    fn step(&mut self, limit: Option<SimTime>) -> bool {
+        let id = self.handle.inner.ready.lock().pop_front();
+        if let Some(id) = id {
+            self.poll_task(id);
+            return true;
+        }
+        let fired = {
+            let mut timers = self.handle.inner.timers.borrow_mut();
+            match timers.peek() {
+                Some(Reverse(entry)) => {
+                    if limit.is_some_and(|l| entry.at > l) {
+                        None
+                    } else {
+                        let Reverse(entry) = timers.pop().expect("peeked");
+                        Some(entry)
+                    }
+                }
+                None => None,
+            }
+        };
+        match fired {
+            Some(entry) => {
+                debug_assert!(entry.at >= self.handle.now());
+                self.handle.inner.now.set(entry.at);
+                entry.waker.wake();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until no ready tasks and no timers remain.
+    pub fn run(&mut self) {
+        while self.step(None) {}
+    }
+
+    /// Runs until virtual time `deadline`: every event at or before the
+    /// deadline is processed, then the clock is set to the deadline.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.step(Some(deadline)) {}
+        if self.handle.now() < deadline {
+            self.handle.inner.now.set(deadline);
+        }
+    }
+
+    /// Runs for `duration` of virtual time; see [`Self::run_until`].
+    pub fn run_for(&mut self, duration: Duration) {
+        let deadline = self.handle.now() + duration;
+        self.run_until(deadline);
+    }
+
+    /// Spawns `future` and runs the simulation until it completes,
+    /// returning its output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation runs out of events before the future
+    /// completes (a deadlock in the simulated system).
+    pub fn block_on<F>(&mut self, future: F) -> F::Output
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let join = self.spawn(future);
+        while !join.is_finished() {
+            if !self.step(None) {
+                panic!("simulation deadlock: no events left but block_on future is pending");
+            }
+        }
+        join.try_take().expect("join state finished")
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // Break Rc cycles: tasks hold SimHandles which hold Inner which
+        // holds the tasks.
+        self.handle.inner.tasks.borrow_mut().clear();
+        self.handle.inner.timers.borrow_mut().clear();
+        self.handle.inner.ready.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Simulation::new(0);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let t = sim.block_on(async move {
+            h.sleep(Duration::from_nanos(123)).await;
+            h.now()
+        });
+        assert_eq!(t.as_nanos(), 123);
+    }
+
+    #[test]
+    fn sequential_sleeps_accumulate() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let t = sim.block_on(async move {
+            for _ in 0..10 {
+                h.sleep(Duration::from_nanos(10)).await;
+            }
+            h.now()
+        });
+        assert_eq!(t.as_nanos(), 100);
+    }
+
+    #[test]
+    fn concurrent_tasks_interleave_by_time() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, delay) in [(0u32, 30u64), (1, 10), (2, 20)] {
+            let h2 = h.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                h2.sleep(Duration::from_nanos(delay)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![1, 2, 0]);
+        assert_eq!(sim.now().as_nanos(), 30);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let v = sim.block_on(async move {
+            let h2 = h.clone();
+            let a = h.spawn(async move {
+                h2.sleep(Duration::from_nanos(5)).await;
+                21u64
+            });
+            a.await * 2
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let hits = Rc::new(Cell::new(0u32));
+        let hits2 = Rc::clone(&hits);
+        sim.spawn(async move {
+            loop {
+                h.sleep(Duration::from_nanos(100)).await;
+                hits2.set(hits2.get() + 1);
+            }
+        });
+        sim.run_until(SimTime::from_nanos(550));
+        assert_eq!(hits.get(), 5);
+        assert_eq!(sim.now().as_nanos(), 550);
+        sim.run_for(Duration::from_nanos(50));
+        assert_eq!(hits.get(), 6);
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        let mut sim = Simulation::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = Rc::clone(&log);
+        let l2 = Rc::clone(&log);
+        sim.spawn(async move {
+            l1.borrow_mut().push("a1");
+            crate::yield_now().await;
+            l1.borrow_mut().push("a2");
+        });
+        sim.spawn(async move {
+            l2.borrow_mut().push("b1");
+            crate::yield_now().await;
+            l2.borrow_mut().push("b2");
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn same_deadline_fires_in_registration_order() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4 {
+            let h2 = h.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                h2.sleep(Duration::from_nanos(7)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn block_on_detects_deadlock() {
+        let mut sim = Simulation::new(0);
+        sim.block_on(async {
+            std::future::pending::<()>().await;
+        });
+    }
+
+    #[test]
+    fn determinism_same_seed_same_schedule() {
+        fn run_once(seed: u64) -> Vec<u64> {
+            let mut sim = Simulation::new(seed);
+            let h = sim.handle();
+            let out = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..8 {
+                let h2 = h.clone();
+                let out = Rc::clone(&out);
+                sim.spawn(async move {
+                    let d = h2.rand_below(1000);
+                    h2.sleep(Duration::from_nanos(d)).await;
+                    out.borrow_mut().push(h2.now().as_nanos());
+                });
+            }
+            sim.run();
+            let v = out.borrow().clone();
+            v
+        }
+        assert_eq!(run_once(99), run_once(99));
+        assert_ne!(run_once(99), run_once(100));
+    }
+
+    #[test]
+    fn dropping_simulation_releases_tasks() {
+        let dropped = Rc::new(Cell::new(false));
+        struct SetOnDrop(Rc<Cell<bool>>);
+        impl Drop for SetOnDrop {
+            fn drop(&mut self) {
+                self.0.set(true);
+            }
+        }
+        {
+            let sim = Simulation::new(0);
+            let h = sim.handle();
+            let guard = SetOnDrop(Rc::clone(&dropped));
+            sim.spawn(async move {
+                let _guard = guard;
+                h.sleep(Duration::from_secs(1_000_000)).await;
+            });
+            // not run to completion
+        }
+        assert!(dropped.get(), "task future must be dropped with the sim");
+    }
+
+    #[test]
+    fn many_tasks_reuse_slots() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        for round in 0..100 {
+            let h2 = h.clone();
+            let j = sim.spawn(async move {
+                h2.sleep(Duration::from_nanos(1)).await;
+                round
+            });
+            sim.run();
+            assert_eq!(j.try_take(), Some(round));
+        }
+        // All 100 tasks ran sequentially; the slab should stay tiny.
+        assert!(sim.handle.inner.tasks.borrow().len() <= 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Lightweight counters shared between tasks.
+//!
+//! All experiment metrics (completed ops, retries, PCIe bytes, cache
+//! hits/misses) are plain shared counters read at the end of a measurement
+//! window. They are `Rc`-based: the simulation is single-threaded.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A shared monotonically increasing counter.
+///
+/// ```rust
+/// use smart_rt::metrics::Counter;
+///
+/// let c = Counter::new();
+/// let c2 = c.clone();
+/// c2.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.set(self.value.get() + n);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.get()
+    }
+
+    /// Resets to zero and returns the previous value.
+    pub fn take(&self) -> u64 {
+        self.value.replace(0)
+    }
+}
+
+/// A pair of counters expressing a hit ratio (cache statistics).
+#[derive(Clone, Debug, Default)]
+pub struct HitStats {
+    /// Number of hits.
+    pub hits: Counter,
+    /// Number of misses.
+    pub misses: Counter,
+}
+
+impl HitStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.hits.get() + self.misses.get()
+    }
+
+    /// Hit ratio in `[0, 1]`; `1.0` when there were no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            self.hits.get() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shares_state_across_clones() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.add(2);
+        b.incr();
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.take(), 3);
+        assert_eq!(a.get(), 0);
+    }
+
+    #[test]
+    fn hit_ratio_edge_cases() {
+        let s = HitStats::new();
+        assert_eq!(s.hit_ratio(), 1.0);
+        s.hits.add(3);
+        s.misses.add(1);
+        assert_eq!(s.total(), 4);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,926 @@
+//! Async coordination and queueing primitives for the simulation.
+//!
+//! Two of these are *performance models*, not just synchronization:
+//!
+//! * [`FifoResource`] — a first-come-first-served server with a per-request
+//!   service time. It models pipelines and buses (the RNIC processing units,
+//!   PCIe and network bandwidth): requests queue up and each occupies the
+//!   server for its service time.
+//! * [`ContendedLock`] — a spinlock model in which each acquisition costs
+//!   its base hold time **plus a handoff penalty proportional to the number
+//!   of waiters** (cache-line bouncing between spinning cores). This is what
+//!   makes the doorbell-register spinlock from SMART §3.1 degrade under
+//!   sharing the way the paper measured (74 % of CPU time in
+//!   `pthread_spin_lock` at 96 threads).
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+use crate::executor::{SimHandle, Sleep};
+use crate::time::SimTime;
+
+// ---------------------------------------------------------------------------
+// Notify
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct NotifyInner {
+    permit: Cell<bool>,
+    waiters: RefCell<VecDeque<Waker>>,
+}
+
+/// Wakes one or all waiting tasks; a `notify_one` with no waiter stores a
+/// single permit (like `tokio::sync::Notify`).
+///
+/// ```rust
+/// use std::rc::Rc;
+/// use smart_rt::{Simulation, sync::Notify};
+///
+/// let mut sim = Simulation::new(0);
+/// let n = Rc::new(Notify::new());
+/// let n2 = Rc::clone(&n);
+/// let h = sim.handle();
+/// sim.spawn(async move {
+///     h.sleep(smart_rt::Duration::from_nanos(10)).await;
+///     n2.notify_one();
+/// });
+/// sim.block_on(async move { n.notified().await });
+/// ```
+#[derive(Clone, Default)]
+pub struct Notify {
+    inner: Rc<NotifyInner>,
+}
+
+impl std::fmt::Debug for Notify {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Notify")
+            .field("waiters", &self.inner.waiters.borrow().len())
+            .finish()
+    }
+}
+
+impl Notify {
+    /// Creates a `Notify` with no stored permit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wakes the oldest waiter, or stores a permit if nobody waits.
+    pub fn notify_one(&self) {
+        let waker = self.inner.waiters.borrow_mut().pop_front();
+        match waker {
+            Some(w) => w.wake(),
+            None => self.inner.permit.set(true),
+        }
+    }
+
+    /// Wakes every current waiter (stores no permit).
+    pub fn notify_all(&self) {
+        let waiters: Vec<Waker> = self.inner.waiters.borrow_mut().drain(..).collect();
+        for w in waiters {
+            w.wake();
+        }
+    }
+
+    /// Waits for a notification (or consumes a stored permit immediately).
+    pub fn notified(&self) -> Notified {
+        Notified {
+            notify: self.clone(),
+            registered: false,
+        }
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+#[derive(Debug)]
+pub struct Notified {
+    notify: Notify,
+    registered: bool,
+}
+
+impl Future for Notified {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.notify.inner.permit.replace(false) {
+            return Poll::Ready(());
+        }
+        if self.registered {
+            // We were woken by notify_one/notify_all (our waker was removed
+            // from the queue), or this is a spurious poll. Distinguish by
+            // re-registering: a real wakeup means our waker is gone.
+            // Simplicity: treat any wake after registration as the signal.
+            return Poll::Ready(());
+        }
+        self.notify
+            .inner
+            .waiters
+            .borrow_mut()
+            .push_back(cx.waker().clone());
+        self.registered = true;
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+struct SemWaiter {
+    need: u64,
+    waker: Waker,
+    state: Rc<Cell<WaitState>>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WaitState {
+    Waiting,
+    Granted,
+    Cancelled,
+}
+
+#[derive(Default)]
+struct SemInner {
+    permits: Cell<i64>,
+    waiters: RefCell<VecDeque<SemWaiter>>,
+}
+
+impl SemInner {
+    fn grant_ready(&self) {
+        let mut waiters = self.waiters.borrow_mut();
+        while let Some(front) = waiters.front() {
+            if front.state.get() == WaitState::Cancelled {
+                waiters.pop_front();
+                continue;
+            }
+            if self.permits.get() >= front.need as i64 {
+                let w = waiters.pop_front().expect("front exists");
+                self.permits.set(self.permits.get() - w.need as i64);
+                w.state.set(WaitState::Granted);
+                w.waker.wake();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// A FIFO counting semaphore whose permit count may go negative via
+/// [`Semaphore::adjust`] — exactly what SMART's `UPDATECMAX` needs
+/// (Algorithm 1 line 15 may subtract more credits than are available).
+///
+/// ```rust
+/// use smart_rt::{Simulation, sync::Semaphore};
+///
+/// let mut sim = Simulation::new(0);
+/// let sem = Semaphore::new(2);
+/// let s2 = sem.clone();
+/// sim.block_on(async move {
+///     s2.acquire(2).await;
+///     assert_eq!(s2.available(), 0);
+///     s2.release(2);
+///     assert_eq!(s2.available(), 2);
+/// });
+/// ```
+#[derive(Clone, Default)]
+pub struct Semaphore {
+    inner: Rc<SemInner>,
+}
+
+impl std::fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Semaphore")
+            .field("permits", &self.inner.permits.get())
+            .field("waiters", &self.inner.waiters.borrow().len())
+            .finish()
+    }
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initial permits.
+    pub fn new(permits: i64) -> Self {
+        let s = Semaphore::default();
+        s.inner.permits.set(permits);
+        s
+    }
+
+    /// The current permit balance (may be negative after [`Self::adjust`]).
+    pub fn available(&self) -> i64 {
+        self.inner.permits.get()
+    }
+
+    /// Number of tasks currently blocked in [`Self::acquire`].
+    pub fn waiters(&self) -> usize {
+        self.inner
+            .waiters
+            .borrow()
+            .iter()
+            .filter(|w| w.state.get() == WaitState::Waiting)
+            .count()
+    }
+
+    /// Acquires `n` permits, waiting FIFO until the balance allows it.
+    pub fn acquire(&self, n: u64) -> Acquire {
+        Acquire {
+            sem: self.clone(),
+            need: n,
+            state: Rc::new(Cell::new(WaitState::Waiting)),
+            registered: false,
+        }
+    }
+
+    /// Acquires `n` permits without waiting; `false` if unavailable or if
+    /// earlier waiters are queued (FIFO is never bypassed).
+    pub fn try_acquire(&self, n: u64) -> bool {
+        if self.waiters() > 0 || self.inner.permits.get() < n as i64 {
+            return false;
+        }
+        self.inner.permits.set(self.inner.permits.get() - n as i64);
+        true
+    }
+
+    /// Takes up to `n` permits without waiting; returns how many were
+    /// taken. Skips the FIFO only when no waiter is queued — callers that
+    /// exclusively use `acquire(1)` + `take_up_to` never starve anyone
+    /// (a positive balance then implies an empty queue).
+    pub fn take_up_to(&self, n: u64) -> u64 {
+        if self.waiters() > 0 {
+            return 0;
+        }
+        let avail = self.inner.permits.get().max(0).min(n as i64);
+        self.inner.permits.set(self.inner.permits.get() - avail);
+        avail as u64
+    }
+
+    /// Returns `n` permits and grants queued waiters in FIFO order.
+    pub fn release(&self, n: u64) {
+        self.inner.permits.set(self.inner.permits.get() + n as i64);
+        self.inner.grant_ready();
+    }
+
+    /// Adds `delta` (possibly negative) to the permit balance.
+    ///
+    /// Used by SMART's `UPDATECMAX`: shrinking `C_max` may legitimately push
+    /// the balance negative; posting then stalls until enough completions
+    /// replenish credits.
+    pub fn adjust(&self, delta: i64) {
+        self.inner.permits.set(self.inner.permits.get() + delta);
+        if delta > 0 {
+            self.inner.grant_ready();
+        }
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+#[derive(Debug)]
+pub struct Acquire {
+    sem: Semaphore,
+    need: u64,
+    state: Rc<Cell<WaitState>>,
+    registered: bool,
+}
+
+impl Future for Acquire {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        match self.state.get() {
+            WaitState::Granted => return Poll::Ready(()),
+            WaitState::Cancelled => unreachable!("cancelled acquire polled"),
+            WaitState::Waiting => {}
+        }
+        if !self.registered {
+            // Fast path only when nobody is ahead of us (FIFO).
+            if self.sem.inner.waiters.borrow().is_empty()
+                && self.sem.inner.permits.get() >= self.need as i64
+            {
+                self.sem
+                    .inner
+                    .permits
+                    .set(self.sem.inner.permits.get() - self.need as i64);
+                self.state.set(WaitState::Granted);
+                return Poll::Ready(());
+            }
+            let waiter = SemWaiter {
+                need: self.need,
+                waker: cx.waker().clone(),
+                state: Rc::clone(&self.state),
+            };
+            self.sem.inner.waiters.borrow_mut().push_back(waiter);
+            self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for Acquire {
+    fn drop(&mut self) {
+        if self.registered && self.state.get() == WaitState::Waiting {
+            self.state.set(WaitState::Cancelled);
+        }
+        // A granted-but-dropped acquire keeps its permits: the caller is
+        // responsible for releasing them (credits are replenished by
+        // completion polling in SMART).
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FifoResource
+// ---------------------------------------------------------------------------
+
+struct FifoInner {
+    handle: SimHandle,
+    busy_until: Cell<SimTime>,
+    busy_ns: Cell<u64>,
+    served: Cell<u64>,
+}
+
+/// A first-come-first-served server: each request occupies the server for
+/// its service time; concurrent requests queue.
+///
+/// This models the RNIC processing pipeline, PCIe lanes and network links.
+/// The implementation is O(1): the server keeps a `busy_until` horizon and
+/// each request sleeps until its own completion instant.
+///
+/// ```rust
+/// use smart_rt::{Duration, Simulation, sync::FifoResource};
+///
+/// let mut sim = Simulation::new(0);
+/// let h = sim.handle();
+/// let server = FifoResource::new(h.clone());
+/// let s1 = server.clone();
+/// let s2 = server.clone();
+/// sim.spawn(async move { s1.use_for(Duration::from_nanos(10)).await; });
+/// let done = sim.block_on(async move {
+///     s2.use_for(Duration::from_nanos(10)).await;
+///     h.now().as_nanos()
+/// });
+/// assert_eq!(done, 20); // queued behind the first request
+/// ```
+#[derive(Clone)]
+pub struct FifoResource {
+    inner: Rc<FifoInner>,
+}
+
+impl std::fmt::Debug for FifoResource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FifoResource")
+            .field("busy_until", &self.inner.busy_until.get())
+            .field("served", &self.inner.served.get())
+            .finish()
+    }
+}
+
+impl FifoResource {
+    /// Creates an idle server on the given simulation.
+    pub fn new(handle: SimHandle) -> Self {
+        FifoResource {
+            inner: Rc::new(FifoInner {
+                handle,
+                busy_until: Cell::new(SimTime::ZERO),
+                busy_ns: Cell::new(0),
+                served: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Enqueues a request with the given service time and returns a future
+    /// that completes when the server has finished it.
+    ///
+    /// The queue position is taken at *call* time (not first poll), so call
+    /// sites should await the returned future promptly.
+    pub fn use_for(&self, service: Duration) -> Sleep {
+        let now = self.inner.handle.now();
+        let start = self.inner.busy_until.get().max(now);
+        let done = start + service;
+        self.inner.busy_until.set(done);
+        self.inner
+            .busy_ns
+            .set(self.inner.busy_ns.get() + service.as_nanos() as u64);
+        self.inner.served.set(self.inner.served.get() + 1);
+        self.inner.handle.sleep_until(done)
+    }
+
+    /// Extends the server's busy horizon by `d` without sleeping.
+    ///
+    /// Used to model a task that occupies the resource while blocked
+    /// elsewhere — e.g. a thread spinning on a doorbell lock keeps its CPU
+    /// busy, so sibling coroutines must queue behind the spin.
+    pub fn block_for(&self, d: Duration) {
+        let now = self.inner.handle.now();
+        let start = self.inner.busy_until.get().max(now);
+        self.inner.busy_until.set(start + d);
+        self.inner
+            .busy_ns
+            .set(self.inner.busy_ns.get() + d.as_nanos() as u64);
+    }
+
+    /// Current backlog: how far `busy_until` lies beyond `now`.
+    pub fn backlog(&self) -> Duration {
+        self.inner
+            .busy_until
+            .get()
+            .saturating_since(self.inner.handle.now())
+    }
+
+    /// Total service time ever enqueued (for utilization accounting).
+    pub fn busy_time(&self) -> Duration {
+        Duration::from_nanos(self.inner.busy_ns.get())
+    }
+
+    /// Number of requests served (or queued) so far.
+    pub fn served(&self) -> u64 {
+        self.inner.served.get()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ContendedLock
+// ---------------------------------------------------------------------------
+
+struct LockInner {
+    handle: SimHandle,
+    busy_until: Cell<SimTime>,
+    queued: Cell<u32>,
+    queued_by_tag: RefCell<HashMap<u64, u32>>,
+    fresh_tag: Cell<u64>,
+    handoff: Duration,
+    max_penalty_waiters: u32,
+    acquisitions: Cell<u64>,
+    hold_ns: Cell<u64>,
+    contention_ns: Cell<u64>,
+}
+
+/// A spinlock *model*: acquiring costs the base hold time plus a handoff
+/// penalty that grows with the number of tasks already queued on the lock.
+///
+/// Real spinlocks degrade under contention because every spinning core
+/// hammers the lock's cache line; the handoff after a release costs roughly
+/// one cache-line transfer per spinner. SMART §3.1 measured up to 74 % of
+/// execution time inside `pthread_spin_lock` when 8 threads shared one
+/// doorbell register. `ContendedLock` captures that with
+/// `cost = hold + handoff × min(waiters, cap)`.
+///
+/// ```rust
+/// use smart_rt::{Duration, Simulation, sync::ContendedLock};
+///
+/// let mut sim = Simulation::new(0);
+/// let h = sim.handle();
+/// let lock = ContendedLock::new(h.clone(), Duration::from_nanos(50), 64);
+/// let l2 = lock.clone();
+/// let t = sim.block_on(async move {
+///     l2.exec(Duration::from_nanos(100)).await; // uncontended: just 100ns
+///     h.now().as_nanos()
+/// });
+/// assert_eq!(t, 100);
+/// ```
+#[derive(Clone)]
+pub struct ContendedLock {
+    inner: Rc<LockInner>,
+}
+
+impl std::fmt::Debug for ContendedLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContendedLock")
+            .field("queued", &self.inner.queued.get())
+            .field("acquisitions", &self.inner.acquisitions.get())
+            .finish()
+    }
+}
+
+impl ContendedLock {
+    /// Creates a lock with the given per-waiter handoff penalty; the penalty
+    /// saturates at `max_penalty_waiters` waiters.
+    pub fn new(handle: SimHandle, handoff: Duration, max_penalty_waiters: u32) -> Self {
+        ContendedLock {
+            inner: Rc::new(LockInner {
+                handle,
+                busy_until: Cell::new(SimTime::ZERO),
+                queued: Cell::new(0),
+                queued_by_tag: RefCell::new(HashMap::new()),
+                fresh_tag: Cell::new(u64::MAX),
+                handoff,
+                max_penalty_waiters,
+                acquisitions: Cell::new(0),
+                hold_ns: Cell::new(0),
+                contention_ns: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Acquires the lock, holds it for `hold`, releases it; the returned
+    /// future completes at release time. Queueing and handoff penalties
+    /// are added automatically; every call counts as a distinct owner
+    /// (see [`Self::exec_tagged`]).
+    pub async fn exec(&self, hold: Duration) {
+        let tag = self.inner.fresh_tag.get();
+        self.inner.fresh_tag.set(tag - 1);
+        self.exec_tagged(hold, tag).await;
+    }
+
+    /// Like [`Self::exec`], but waiters sharing the caller's `tag` do not
+    /// contribute to the handoff penalty.
+    ///
+    /// The penalty models cache-line bouncing between *spinning cores*; a
+    /// thread's own coroutines post sequentially and never truly spin
+    /// against each other, so callers tag acquisitions with their thread
+    /// identity and only cross-thread waiters inflate the cost. Queueing
+    /// (FIFO serialization of the hold times) applies regardless of tag.
+    pub async fn exec_tagged(&self, hold: Duration, tag: u64) {
+        let inner = &self.inner;
+        let waiters = inner.queued.get();
+        let same_tag = inner.queued_by_tag.borrow().get(&tag).copied().unwrap_or(0);
+        inner.queued.set(waiters + 1);
+        *inner.queued_by_tag.borrow_mut().entry(tag).or_insert(0) += 1;
+        let other_waiters = waiters - same_tag;
+        let penalty = inner
+            .handoff
+            .saturating_mul(other_waiters.min(inner.max_penalty_waiters));
+        let now = inner.handle.now();
+        let start = inner.busy_until.get().max(now);
+        let done = start + hold + penalty;
+        inner.busy_until.set(done);
+        inner.acquisitions.set(inner.acquisitions.get() + 1);
+        inner
+            .hold_ns
+            .set(inner.hold_ns.get() + hold.as_nanos() as u64);
+        let contention = (done - now).as_nanos() as u64 - hold.as_nanos() as u64;
+        inner
+            .contention_ns
+            .set(inner.contention_ns.get() + contention);
+        let sleep = inner.handle.sleep_until(done);
+        sleep.await;
+        inner.queued.set(inner.queued.get() - 1);
+        let mut tags = inner.queued_by_tag.borrow_mut();
+        let c = tags.get_mut(&tag).expect("tag registered");
+        *c -= 1;
+        if *c == 0 {
+            tags.remove(&tag);
+        }
+    }
+
+    /// Number of tasks currently queued on (or holding) the lock.
+    pub fn queued(&self) -> u32 {
+        self.inner.queued.get()
+    }
+
+    /// Total acquisitions so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.inner.acquisitions.get()
+    }
+
+    /// Total useful hold time.
+    pub fn hold_time(&self) -> Duration {
+        Duration::from_nanos(self.inner.hold_ns.get())
+    }
+
+    /// Total time lost to queueing + handoff penalties — the "spinlock
+    /// overhead" that SMART's profiling attributes to doorbell sharing.
+    pub fn contention_time(&self) -> Duration {
+        Duration::from_nanos(self.inner.contention_ns.get())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bandwidth
+// ---------------------------------------------------------------------------
+
+/// A bandwidth-limited FIFO link: service time is `bytes / rate`.
+///
+/// ```rust
+/// use smart_rt::{Duration, Simulation, sync::Bandwidth};
+///
+/// let mut sim = Simulation::new(0);
+/// let h = sim.handle();
+/// // 1 GB/s => 1 byte per ns
+/// let link = Bandwidth::new(h.clone(), 1_000_000_000);
+/// let t = sim.block_on(async move {
+///     link.transfer(4096).await;
+///     h.now().as_nanos()
+/// });
+/// assert_eq!(t, 4096);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bandwidth {
+    server: FifoResource,
+    bytes_per_sec: u64,
+    transferred: Rc<Cell<u64>>,
+}
+
+impl Bandwidth {
+    /// Creates a link with the given rate in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn new(handle: SimHandle, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        Bandwidth {
+            server: FifoResource::new(handle),
+            bytes_per_sec,
+            transferred: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// The serialization delay for `bytes` at this link's rate.
+    pub fn service_time(&self, bytes: u64) -> Duration {
+        Duration::from_nanos((bytes.saturating_mul(1_000_000_000)) / self.bytes_per_sec)
+    }
+
+    /// Transfers `bytes` across the link, queueing FIFO behind earlier
+    /// transfers.
+    pub fn transfer(&self, bytes: u64) -> Sleep {
+        self.transferred.set(self.transferred.get() + bytes);
+        self.server.use_for(self.service_time(bytes))
+    }
+
+    /// Total bytes ever enqueued on the link.
+    pub fn transferred(&self) -> u64 {
+        self.transferred.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+    use std::rc::Rc;
+
+    #[test]
+    fn notify_one_wakes_single_waiter() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let n = Notify::new();
+        let n2 = n.clone();
+        let hits = Rc::new(Cell::new(0));
+        let hits2 = Rc::clone(&hits);
+        sim.spawn(async move {
+            n2.notified().await;
+            hits2.set(hits2.get() + 1);
+        });
+        let h2 = h.clone();
+        sim.spawn(async move {
+            h2.sleep(Duration::from_nanos(10)).await;
+            n.notify_one();
+        });
+        sim.run();
+        assert_eq!(hits.get(), 1);
+    }
+
+    #[test]
+    fn notify_stores_permit_without_waiter() {
+        let mut sim = Simulation::new(0);
+        let n = Notify::new();
+        n.notify_one();
+        let n2 = n.clone();
+        sim.block_on(async move { n2.notified().await });
+    }
+
+    #[test]
+    fn notify_all_wakes_everyone() {
+        let mut sim = Simulation::new(0);
+        let n = Notify::new();
+        let done = Rc::new(Cell::new(0));
+        for _ in 0..5 {
+            let n = n.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                n.notified().await;
+                done.set(done.get() + 1);
+            });
+        }
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.sleep(Duration::from_nanos(1)).await;
+            n.notify_all();
+        });
+        sim.run();
+        assert_eq!(done.get(), 5);
+    }
+
+    #[test]
+    fn semaphore_acquire_release_roundtrip() {
+        let mut sim = Simulation::new(0);
+        let sem = Semaphore::new(3);
+        let s = sem.clone();
+        sim.block_on(async move {
+            s.acquire(2).await;
+            assert_eq!(s.available(), 1);
+            assert!(s.try_acquire(1));
+            assert!(!s.try_acquire(1));
+            s.release(3);
+            assert_eq!(s.available(), 3);
+        });
+    }
+
+    #[test]
+    fn semaphore_blocks_until_release() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let sem = Semaphore::new(0);
+        let s2 = sem.clone();
+        let h2 = h.clone();
+        sim.spawn(async move {
+            h2.sleep(Duration::from_nanos(100)).await;
+            s2.release(1);
+        });
+        let s3 = sem.clone();
+        let t = sim.block_on(async move {
+            s3.acquire(1).await;
+            h.now().as_nanos()
+        });
+        assert_eq!(t, 100);
+    }
+
+    #[test]
+    fn semaphore_is_fifo() {
+        let mut sim = Simulation::new(0);
+        let sem = Semaphore::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3 {
+            let s = sem.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                s.acquire(1).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        let h = sim.handle();
+        let s = sem.clone();
+        sim.spawn(async move {
+            h.sleep(Duration::from_nanos(1)).await;
+            s.release(3);
+        });
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn semaphore_adjust_can_go_negative() {
+        let mut sim = Simulation::new(0);
+        let sem = Semaphore::new(2);
+        sem.adjust(-5);
+        assert_eq!(sem.available(), -3);
+        let s = sem.clone();
+        let h = sim.handle();
+        let h2 = h.clone();
+        let s2 = sem.clone();
+        sim.spawn(async move {
+            h2.sleep(Duration::from_nanos(10)).await;
+            s2.release(4);
+        });
+        let t = sim.block_on(async move {
+            s.acquire(1).await;
+            h.now().as_nanos()
+        });
+        assert_eq!(t, 10);
+        assert_eq!(sem.available(), 0);
+    }
+
+    #[test]
+    fn semaphore_cancelled_waiter_is_skipped() {
+        let mut sim = Simulation::new(0);
+        let sem = Semaphore::new(0);
+        // Create an acquire, register it, then drop it.
+        let s = sem.clone();
+        sim.spawn(async move {
+            let fut = s.acquire(1);
+            // poll once then drop via select-like pattern: emulate by
+            // polling inside a task that gives up after first Pending.
+            struct PollOnce<F: Future>(Option<Pin<Box<F>>>);
+            impl<F: Future> Future for PollOnce<F> {
+                type Output = ();
+                fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                    if let Some(f) = self.0.as_mut() {
+                        if f.as_mut().poll(cx).is_ready() {
+                            self.0 = None;
+                        }
+                    }
+                    Poll::Ready(())
+                }
+            }
+            PollOnce(Some(Box::pin(fut))).await;
+        });
+        sim.run();
+        // The cancelled waiter must not absorb this permit.
+        sem.release(1);
+        let s2 = sem.clone();
+        let mut sim2 = sim; // continue on same sim
+        sim2.block_on(async move { s2.acquire(1).await });
+    }
+
+    #[test]
+    fn fifo_resource_serializes_requests() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let server = FifoResource::new(h.clone());
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..3 {
+            let s = server.clone();
+            let h = h.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                s.use_for(Duration::from_nanos(10)).await;
+                done.borrow_mut().push(h.now().as_nanos());
+            });
+        }
+        sim.run();
+        assert_eq!(*done.borrow(), vec![10, 20, 30]);
+        assert_eq!(server.served(), 3);
+        assert_eq!(server.busy_time(), Duration::from_nanos(30));
+    }
+
+    #[test]
+    fn fifo_resource_idles_between_bursts() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let server = FifoResource::new(h.clone());
+        let s = server.clone();
+        let t = sim.block_on(async move {
+            s.use_for(Duration::from_nanos(5)).await;
+            h.sleep(Duration::from_nanos(100)).await;
+            s.use_for(Duration::from_nanos(5)).await;
+            h.now().as_nanos()
+        });
+        assert_eq!(t, 110); // second request starts fresh at t=105
+    }
+
+    #[test]
+    fn contended_lock_uncontended_costs_hold_only() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let lock = ContendedLock::new(h.clone(), Duration::from_nanos(50), 64);
+        let l = lock.clone();
+        let t = sim.block_on(async move {
+            l.exec(Duration::from_nanos(100)).await;
+            h.now().as_nanos()
+        });
+        assert_eq!(t, 100);
+        assert_eq!(lock.contention_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn contended_lock_penalizes_waiters() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let lock = ContendedLock::new(h.clone(), Duration::from_nanos(50), 64);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..3 {
+            let l = lock.clone();
+            let h = h.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                l.exec(Duration::from_nanos(100)).await;
+                done.borrow_mut().push(h.now().as_nanos());
+            });
+        }
+        sim.run();
+        // 1st: no waiters -> 100. 2nd: 1 waiter ahead -> +50 handoff -> 250.
+        // 3rd: 2 waiters -> +100 -> 450.
+        assert_eq!(*done.borrow(), vec![100, 250, 450]);
+        assert!(lock.contention_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn contended_lock_penalty_saturates() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let lock = ContendedLock::new(h.clone(), Duration::from_nanos(10), 2);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..5 {
+            let l = lock.clone();
+            let h = h.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                l.exec(Duration::from_nanos(100)).await;
+                done.borrow_mut().push(h.now().as_nanos());
+            });
+        }
+        sim.run();
+        // Penalties: 0, 10, 20, 20 (capped), 20 (capped).
+        assert_eq!(*done.borrow(), vec![100, 210, 330, 450, 570]);
+    }
+
+    #[test]
+    fn bandwidth_serializes_bytes() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let link = Bandwidth::new(h.clone(), 1_000_000_000); // 1B/ns
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for bytes in [100u64, 200, 300] {
+            let l = link.clone();
+            let h = h.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                l.transfer(bytes).await;
+                done.borrow_mut().push(h.now().as_nanos());
+            });
+        }
+        sim.run();
+        assert_eq!(*done.borrow(), vec![100, 300, 600]);
+        assert_eq!(link.transferred(), 600);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the simulation runtime's primitives.
+
+use proptest::prelude::*;
+use smart_rt::sync::{Bandwidth, FifoResource, Semaphore};
+use smart_rt::{Duration, SimTime, Simulation};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// FIFO server: completion times are exactly the prefix sums of the
+    /// service times when all requests arrive together.
+    #[test]
+    fn fifo_resource_completions_are_prefix_sums(
+        services in prop::collection::vec(1u64..10_000, 1..40),
+    ) {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let server = FifoResource::new(h.clone());
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for &svc in &services {
+            let s = server.clone();
+            let h = h.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                s.use_for(Duration::from_nanos(svc)).await;
+                done.borrow_mut().push(h.now().as_nanos());
+            });
+        }
+        sim.run();
+        let mut expect = Vec::new();
+        let mut acc = 0;
+        for &svc in &services {
+            acc += svc;
+            expect.push(acc);
+        }
+        prop_assert_eq!(&*done.borrow(), &expect);
+        prop_assert_eq!(server.busy_time(), Duration::from_nanos(acc));
+    }
+
+    /// Timers fire in deadline order regardless of spawn order, and the
+    /// clock ends at the max deadline.
+    #[test]
+    fn timers_fire_in_deadline_order(delays in prop::collection::vec(0u64..1_000_000, 1..50)) {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        for &d in &delays {
+            let h = h.clone();
+            let fired = Rc::clone(&fired);
+            sim.spawn(async move {
+                h.sleep(Duration::from_nanos(d)).await;
+                fired.borrow_mut().push(h.now().as_nanos());
+            });
+        }
+        sim.run();
+        let fired = fired.borrow();
+        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]), "monotone firing");
+        let mut sorted = delays.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&*fired, &sorted);
+        prop_assert_eq!(sim.now().as_nanos(), *sorted.last().expect("nonempty"));
+    }
+
+    /// Semaphore balance accounting: after an arbitrary interleaving of
+    /// acquires (that can all be satisfied) and releases, the balance is
+    /// exactly initial - acquired + released.
+    #[test]
+    fn semaphore_balance_accounting(
+        init in 0i64..100,
+        ops in prop::collection::vec((0u64..5, any::<bool>()), 0..50),
+    ) {
+        let sem = Semaphore::new(init);
+        let mut expected = init;
+        for (n, is_release) in ops {
+            if is_release {
+                sem.release(n);
+                expected += n as i64;
+            } else if sem.try_acquire(n) {
+                expected -= n as i64;
+            }
+            prop_assert_eq!(sem.available(), expected);
+            prop_assert!(sem.available() >= 0 || init < 0);
+        }
+    }
+
+    /// take_up_to never exceeds the balance or the request.
+    #[test]
+    fn take_up_to_is_bounded(init in 0i64..64, want in 0u64..128) {
+        let sem = Semaphore::new(init);
+        let got = sem.take_up_to(want);
+        prop_assert!(got <= want);
+        prop_assert!(got as i64 <= init);
+        prop_assert_eq!(sem.available(), init - got as i64);
+    }
+
+    /// Bandwidth serialization: total transfer time equals bytes / rate.
+    #[test]
+    fn bandwidth_total_time_matches_rate(
+        chunks in prop::collection::vec(1u64..100_000, 1..20),
+        rate_gbps in 1u64..40,
+    ) {
+        let mut sim = Simulation::new(2);
+        let h = sim.handle();
+        let link = Bandwidth::new(h.clone(), rate_gbps * 1_000_000_000);
+        for &c in &chunks {
+            let l = link.clone();
+            sim.spawn(async move { l.transfer(c).await; });
+        }
+        sim.run();
+        let total: u64 = chunks.iter().sum();
+        let expect: u64 = chunks
+            .iter()
+            .map(|&c| c * 1_000_000_000 / (rate_gbps * 1_000_000_000))
+            .sum();
+        prop_assert_eq!(sim.now().as_nanos(), expect);
+        prop_assert_eq!(link.transferred(), total);
+    }
+
+    /// SimTime arithmetic is consistent with u64 arithmetic.
+    #[test]
+    fn simtime_arithmetic(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(a) + Duration::from_nanos(d);
+        prop_assert_eq!(t.as_nanos(), a + d);
+        prop_assert_eq!(t - SimTime::from_nanos(a), Duration::from_nanos(d));
+        prop_assert_eq!(t.saturating_since(SimTime::from_nanos(a + d + 1)), Duration::ZERO);
+    }
+
+    /// Identical seeds produce identical executions (PRNG + scheduler).
+    #[test]
+    fn simulation_is_deterministic(seed in any::<u64>(), n in 1usize..20) {
+        fn run(seed: u64, n: usize) -> Vec<u64> {
+            let mut sim = Simulation::new(seed);
+            let h = sim.handle();
+            let out = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..n {
+                let h = h.clone();
+                let out = Rc::clone(&out);
+                sim.spawn(async move {
+                    let d = h.rand_below(10_000) + 1;
+                    h.sleep(Duration::from_nanos(d)).await;
+                    out.borrow_mut().push(h.now().as_nanos());
+                });
+            }
+            sim.run();
+            let v = out.borrow().clone();
+            v
+        }
+        prop_assert_eq!(run(seed, n), run(seed, n));
+    }
+}

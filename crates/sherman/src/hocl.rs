@@ -1,0 +1,285 @@
+//! Hierarchical on-chip locks (Sherman's HOCL/HOPL).
+//!
+//! A naive disaggregated spinlock retries RDMA CAS remotely on every
+//! conflict, burning the RNIC's IOPS (§3.3). HOCL splits the lock in two
+//! halves: a **local** wait queue per compute node and the **remote** lock
+//! word in the node header. Only the first local thread performs the
+//! remote CAS; contenders on the same compute node queue locally, and on
+//! release the lock is handed over locally *without touching the
+//! network* (up to a handover cap, to keep other compute nodes from
+//! starving).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use smart::SmartCoro;
+use smart_rnic::RemoteAddr;
+use smart_rt::metrics::Counter;
+use smart_rt::sync::Notify;
+
+struct Waiter {
+    notify: Notify,
+    /// Set by the releaser when the lock is handed over locally (the
+    /// remote word stays held); unset wake-ups must reacquire remotely.
+    handed: Rc<Cell<bool>>,
+}
+
+#[derive(Default)]
+struct LockState {
+    held: Cell<bool>,
+    handovers: Cell<u32>,
+    waiters: RefCell<VecDeque<Waiter>>,
+}
+
+/// Lock statistics (the IOPS-saving effect of HOCL is visible here).
+#[derive(Clone, Debug, Default)]
+pub struct HoclStats {
+    /// Remote CAS attempts actually issued.
+    pub remote_cas: Counter,
+    /// Lock transfers that never left the compute node.
+    pub local_handoffs: Counter,
+    /// Remote releases (lock word written back to zero).
+    pub remote_releases: Counter,
+}
+
+/// The per-compute-node lock table.
+pub struct HoclTable {
+    enabled: bool,
+    handover_cap: u32,
+    states: RefCell<HashMap<(u32, u64), Rc<LockState>>>,
+    stats: HoclStats,
+}
+
+impl std::fmt::Debug for HoclTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HoclTable")
+            .field("enabled", &self.enabled)
+            .field("tracked", &self.states.borrow().len())
+            .finish()
+    }
+}
+
+impl HoclTable {
+    /// Creates a lock table. With `enabled == false` every acquire goes
+    /// straight to remote CAS retries (the baseline Sherman fixed).
+    pub fn new(enabled: bool, handover_cap: u32) -> Self {
+        HoclTable {
+            enabled,
+            handover_cap,
+            states: RefCell::new(HashMap::new()),
+            stats: HoclStats::default(),
+        }
+    }
+
+    /// Lock statistics.
+    pub fn stats(&self) -> &HoclStats {
+        &self.stats
+    }
+
+    fn state(&self, addr: RemoteAddr) -> Rc<LockState> {
+        Rc::clone(
+            self.states
+                .borrow_mut()
+                .entry((addr.blade.0, addr.offset_bytes))
+                .or_default(),
+        )
+    }
+
+    async fn remote_acquire(&self, coro: &SmartCoro, lock_addr: RemoteAddr) {
+        loop {
+            self.stats.remote_cas.incr();
+            let old = coro.backoff_cas_sync(lock_addr, 0, 1).await;
+            if old == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Acquires the lock whose word lives at `lock_addr`.
+    pub async fn lock(&self, coro: &SmartCoro, lock_addr: RemoteAddr) {
+        if !self.enabled {
+            self.remote_acquire(coro, lock_addr).await;
+            return;
+        }
+        let state = self.state(lock_addr);
+        loop {
+            if !state.held.get() {
+                state.held.set(true);
+                self.remote_acquire(coro, lock_addr).await;
+                return;
+            }
+            let waiter = Waiter {
+                notify: Notify::new(),
+                handed: Rc::new(Cell::new(false)),
+            };
+            let handed = Rc::clone(&waiter.handed);
+            let notify = waiter.notify.clone();
+            state.waiters.borrow_mut().push_back(waiter);
+            notify.notified().await;
+            if handed.get() {
+                // Local handover: we own the lock, remote word untouched.
+                self.stats.local_handoffs.incr();
+                return;
+            }
+            // Remote release happened: compete again from the top.
+        }
+    }
+
+    /// Releases the lock at `lock_addr`.
+    pub async fn unlock(&self, coro: &SmartCoro, lock_addr: RemoteAddr) {
+        if !self.enabled {
+            self.stats.remote_releases.incr();
+            coro.write_sync(lock_addr, 0u64.to_le_bytes().to_vec())
+                .await;
+            return;
+        }
+        let state = self.state(lock_addr);
+        debug_assert!(state.held.get(), "unlock of a lock we do not hold");
+        let next = {
+            let mut waiters = state.waiters.borrow_mut();
+            if state.handovers.get() < self.handover_cap {
+                waiters.pop_front()
+            } else {
+                None
+            }
+        };
+        match next {
+            Some(w) => {
+                // Local handover: the remote word stays set; no network.
+                state.handovers.set(state.handovers.get() + 1);
+                w.handed.set(true);
+                w.notify.notify_one();
+            }
+            None => {
+                state.handovers.set(0);
+                state.held.set(false);
+                self.stats.remote_releases.incr();
+                coro.write_sync(lock_addr, 0u64.to_le_bytes().to_vec())
+                    .await;
+                // Wake a capped-out waiter (if any) to reacquire remotely.
+                let woken = state.waiters.borrow_mut().pop_front();
+                if let Some(w) = woken {
+                    w.notify.notify_one();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart::{SmartConfig, SmartContext};
+    use smart_rnic::{Cluster, ClusterConfig};
+    use smart_rt::{Duration, Simulation};
+
+    fn setup(threads: usize) -> (Simulation, Cluster, Rc<SmartContext>) {
+        let sim = Simulation::new(0);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 1));
+        let ctx = SmartContext::new(
+            cluster.compute(0),
+            cluster.blades(),
+            SmartConfig::smart_full(threads),
+        );
+        (sim, cluster, ctx)
+    }
+
+    #[test]
+    fn hocl_serializes_critical_sections_with_one_remote_cas() {
+        let (mut sim, cluster, ctx) = setup(4);
+        let off = cluster.blade(0).alloc(8, 8);
+        let lock_addr = RemoteAddr::new(cluster.blade(0).id(), off);
+        let table = Rc::new(HoclTable::new(true, 64));
+        let in_cs = Rc::new(Cell::new(0u32));
+        let max_cs = Rc::new(Cell::new(0u32));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let thread = ctx.create_thread();
+            let table = Rc::clone(&table);
+            let in_cs = Rc::clone(&in_cs);
+            let max_cs = Rc::clone(&max_cs);
+            joins.push(sim.spawn(async move {
+                let coro = thread.coroutine();
+                for _ in 0..5 {
+                    table.lock(&coro, lock_addr).await;
+                    in_cs.set(in_cs.get() + 1);
+                    max_cs.set(max_cs.get().max(in_cs.get()));
+                    thread.handle().sleep(Duration::from_micros(2)).await;
+                    in_cs.set(in_cs.get() - 1);
+                    table.unlock(&coro, lock_addr).await;
+                }
+            }));
+        }
+        sim.run_for(Duration::from_secs(1));
+        for j in &joins {
+            assert!(j.is_finished());
+        }
+        assert_eq!(max_cs.get(), 1, "mutual exclusion violated");
+        // Handover: 20 acquisitions, but only a couple of remote CAS.
+        assert!(
+            table.stats().remote_cas.get() <= 3,
+            "HOCL should hand over locally, remote CAS = {}",
+            table.stats().remote_cas.get()
+        );
+        assert!(table.stats().local_handoffs.get() >= 15);
+        assert_eq!(cluster.blade(0).read_u64(off), 0, "lock released at rest");
+    }
+
+    #[test]
+    fn disabled_hocl_always_goes_remote() {
+        let (mut sim, cluster, ctx) = setup(2);
+        let off = cluster.blade(0).alloc(8, 8);
+        let lock_addr = RemoteAddr::new(cluster.blade(0).id(), off);
+        let table = Rc::new(HoclTable::new(false, 64));
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            let thread = ctx.create_thread();
+            let table = Rc::clone(&table);
+            joins.push(sim.spawn(async move {
+                let coro = thread.coroutine();
+                for _ in 0..5 {
+                    table.lock(&coro, lock_addr).await;
+                    table.unlock(&coro, lock_addr).await;
+                }
+            }));
+        }
+        sim.run_for(Duration::from_secs(1));
+        for j in &joins {
+            assert!(j.is_finished());
+        }
+        assert!(table.stats().remote_cas.get() >= 10);
+        assert_eq!(table.stats().local_handoffs.get(), 0);
+    }
+
+    #[test]
+    fn handover_cap_forces_periodic_remote_release() {
+        let (mut sim, cluster, ctx) = setup(3);
+        let off = cluster.blade(0).alloc(8, 8);
+        let lock_addr = RemoteAddr::new(cluster.blade(0).id(), off);
+        let table = Rc::new(HoclTable::new(true, 2));
+        let mut joins = Vec::new();
+        for _ in 0..3 {
+            let thread = ctx.create_thread();
+            let table = Rc::clone(&table);
+            joins.push(sim.spawn(async move {
+                let coro = thread.coroutine();
+                for _ in 0..6 {
+                    table.lock(&coro, lock_addr).await;
+                    table.unlock(&coro, lock_addr).await;
+                }
+            }));
+        }
+        sim.run_for(Duration::from_secs(1));
+        for j in &joins {
+            assert!(j.is_finished());
+        }
+        assert!(
+            table.stats().remote_releases.get() >= 3,
+            "cap must force remote releases, got {}",
+            table.stats().remote_releases.get()
+        );
+        assert_eq!(cluster.blade(0).read_u64(off), 0);
+    }
+}

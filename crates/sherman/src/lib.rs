@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # smart-sherman — a Sherman-style disaggregated B+Tree and SMART-BT
+//!
+//! A from-scratch write-optimized B+Tree on disaggregated memory in the
+//! style of Sherman (Wang et al., SIGMOD '22): compute-side index cache,
+//! whole-leaf 1 KB READs, hierarchical on-chip locks ([`HoclTable`]) and
+//! per-cacheline-atomic in-place entry updates (the paper's Sherman+).
+//! Enabling [`ShermanConfig::with_speculative_lookup`] adds SMART-BT's
+//! speculative lookup, turning lookups from bandwidth-bound into
+//! IOPS-bound 16 B READs (§5.2, §6.2.3).
+//!
+//! ```rust
+//! use std::rc::Rc;
+//! use smart::{SmartConfig, SmartContext};
+//! use smart_rnic::{Cluster, ClusterConfig};
+//! use smart_rt::Simulation;
+//! use smart_sherman::{ShermanConfig, ShermanTree};
+//!
+//! let mut sim = Simulation::new(11);
+//! let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
+//! let tree = ShermanTree::create(cluster.blades(), ShermanConfig::with_speculative_lookup());
+//! for k in 0..1000u64 {
+//!     tree.load(k, k * 2);
+//! }
+//! let ctx = SmartContext::new(cluster.compute(0), cluster.blades(), SmartConfig::smart_full(1));
+//! let coro = ctx.create_thread().coroutine();
+//! let t = Rc::clone(&tree);
+//! let v = sim.block_on(async move {
+//!     t.insert(&coro, 500, 42).await;
+//!     t.get(&coro, 500).await
+//! });
+//! assert_eq!(v, Some(42));
+//! ```
+
+pub mod hocl;
+pub mod node;
+pub mod tree;
+
+pub use hocl::{HoclStats, HoclTable};
+pub use node::{Node, FANOUT, NODE_BYTES};
+pub use tree::{ShermanConfig, ShermanStats, ShermanTree};

@@ -1,0 +1,342 @@
+//! B+Tree node layout: fixed 1 KB blocks on the blades.
+//!
+//! ```text
+//! offset  field
+//!      0  lock word (u64, CAS-able; HOCL's remote half)
+//!      8  version (u64, bumped on structural change)
+//!     16  level (u16) | count (u16) | pad
+//!     24  low fence key (inclusive)
+//!     32  high fence key (exclusive; u64::MAX = +inf)
+//!     40  packed right-sibling address (u64::MAX = none)
+//!     48  reserved
+//!     64  entries: 60 × (key u64, payload u64)
+//! ```
+//!
+//! Leaves (level 0) store values as payloads; internal nodes store packed
+//! child addresses. A leaf is fetched with a single 1 KB READ — the read
+//! amplification that makes Sherman bandwidth-bound and that speculative
+//! lookup (16 B entry READs) removes.
+
+use smart_rnic::{BladeId, RemoteAddr};
+
+/// Node block size in bytes.
+pub const NODE_BYTES: u64 = 1024;
+/// Entry header region size.
+pub const HEADER_BYTES: u64 = 64;
+/// Maximum entries per node.
+pub const FANOUT: usize = 60;
+/// Byte offset of the entry array.
+pub const ENTRIES_OFF: u64 = HEADER_BYTES;
+/// "No sibling" sentinel.
+pub const NO_SIBLING: u64 = u64::MAX;
+/// "+infinity" fence sentinel.
+pub const INF_KEY: u64 = u64::MAX;
+
+/// Packs a node address into a u64 (blade in the top byte).
+pub fn pack_addr(addr: RemoteAddr) -> u64 {
+    assert!(addr.offset_bytes < (1 << 56), "offset exceeds 56 bits");
+    ((addr.blade.0 as u64) << 56) | addr.offset_bytes
+}
+
+/// Unpacks a node address.
+pub fn unpack_addr(v: u64) -> RemoteAddr {
+    RemoteAddr::new(BladeId((v >> 56) as u32), v & ((1 << 56) - 1))
+}
+
+/// A decoded node image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// Lock word (not interpreted by the codec).
+    pub lock: u64,
+    /// Structural version.
+    pub version: u64,
+    /// 0 for leaves.
+    pub level: u16,
+    /// Inclusive lower bound of this node's key range.
+    pub low_fence: u64,
+    /// Exclusive upper bound ([`INF_KEY`] = unbounded).
+    pub high_fence: u64,
+    /// Packed address ([`pack_addr`]) of the right sibling
+    /// ([`NO_SIBLING`] = none).
+    pub sibling: u64,
+    /// Sorted `(key, payload)` entries.
+    pub entries: Vec<(u64, u64)>,
+}
+
+impl Node {
+    /// A fresh empty leaf covering `[low, high)`.
+    pub fn new_leaf(low: u64, high: u64) -> Node {
+        Node {
+            lock: 0,
+            version: 0,
+            level: 0,
+            low_fence: low,
+            high_fence: high,
+            sibling: NO_SIBLING,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A fresh internal node at `level` covering `[low, high)`.
+    pub fn new_internal(level: u16, low: u64, high: u64) -> Node {
+        Node {
+            level,
+            ..Node::new_leaf(low, high)
+        }
+    }
+
+    /// Whether this is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Whether the node has no free entry slots.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= FANOUT
+    }
+
+    /// Whether `key` falls inside the node's fences.
+    pub fn covers(&self, key: u64) -> bool {
+        key >= self.low_fence && (self.high_fence == INF_KEY || key < self.high_fence)
+    }
+
+    /// Binary-searches a leaf for `key`; `Ok(idx)` if present.
+    pub fn search_leaf(&self, key: u64) -> Result<usize, usize> {
+        debug_assert!(self.is_leaf());
+        self.entries.binary_search_by_key(&key, |&(k, _)| k)
+    }
+
+    /// Routing in an internal node: the child responsible for `key`
+    /// (the last entry with `entry.key <= key`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty internal node.
+    pub fn route(&self, key: u64) -> u64 {
+        debug_assert!(!self.is_leaf());
+        assert!(
+            !self.entries.is_empty(),
+            "routing in an empty internal node"
+        );
+        let idx = match self.entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => i,
+            Err(0) => 0, // below the first separator: leftmost child
+            Err(i) => i - 1,
+        };
+        self.entries[idx].1
+    }
+
+    /// Inserts or replaces `(key, payload)` keeping entries sorted.
+    /// Returns `(index, replaced)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when inserting a new key into a full node.
+    pub fn upsert(&mut self, key: u64, payload: u64) -> (usize, bool) {
+        match self.entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => {
+                self.entries[i].1 = payload;
+                (i, true)
+            }
+            Err(i) => {
+                assert!(!self.is_full(), "insert into full node");
+                self.entries.insert(i, (key, payload));
+                (i, false)
+            }
+        }
+    }
+
+    /// Splits a full node in half; returns the new right sibling (fences
+    /// and sibling pointers already adjusted on both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has fewer than two entries.
+    pub fn split(&mut self) -> Node {
+        assert!(
+            self.entries.len() >= 2,
+            "cannot split a node with < 2 entries"
+        );
+        let mid = self.entries.len() / 2;
+        let right_entries = self.entries.split_off(mid);
+        let sep = right_entries[0].0;
+        let right = Node {
+            lock: 0,
+            version: 0,
+            level: self.level,
+            low_fence: sep,
+            high_fence: self.high_fence,
+            sibling: self.sibling,
+            entries: right_entries,
+        };
+        self.high_fence = sep;
+        self.version += 1;
+        right
+    }
+
+    /// Serializes to a 1 KB block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node exceeds [`FANOUT`] entries.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.entries.len() <= FANOUT, "node overflow");
+        let mut buf = vec![0u8; NODE_BYTES as usize];
+        buf[0..8].copy_from_slice(&self.lock.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.version.to_le_bytes());
+        let meta = (self.level as u64) | ((self.entries.len() as u64) << 16);
+        buf[16..24].copy_from_slice(&meta.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.low_fence.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.high_fence.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.sibling.to_le_bytes());
+        for (i, &(k, v)) in self.entries.iter().enumerate() {
+            let off = ENTRIES_OFF as usize + i * 16;
+            buf[off..off + 8].copy_from_slice(&k.to_le_bytes());
+            buf[off + 8..off + 16].copy_from_slice(&v.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Parses a 1 KB block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is not [`NODE_BYTES`] long or the entry count
+    /// is corrupt.
+    pub fn decode(buf: &[u8]) -> Node {
+        assert_eq!(buf.len() as u64, NODE_BYTES, "node block must be 1 KB");
+        let u64_at =
+            |off: usize| u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"));
+        let meta = u64_at(16);
+        let level = (meta & 0xFFFF) as u16;
+        let count = ((meta >> 16) & 0xFFFF) as usize;
+        assert!(count <= FANOUT, "corrupt node: count {count}");
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = ENTRIES_OFF as usize + i * 16;
+            entries.push((u64_at(off), u64_at(off + 8)));
+        }
+        Node {
+            lock: u64_at(0),
+            version: u64_at(8),
+            level,
+            low_fence: u64_at(24),
+            high_fence: u64_at(32),
+            sibling: u64_at(40),
+            entries,
+        }
+    }
+
+    /// Byte offset of entry `i` within the block (for 16 B entry reads
+    /// and writes — the speculative-lookup fast path).
+    pub fn entry_offset(i: usize) -> u64 {
+        ENTRIES_OFF + (i as u64) * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut n = Node::new_leaf(10, 100);
+        n.upsert(42, 420);
+        n.upsert(15, 150);
+        n.version = 3;
+        n.sibling = 2048;
+        let decoded = Node::decode(&n.encode());
+        assert_eq!(decoded, n);
+    }
+
+    #[test]
+    fn upsert_keeps_sorted_and_replaces() {
+        let mut n = Node::new_leaf(0, INF_KEY);
+        for k in [5u64, 1, 9, 3] {
+            n.upsert(k, k * 10);
+        }
+        let keys: Vec<u64> = n.entries.iter().map(|e| e.0).collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+        let (idx, replaced) = n.upsert(5, 999);
+        assert!(replaced);
+        assert_eq!(n.entries[idx], (5, 999));
+        assert_eq!(n.entries.len(), 4);
+    }
+
+    #[test]
+    fn search_leaf_finds_and_misses() {
+        let mut n = Node::new_leaf(0, INF_KEY);
+        n.upsert(2, 20);
+        n.upsert(4, 40);
+        assert_eq!(n.search_leaf(4), Ok(1));
+        assert!(n.search_leaf(3).is_err());
+    }
+
+    #[test]
+    fn route_picks_correct_child() {
+        let mut n = Node::new_internal(1, 0, INF_KEY);
+        n.upsert(0, 100); // child for [0, 10)
+        n.upsert(10, 200); // child for [10, 20)
+        n.upsert(20, 300); // child for [20, inf)
+        assert_eq!(n.route(0), 100);
+        assert_eq!(n.route(9), 100);
+        assert_eq!(n.route(10), 200);
+        assert_eq!(n.route(19), 200);
+        assert_eq!(n.route(25), 300);
+    }
+
+    #[test]
+    fn split_halves_and_links() {
+        let mut n = Node::new_leaf(0, INF_KEY);
+        for k in 0..FANOUT as u64 {
+            n.upsert(k, k);
+        }
+        n.sibling = 7777;
+        let right = n.split();
+        assert_eq!(n.entries.len() + right.entries.len(), FANOUT);
+        assert_eq!(n.high_fence, right.low_fence);
+        assert_eq!(right.high_fence, INF_KEY);
+        assert_eq!(right.sibling, 7777);
+        assert!(n.covers(n.entries.last().expect("left nonempty").0));
+        assert!(right.covers(right.entries[0].0));
+        assert!(!n.covers(right.entries[0].0));
+    }
+
+    #[test]
+    fn covers_respects_inf() {
+        let n = Node::new_leaf(5, INF_KEY);
+        assert!(n.covers(u64::MAX - 1));
+        assert!(!n.covers(4));
+        let m = Node::new_leaf(5, 10);
+        assert!(m.covers(5));
+        assert!(!m.covers(10));
+    }
+
+    #[test]
+    fn addr_packing_roundtrip() {
+        let a = RemoteAddr::new(BladeId(3), 0x1234_5678);
+        assert_eq!(unpack_addr(pack_addr(a)), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "full node")]
+    fn upsert_into_full_node_panics() {
+        let mut n = Node::new_leaf(0, INF_KEY);
+        for k in 0..=FANOUT as u64 {
+            n.upsert(k, k);
+        }
+    }
+
+    #[test]
+    fn entry_offset_matches_layout() {
+        let mut n = Node::new_leaf(0, INF_KEY);
+        n.upsert(7, 70);
+        n.upsert(9, 90);
+        let buf = n.encode();
+        let off = Node::entry_offset(1) as usize;
+        assert_eq!(
+            u64::from_le_bytes(buf[off..off + 8].try_into().expect("8B")),
+            9
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the B+Tree node codec and tree structure.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use smart::{SmartConfig, SmartContext};
+use smart_rnic::{BladeId, Cluster, ClusterConfig, RemoteAddr};
+use smart_rt::Simulation;
+use smart_sherman::node::{pack_addr, unpack_addr};
+use smart_sherman::{Node, ShermanConfig, ShermanTree, FANOUT};
+
+fn sorted_unique_entries(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::btree_map(any::<u64>(), any::<u64>(), 0..=max_len)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+proptest! {
+    /// Node encode/decode is a lossless round-trip for any legal node.
+    #[test]
+    fn node_codec_roundtrip(
+        entries in sorted_unique_entries(FANOUT),
+        lock in any::<u64>(),
+        version in any::<u64>(),
+        level in 0u16..8,
+        low in any::<u64>(),
+        sibling in any::<u64>(),
+    ) {
+        let node = Node {
+            lock,
+            version,
+            level,
+            low_fence: low,
+            high_fence: low.saturating_add(1_000_000),
+            sibling,
+            entries,
+        };
+        prop_assert_eq!(Node::decode(&node.encode()), node);
+    }
+
+    /// Splitting any full-enough node preserves every entry, keeps both
+    /// halves sorted and makes the fences meet exactly at the separator.
+    #[test]
+    fn split_preserves_entries_and_fences(entries in sorted_unique_entries(FANOUT).prop_filter(
+        "need at least 2 entries",
+        |e| e.len() >= 2,
+    )) {
+        let mut left = Node::new_leaf(0, smart_sherman::node::INF_KEY);
+        left.entries = entries.clone();
+        let right = left.split();
+        prop_assert_eq!(left.entries.len() + right.entries.len(), entries.len());
+        let mut merged = left.entries.clone();
+        merged.extend(&right.entries);
+        prop_assert_eq!(merged, entries);
+        prop_assert_eq!(left.high_fence, right.low_fence);
+        prop_assert!(left.entries.iter().all(|&(k, _)| left.covers(k)));
+        prop_assert!(right.entries.iter().all(|&(k, _)| right.covers(k)));
+    }
+
+    /// Packed node addresses round-trip for every blade/offset in range.
+    #[test]
+    fn addr_packing_roundtrip(blade in 0u32..256, off in 0u64..(1 << 56)) {
+        let addr = RemoteAddr::new(BladeId(blade), off);
+        prop_assert_eq!(unpack_addr(pack_addr(addr)), addr);
+    }
+
+    /// Routing in an internal node always picks the child whose range
+    /// contains the key (vs. a linear-scan model).
+    #[test]
+    fn route_matches_linear_scan(
+        entries in sorted_unique_entries(FANOUT).prop_filter("nonempty", |e| !e.is_empty()),
+        key in any::<u64>(),
+    ) {
+        let mut n = Node::new_internal(1, 0, smart_sherman::node::INF_KEY);
+        n.entries = entries.clone();
+        let got = n.route(key);
+        let want = entries
+            .iter()
+            .rev()
+            .find(|&&(k, _)| k <= key)
+            .map(|&(_, c)| c)
+            .unwrap_or(entries[0].1);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Bulk-load + RDMA upserts of arbitrary key sets behave exactly like
+    /// a BTreeMap: same membership, same values, same global order.
+    #[test]
+    fn tree_matches_btreemap(
+        loads in prop::collection::btree_map(0u64..5_000, any::<u64>(), 0..150),
+        inserts in prop::collection::vec((0u64..5_000, any::<u64>()), 0..60),
+    ) {
+        let mut sim = Simulation::new(9);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
+        let tree = ShermanTree::create(cluster.blades(), ShermanConfig::with_speculative_lookup());
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (&k, &v) in &loads {
+            tree.load(k, v);
+            model.insert(k, v);
+        }
+        let ctx = SmartContext::new(
+            cluster.compute(0),
+            cluster.blades(),
+            SmartConfig::smart_full(1),
+        );
+        let thread = ctx.create_thread();
+        let t = Rc::clone(&tree);
+        let inserts2 = inserts.clone();
+        let model2 = {
+            let mut m = model.clone();
+            for &(k, v) in &inserts {
+                m.insert(k, v);
+            }
+            m
+        };
+        let model3 = model2.clone();
+        sim.block_on(async move {
+            let coro = thread.coroutine();
+            for (k, v) in inserts2 {
+                t.insert(&coro, k, v).await;
+            }
+            // Spot-check membership through the RDMA read path.
+            for (i, (&k, &v)) in model3.iter().enumerate() {
+                if i % 7 == 0 {
+                    assert_eq!(t.get(&coro, k).await, Some(v), "key {k}");
+                }
+            }
+        });
+        let pairs = tree.check_consistency();
+        let model_final: Vec<(u64, u64)> = model2.into_iter().collect();
+        prop_assert_eq!(pairs, model_final);
+    }
+}

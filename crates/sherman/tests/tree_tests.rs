@@ -1,0 +1,380 @@
+//! B+Tree functional, concurrency and model-based tests.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use smart::{SmartConfig, SmartContext};
+use smart_rnic::{Cluster, ClusterConfig};
+use smart_rt::rng::SimRng;
+use smart_rt::{Duration, Simulation};
+use smart_sherman::{ShermanConfig, ShermanTree};
+
+fn setup(
+    seed: u64,
+    threads: usize,
+    tree_cfg: ShermanConfig,
+) -> (Simulation, Cluster, Rc<ShermanTree>, Rc<SmartContext>) {
+    let sim = Simulation::new(seed);
+    let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
+    let tree = ShermanTree::create(cluster.blades(), tree_cfg);
+    let ctx = SmartContext::new(
+        cluster.compute(0),
+        cluster.blades(),
+        SmartConfig::smart_full(threads),
+    );
+    (sim, cluster, tree, ctx)
+}
+
+#[test]
+fn bulk_load_is_sorted_and_complete() {
+    let (_sim, _c, tree, _ctx) = setup(1, 1, ShermanConfig::default());
+    let mut rng = SimRng::new(7);
+    let mut keys = Vec::new();
+    for _ in 0..5_000 {
+        keys.push(rng.next_u64_below(1 << 40));
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    for (i, &k) in keys.iter().enumerate() {
+        tree.load(k, i as u64);
+    }
+    let pairs = tree.check_consistency();
+    assert_eq!(pairs.len(), keys.len());
+    assert_eq!(pairs.iter().map(|p| p.0).collect::<Vec<_>>(), keys);
+}
+
+#[test]
+fn rdma_get_after_load() {
+    let (mut sim, _c, tree, ctx) = setup(2, 1, ShermanConfig::default());
+    for k in 0..3_000u64 {
+        tree.load(k * 2, k);
+    }
+    let coro = ctx.create_thread().coroutine();
+    let t = Rc::clone(&tree);
+    sim.block_on(async move {
+        for k in (0..3_000u64).step_by(101) {
+            assert_eq!(t.get(&coro, k * 2).await, Some(k), "key {}", k * 2);
+            assert_eq!(t.get(&coro, k * 2 + 1).await, None);
+        }
+    });
+}
+
+#[test]
+fn rdma_inserts_split_leaves_and_stay_consistent() {
+    let (mut sim, _c, tree, ctx) = setup(3, 1, ShermanConfig::default());
+    let coro = ctx.create_thread().coroutine();
+    let t = Rc::clone(&tree);
+    sim.block_on(async move {
+        // 500 inserts into 60-entry leaves force many splits and at
+        // least one root growth.
+        for k in 0..500u64 {
+            t.insert(&coro, k * 7 % 500, k).await;
+        }
+        for k in 0..500u64 {
+            assert!(t.get(&coro, k).await.is_some(), "key {k}");
+        }
+    });
+    assert!(
+        tree.stats().splits.get() >= 7,
+        "splits: {}",
+        tree.stats().splits.get()
+    );
+    let pairs = tree.check_consistency();
+    assert_eq!(pairs.len(), 500);
+}
+
+#[test]
+fn update_in_place_uses_entry_write() {
+    let (mut sim, _c, tree, ctx) = setup(4, 1, ShermanConfig::default());
+    for k in 0..100u64 {
+        tree.load(k, 0);
+    }
+    let coro = ctx.create_thread().coroutine();
+    let t = Rc::clone(&tree);
+    sim.block_on(async move {
+        for k in 0..100u64 {
+            t.insert(&coro, k, k + 1).await;
+        }
+        assert_eq!(t.get(&coro, 42).await, Some(43));
+    });
+    assert_eq!(tree.stats().inplace_updates.get(), 100);
+    assert_eq!(tree.stats().splits.get(), 0);
+}
+
+#[test]
+fn speculative_lookup_hits_after_first_access() {
+    let (mut sim, _c, tree, ctx) = setup(5, 1, ShermanConfig::with_speculative_lookup());
+    for k in 0..2_000u64 {
+        tree.load(k, k * 3);
+    }
+    let coro = ctx.create_thread().coroutine();
+    let t = Rc::clone(&tree);
+    sim.block_on(async move {
+        for _ in 0..5 {
+            for k in (0..2_000u64).step_by(97) {
+                assert_eq!(t.get(&coro, k).await, Some(k * 3));
+            }
+        }
+    });
+    let s = tree.stats();
+    // First round misses the cache, the next four hit.
+    assert!(s.spec_hits.get() >= s.spec_attempts.get() * 9 / 10);
+    assert!(
+        s.leaf_reads.get() < s.lookups.get() / 2,
+        "speculation should avoid most leaf reads: {} leaf reads / {} lookups",
+        s.leaf_reads.get(),
+        s.lookups.get()
+    );
+}
+
+#[test]
+fn speculative_cache_invalidated_by_leaf_churn() {
+    let (mut sim, _c, tree, ctx) = setup(6, 1, ShermanConfig::with_speculative_lookup());
+    for k in 0..60u64 {
+        tree.load(k * 10, k);
+    }
+    let coro = ctx.create_thread().coroutine();
+    let t = Rc::clone(&tree);
+    sim.block_on(async move {
+        // Warm the speculative cache.
+        assert_eq!(t.get(&coro, 300).await, Some(30));
+        // Shift entries around by inserting in between (and splitting).
+        for k in 0..30u64 {
+            t.insert(&coro, k * 10 + 5, 999).await;
+        }
+        // The cached offset is stale; the fallback still finds the key.
+        assert_eq!(t.get(&coro, 300).await, Some(30));
+    });
+}
+
+#[test]
+fn concurrent_inserts_preserve_tree_invariants() {
+    let (mut sim, _c, tree, ctx) = setup(7, 8, ShermanConfig::default());
+    for k in 0..200u64 {
+        tree.load(k * 1000, 0);
+    }
+    let mut joins = Vec::new();
+    for t in 0..8u64 {
+        let thread = ctx.create_thread();
+        let tree = Rc::clone(&tree);
+        joins.push(sim.spawn(async move {
+            let coro = thread.coroutine();
+            for i in 0..100u64 {
+                let key = (t + 1) * 1_000_000 + i * 17;
+                tree.insert(&coro, key, t).await;
+            }
+        }));
+    }
+    sim.run_for(Duration::from_secs(3));
+    for j in &joins {
+        assert!(j.is_finished(), "all writers must finish");
+    }
+    let pairs = tree.check_consistency();
+    assert_eq!(pairs.len(), 200 + 8 * 100);
+    // Every inserted key present with its writer's value.
+    let map: BTreeMap<u64, u64> = pairs.into_iter().collect();
+    for t in 0..8u64 {
+        for i in 0..100u64 {
+            assert_eq!(map.get(&((t + 1) * 1_000_000 + i * 17)), Some(&t));
+        }
+    }
+}
+
+#[test]
+fn concurrent_readers_and_writers_agree() {
+    let (mut sim, _c, tree, ctx) = setup(8, 6, ShermanConfig::with_speculative_lookup());
+    for k in 0..1_000u64 {
+        tree.load(k, 1);
+    }
+    let mut joins = Vec::new();
+    for w in 0..2u64 {
+        let thread = ctx.create_thread();
+        let tree = Rc::clone(&tree);
+        joins.push(sim.spawn(async move {
+            let coro = thread.coroutine();
+            for i in 0..200u64 {
+                tree.insert(&coro, (w * 200 + i) % 1000, i + 2).await;
+            }
+        }));
+    }
+    for _ in 0..4 {
+        let thread = ctx.create_thread();
+        let tree = Rc::clone(&tree);
+        joins.push(sim.spawn(async move {
+            let coro = thread.coroutine();
+            let mut rng = SimRng::new(thread.index() as u64);
+            for _ in 0..300 {
+                let k = rng.next_u64_below(1000);
+                let v = tree.get(&coro, k).await.expect("loaded key present");
+                assert!(v >= 1, "value must be one someone wrote");
+            }
+        }));
+    }
+    sim.run_for(Duration::from_secs(3));
+    for j in &joins {
+        assert!(j.is_finished());
+    }
+}
+
+#[test]
+fn range_scan_returns_sorted_window() {
+    let (mut sim, _c, tree, ctx) = setup(9, 1, ShermanConfig::default());
+    for k in 0..1_000u64 {
+        tree.load(k * 2, k);
+    }
+    let coro = ctx.create_thread().coroutine();
+    let t = Rc::clone(&tree);
+    sim.block_on(async move {
+        let got = t.range(&coro, 101, 50).await;
+        assert_eq!(got.len(), 50);
+        assert_eq!(got[0].0, 102);
+        for w in got.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        // Scan past the end.
+        let tail = t.range(&coro, 1_990, 100).await;
+        assert_eq!(tail.len(), 5);
+    });
+}
+
+#[test]
+fn random_ops_match_btreemap_model() {
+    let (mut sim, _c, tree, ctx) = setup(10, 1, ShermanConfig::with_speculative_lookup());
+    let coro = ctx.create_thread().coroutine();
+    let t = Rc::clone(&tree);
+    sim.block_on(async move {
+        let mut model = BTreeMap::new();
+        let mut rng = SimRng::new(5);
+        for step in 0..800u64 {
+            let key = rng.next_u64_below(300);
+            if rng.gen_bool(0.6) {
+                t.insert(&coro, key, step).await;
+                model.insert(key, step);
+            } else {
+                assert_eq!(
+                    t.get(&coro, key).await,
+                    model.get(&key).copied(),
+                    "step {step}"
+                );
+            }
+        }
+    });
+    let pairs = tree.check_consistency();
+    assert!(!pairs.is_empty());
+}
+
+#[test]
+fn remove_deletes_and_tolerates_absent_keys() {
+    let (mut sim, _c, tree, ctx) = setup(11, 1, ShermanConfig::with_speculative_lookup());
+    for k in 0..500u64 {
+        tree.load(k, k);
+    }
+    let coro = ctx.create_thread().coroutine();
+    let t = Rc::clone(&tree);
+    sim.block_on(async move {
+        // Warm the speculative cache, then delete through it.
+        assert_eq!(t.get(&coro, 123).await, Some(123));
+        assert!(t.remove(&coro, 123).await);
+        assert_eq!(
+            t.get(&coro, 123).await,
+            None,
+            "spec cache must not resurrect"
+        );
+        assert!(!t.remove(&coro, 123).await, "double remove");
+        assert!(!t.remove(&coro, 10_000).await, "never-present key");
+        // Reinsert into the vacated range.
+        t.insert(&coro, 123, 999).await;
+        assert_eq!(t.get(&coro, 123).await, Some(999));
+    });
+    let pairs = tree.check_consistency();
+    assert_eq!(pairs.len(), 500);
+}
+
+#[test]
+fn concurrent_removers_and_readers_stay_consistent() {
+    let (mut sim, _c, tree, ctx) = setup(12, 6, ShermanConfig::default());
+    for k in 0..600u64 {
+        tree.load(k, 7);
+    }
+    let mut joins = Vec::new();
+    for w in 0..3u64 {
+        let thread = ctx.create_thread();
+        let tree = Rc::clone(&tree);
+        joins.push(sim.spawn(async move {
+            let coro = thread.coroutine();
+            for i in 0..100u64 {
+                assert!(
+                    tree.remove(&coro, w * 200 + i).await,
+                    "key {} present",
+                    w * 200 + i
+                );
+            }
+        }));
+    }
+    for _ in 0..3 {
+        let thread = ctx.create_thread();
+        let tree = Rc::clone(&tree);
+        joins.push(sim.spawn(async move {
+            let coro = thread.coroutine();
+            for k in (0..600u64).step_by(13) {
+                // Either present with the loaded value or already removed.
+                if let Some(v) = tree.get(&coro, k).await {
+                    assert_eq!(v, 7);
+                }
+            }
+        }));
+    }
+    sim.run_for(Duration::from_secs(3));
+    for j in &joins {
+        assert!(j.is_finished());
+    }
+    let pairs = tree.check_consistency();
+    assert_eq!(pairs.len(), 600 - 300);
+    assert!(pairs.iter().all(|&(k, _)| k % 200 >= 100));
+}
+
+#[test]
+fn range_scans_stay_sorted_under_concurrent_inserts() {
+    let (mut sim, _c, tree, ctx) = setup(13, 4, ShermanConfig::default());
+    for k in (0..2_000u64).step_by(2) {
+        tree.load(k, k);
+    }
+    let mut joins = Vec::new();
+    // Two writers fill in the odd keys (forcing splits mid-scan).
+    for w in 0..2u64 {
+        let thread = ctx.create_thread();
+        let tree = Rc::clone(&tree);
+        joins.push(sim.spawn(async move {
+            let coro = thread.coroutine();
+            for i in 0..250u64 {
+                tree.insert(&coro, (w * 500 + i) * 2 + 1, 1).await;
+            }
+        }));
+    }
+    // Two scanners sweep ranges the whole time.
+    for s in 0..2u64 {
+        let thread = ctx.create_thread();
+        let tree = Rc::clone(&tree);
+        joins.push(sim.spawn(async move {
+            let coro = thread.coroutine();
+            for round in 0..30u64 {
+                let from = (s * 700 + round * 13) % 1_500;
+                let got = tree.range(&coro, from, 40).await;
+                // Sorted, in range, and every even key in the window that
+                // was loaded up-front must be present.
+                assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "scan sorted");
+                assert!(got.iter().all(|&(k, _)| k >= from));
+                let evens: Vec<u64> = got.iter().map(|p| p.0).filter(|k| k % 2 == 0).collect();
+                let expect_first_even = from.div_ceil(2) * 2;
+                if let Some(&first) = evens.first() {
+                    assert_eq!(first, expect_first_even, "no preloaded key skipped");
+                }
+            }
+        }));
+    }
+    sim.run_for(Duration::from_secs(3));
+    for j in &joins {
+        assert!(j.is_finished());
+    }
+    assert_eq!(tree.check_consistency().len(), 1_000 + 500);
+}

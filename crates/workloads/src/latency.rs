@@ -1,0 +1,247 @@
+//! Log-bucketed latency histogram (HDR-style) for percentile reporting.
+
+use std::time::Duration;
+
+const SUB_BUCKETS: usize = 64; // per power of two
+const OCTAVES: usize = 36; // up to ~64 s in nanoseconds
+
+/// Records durations and reports percentiles with ≤ ~1.6 % relative error.
+///
+/// ```rust
+/// use smart_rt::Duration;
+/// use smart_workloads::latency::LatencyRecorder;
+///
+/// let mut rec = LatencyRecorder::new();
+/// for us in 1..=100u64 {
+///     rec.record(Duration::from_micros(us));
+/// }
+/// let p50 = rec.percentile(0.50);
+/// assert!(p50 >= Duration::from_micros(48) && p50 <= Duration::from_micros(53));
+/// ```
+#[derive(Clone)]
+pub struct LatencyRecorder {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl std::fmt::Debug for LatencyRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyRecorder")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.percentile(0.5))
+            .field("p99", &self.percentile(0.99))
+            .finish()
+    }
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    if ns < SUB_BUCKETS as u64 {
+        return ns as usize;
+    }
+    let octave = 63 - ns.leading_zeros() as usize; // >= 6
+    let shift = octave - 6; // mantissa resolution
+    let sub = ((ns >> shift) - SUB_BUCKETS as u64) as usize;
+    (octave - 5) * SUB_BUCKETS + sub
+}
+
+fn bucket_upper_ns(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let octave = idx / SUB_BUCKETS + 5;
+    let sub = idx % SUB_BUCKETS;
+    let shift = octave - 6;
+    ((SUB_BUCKETS + sub) as u64 + 1) << shift
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder {
+            buckets: vec![0; OCTAVES * SUB_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let idx = bucket_of(ns).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// The `p`-quantile (e.g. `0.5` for the median, `0.99` for the tail).
+    /// Returns zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_nanos(bucket_upper_ns(idx).min(self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Median latency.
+    pub fn median(&self) -> Duration {
+        self.percentile(0.5)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.percentile(0.99)
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.sum_ns = 0;
+        self.max_ns = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_reports_zero() {
+        let rec = LatencyRecorder::new();
+        assert!(rec.is_empty());
+        assert_eq!(rec.percentile(0.99), Duration::ZERO);
+        assert_eq!(rec.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_everywhere() {
+        let mut rec = LatencyRecorder::new();
+        rec.record(Duration::from_micros(7));
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            let v = rec.percentile(p).as_nanos() as f64;
+            assert!((v - 7_000.0).abs() / 7_000.0 < 0.03, "p{p}: {v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut rec = LatencyRecorder::new();
+        for us in 1..=1000u64 {
+            rec.record(Duration::from_micros(us));
+        }
+        let p50 = rec.median().as_nanos() as f64;
+        let p99 = rec.p99().as_nanos() as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.05, "p50 {p50}");
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.05, "p99 {p99}");
+        assert_eq!(rec.count(), 1000);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut rec = LatencyRecorder::new();
+        for ns in [123u64, 4_567, 89_012, 3_456_789, 123_456_789] {
+            rec.reset();
+            rec.record(Duration::from_nanos(ns));
+            let got = rec.percentile(0.5).as_nanos() as f64;
+            assert!((got - ns as f64).abs() / ns as f64 <= 0.02, "{ns} -> {got}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        for _ in 0..100 {
+            a.record(Duration::from_micros(10));
+            b.record(Duration::from_micros(1000));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        let p25 = a.percentile(0.25).as_nanos();
+        let p75 = a.percentile(0.75).as_nanos();
+        assert!(p25 < 20_000, "p25 {p25}");
+        assert!(p75 > 900_000, "p75 {p75}");
+        assert_eq!(a.max(), Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut rec = LatencyRecorder::new();
+        rec.record(Duration::from_nanos(100));
+        rec.record(Duration::from_nanos(300));
+        assert_eq!(rec.mean(), Duration::from_nanos(200));
+    }
+
+    #[test]
+    fn buckets_are_monotone() {
+        let mut prev = 0;
+        for idx in 0..OCTAVES * SUB_BUCKETS {
+            let up = bucket_upper_ns(idx);
+            assert!(up >= prev, "idx {idx}");
+            prev = up;
+        }
+        // bucket_of and bucket_upper_ns agree.
+        for ns in [0u64, 1, 63, 64, 65, 127, 128, 1000, 65_536, 1 << 30] {
+            let idx = bucket_of(ns);
+            assert!(bucket_upper_ns(idx) >= ns, "ns {ns}");
+        }
+    }
+}

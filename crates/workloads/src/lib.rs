@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # smart-workloads — workload generators for the SMART reproduction
+//!
+//! The drivers behind every experiment in the paper's evaluation:
+//!
+//! * [`zipf`] — Zipfian and scrambled-Zipfian key generators (Gray et
+//!   al.), θ = 0.99 throughout §6;
+//! * [`ycsb`] — the three YCSB mixes (write-heavy / read-heavy /
+//!   read-only) used for the hash-table and B+Tree studies;
+//! * [`smallbank`] — the SmallBank OLTP mix (85 % read-write);
+//! * [`tatp`] — the TATP telecom mix (80 % read-only);
+//! * [`latency`] — an HDR-style histogram for median/p99 reporting.
+//!
+//! Everything is seeded and deterministic.
+
+pub mod latency;
+pub mod smallbank;
+pub mod tatp;
+pub mod ycsb;
+pub mod zipf;
+
+pub use latency::LatencyRecorder;
+pub use smallbank::{SmallBankGenerator, SmallBankTxn};
+pub use tatp::{TatpGenerator, TatpTxn};
+pub use ycsb::{Mix, YcsbGenerator, YcsbOp};
+pub use zipf::{ScrambledZipfian, Zipfian};

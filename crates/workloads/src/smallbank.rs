@@ -1,0 +1,229 @@
+//! SmallBank transaction mix (H-Store benchmark): bank accounts with
+//! savings and checking balances; 85 % of transactions are read-write
+//! (§6.2.2). Account selection uses a hotspot: a small fraction of
+//! accounts receives most of the traffic, which is what makes FORD-style
+//! systems contend.
+
+use smart_rt::rng::SimRng;
+
+/// The six SmallBank transaction types.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SmallBankTxn {
+    /// Move both balances of one account into another's checking (RW, 2 accts).
+    Amalgamate {
+        /// Source account.
+        from: u64,
+        /// Destination account.
+        to: u64,
+    },
+    /// Read both balances of one account (read-only).
+    Balance {
+        /// Account to read.
+        account: u64,
+    },
+    /// Add to an account's checking balance (RW).
+    DepositChecking {
+        /// Target account.
+        account: u64,
+        /// Amount in cents.
+        amount: i64,
+    },
+    /// Transfer between two accounts' checking balances (RW, 2 accts).
+    SendPayment {
+        /// Payer.
+        from: u64,
+        /// Payee.
+        to: u64,
+        /// Amount in cents.
+        amount: i64,
+    },
+    /// Add to an account's savings balance (RW).
+    TransactSavings {
+        /// Target account.
+        account: u64,
+        /// Amount in cents (may be negative).
+        amount: i64,
+    },
+    /// Deduct a check from checking, possibly overdrafting (RW).
+    WriteCheck {
+        /// Target account.
+        account: u64,
+        /// Amount in cents.
+        amount: i64,
+    },
+}
+
+impl SmallBankTxn {
+    /// Whether the transaction writes.
+    pub fn is_read_write(&self) -> bool {
+        !matches!(self, SmallBankTxn::Balance { .. })
+    }
+
+    /// Accounts the transaction touches.
+    pub fn accounts(&self) -> Vec<u64> {
+        match *self {
+            SmallBankTxn::Amalgamate { from, to } | SmallBankTxn::SendPayment { from, to, .. } => {
+                vec![from, to]
+            }
+            SmallBankTxn::Balance { account }
+            | SmallBankTxn::DepositChecking { account, .. }
+            | SmallBankTxn::TransactSavings { account, .. }
+            | SmallBankTxn::WriteCheck { account, .. } => vec![account],
+        }
+    }
+}
+
+/// SmallBank transaction generator.
+///
+/// The standard mix: Amalgamate 15 %, Balance 15 %, DepositChecking 15 %,
+/// SendPayment 25 %, TransactSavings 15 %, WriteCheck 15 % ⇒ 85 %
+/// read-write, matching the paper.
+#[derive(Clone, Debug)]
+pub struct SmallBankGenerator {
+    accounts: u64,
+    hot_accounts: u64,
+    hot_probability: f64,
+    rng: SimRng,
+}
+
+impl SmallBankGenerator {
+    /// Standard hotspot: 90 % of account picks go to the hottest 4 % of
+    /// accounts (the H-Store default).
+    pub fn new(accounts: u64, seed: u64) -> Self {
+        Self::with_hotspot(accounts, (accounts / 25).max(1), 0.9, seed)
+    }
+
+    /// Custom hotspot shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accounts == 0` or `hot_accounts > accounts`.
+    pub fn with_hotspot(accounts: u64, hot_accounts: u64, hot_probability: f64, seed: u64) -> Self {
+        assert!(accounts > 0, "need at least one account");
+        assert!(hot_accounts >= 1 && hot_accounts <= accounts);
+        SmallBankGenerator {
+            accounts,
+            hot_accounts,
+            hot_probability,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Number of accounts.
+    pub fn accounts(&self) -> u64 {
+        self.accounts
+    }
+
+    fn pick_account(&mut self) -> u64 {
+        if self.rng.gen_bool(self.hot_probability) {
+            self.rng.next_u64_below(self.hot_accounts)
+        } else {
+            self.rng.next_u64_below(self.accounts)
+        }
+    }
+
+    fn pick_two(&mut self) -> (u64, u64) {
+        let a = self.pick_account();
+        loop {
+            let b = self.pick_account();
+            if b != a || self.accounts == 1 {
+                return (a, b);
+            }
+        }
+    }
+
+    /// Draws the next transaction.
+    pub fn next_txn(&mut self) -> SmallBankTxn {
+        let dice = self.rng.next_u64_below(100);
+        let amount = 1 + self.rng.next_u64_below(100) as i64;
+        match dice {
+            0..=14 => {
+                let (from, to) = self.pick_two();
+                SmallBankTxn::Amalgamate { from, to }
+            }
+            15..=29 => SmallBankTxn::Balance {
+                account: self.pick_account(),
+            },
+            30..=44 => SmallBankTxn::DepositChecking {
+                account: self.pick_account(),
+                amount,
+            },
+            45..=69 => {
+                let (from, to) = self.pick_two();
+                SmallBankTxn::SendPayment { from, to, amount }
+            }
+            70..=84 => SmallBankTxn::TransactSavings {
+                account: self.pick_account(),
+                amount,
+            },
+            _ => SmallBankTxn::WriteCheck {
+                account: self.pick_account(),
+                amount,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_85_percent_read_write() {
+        let mut g = SmallBankGenerator::new(10_000, 3);
+        let n = 20_000;
+        let rw = (0..n).filter(|_| g.next_txn().is_read_write()).count();
+        let ratio = rw as f64 / n as f64;
+        assert!((ratio - 0.85).abs() < 0.02, "RW ratio {ratio}");
+    }
+
+    #[test]
+    fn accounts_stay_in_range() {
+        let mut g = SmallBankGenerator::new(500, 4);
+        for _ in 0..5_000 {
+            for a in g.next_txn().accounts() {
+                assert!(a < 500);
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let mut g = SmallBankGenerator::new(10_000, 5);
+        let hot_cut = 10_000 / 25;
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for _ in 0..10_000 {
+            for a in g.next_txn().accounts() {
+                total += 1;
+                if a < hot_cut {
+                    hot += 1;
+                }
+            }
+        }
+        let ratio = hot as f64 / total as f64;
+        assert!(ratio > 0.8, "hot traffic share {ratio}");
+    }
+
+    #[test]
+    fn two_account_txns_use_distinct_accounts() {
+        let mut g = SmallBankGenerator::new(100, 6);
+        for _ in 0..2_000 {
+            match g.next_txn() {
+                SmallBankTxn::Amalgamate { from, to }
+                | SmallBankTxn::SendPayment { from, to, .. } => assert_ne!(from, to),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let seq = |seed| {
+            let mut g = SmallBankGenerator::new(100, seed);
+            (0..20).map(|_| g.next_txn()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(9), seq(9));
+        assert_ne!(seq(9), seq(10));
+    }
+}

@@ -1,0 +1,251 @@
+//! TATP (Telecom Application Transaction Processing) mix: 80 % read-only
+//! transactions over subscriber records (§6.2.2).
+
+use smart_rt::rng::SimRng;
+
+/// TATP transaction types with the standard mix percentages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TatpTxn {
+    /// Read a subscriber row (35 %).
+    GetSubscriberData {
+        /// Subscriber id.
+        sid: u64,
+    },
+    /// Read special-facility + call-forwarding rows (10 %).
+    GetNewDestination {
+        /// Subscriber id.
+        sid: u64,
+        /// Special-facility type, 1–4.
+        sf_type: u8,
+    },
+    /// Read an access-info row (35 %).
+    GetAccessData {
+        /// Subscriber id.
+        sid: u64,
+        /// Access-info type, 1–4.
+        ai_type: u8,
+    },
+    /// Update subscriber bit + special-facility data (2 %).
+    UpdateSubscriberData {
+        /// Subscriber id.
+        sid: u64,
+        /// Special-facility type, 1–4.
+        sf_type: u8,
+        /// New bit value.
+        bit: bool,
+    },
+    /// Update a subscriber's location (14 %).
+    UpdateLocation {
+        /// Subscriber id.
+        sid: u64,
+        /// New location value.
+        location: u64,
+    },
+    /// Insert a call-forwarding row (2 %).
+    InsertCallForwarding {
+        /// Subscriber id.
+        sid: u64,
+        /// Special-facility type, 1–4.
+        sf_type: u8,
+        /// Forwarding start hour (0, 8 or 16).
+        start_time: u8,
+    },
+    /// Delete a call-forwarding row (2 %).
+    DeleteCallForwarding {
+        /// Subscriber id.
+        sid: u64,
+        /// Special-facility type, 1–4.
+        sf_type: u8,
+        /// Forwarding start hour (0, 8 or 16).
+        start_time: u8,
+    },
+}
+
+impl TatpTxn {
+    /// Whether the transaction only reads.
+    pub fn is_read_only(&self) -> bool {
+        matches!(
+            self,
+            TatpTxn::GetSubscriberData { .. }
+                | TatpTxn::GetNewDestination { .. }
+                | TatpTxn::GetAccessData { .. }
+        )
+    }
+
+    /// The subscriber the transaction touches.
+    pub fn sid(&self) -> u64 {
+        match *self {
+            TatpTxn::GetSubscriberData { sid }
+            | TatpTxn::GetNewDestination { sid, .. }
+            | TatpTxn::GetAccessData { sid, .. }
+            | TatpTxn::UpdateSubscriberData { sid, .. }
+            | TatpTxn::UpdateLocation { sid, .. }
+            | TatpTxn::InsertCallForwarding { sid, .. }
+            | TatpTxn::DeleteCallForwarding { sid, .. } => sid,
+        }
+    }
+}
+
+/// TATP transaction generator (non-uniform subscriber selection per the
+/// TATP spec's `NURand`-like rule).
+#[derive(Clone, Debug)]
+pub struct TatpGenerator {
+    subscribers: u64,
+    a: u64,
+    rng: SimRng,
+}
+
+impl TatpGenerator {
+    /// Creates a generator over `subscribers` subscriber rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subscribers == 0`.
+    pub fn new(subscribers: u64, seed: u64) -> Self {
+        assert!(subscribers > 0, "need at least one subscriber");
+        // TATP's non-uniform constant A depends on the population size.
+        let a = if subscribers <= 1_000_000 {
+            65_535
+        } else {
+            1_048_575
+        };
+        TatpGenerator {
+            subscribers,
+            a,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Number of subscribers.
+    pub fn subscribers(&self) -> u64 {
+        self.subscribers
+    }
+
+    fn pick_sid(&mut self) -> u64 {
+        let a = self.a.min(self.subscribers.saturating_sub(1)).max(1);
+        let x = self.rng.next_u64_below(a + 1);
+        let y = self.rng.next_u64_below(self.subscribers);
+        (x | y) % self.subscribers
+    }
+
+    fn sf_type(&mut self) -> u8 {
+        1 + self.rng.next_u64_below(4) as u8
+    }
+
+    fn start_time(&mut self) -> u8 {
+        (self.rng.next_u64_below(3) * 8) as u8
+    }
+
+    /// Draws the next transaction.
+    pub fn next_txn(&mut self) -> TatpTxn {
+        let dice = self.rng.next_u64_below(100);
+        let sid = self.pick_sid();
+        match dice {
+            0..=34 => TatpTxn::GetSubscriberData { sid },
+            35..=44 => TatpTxn::GetNewDestination {
+                sid,
+                sf_type: self.sf_type(),
+            },
+            45..=79 => TatpTxn::GetAccessData {
+                sid,
+                ai_type: self.sf_type(),
+            },
+            80..=81 => TatpTxn::UpdateSubscriberData {
+                sid,
+                sf_type: self.sf_type(),
+                bit: self.rng.gen_bool(0.5),
+            },
+            82..=95 => TatpTxn::UpdateLocation {
+                sid,
+                location: self.rng.next_u64(),
+            },
+            96..=97 => TatpTxn::InsertCallForwarding {
+                sid,
+                sf_type: self.sf_type(),
+                start_time: self.start_time(),
+            },
+            _ => TatpTxn::DeleteCallForwarding {
+                sid,
+                sf_type: self.sf_type(),
+                start_time: self.start_time(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_80_percent_read_only() {
+        let mut g = TatpGenerator::new(100_000, 11);
+        let n = 20_000;
+        let ro = (0..n).filter(|_| g.next_txn().is_read_only()).count();
+        let ratio = ro as f64 / n as f64;
+        assert!((ratio - 0.80).abs() < 0.02, "read-only ratio {ratio}");
+    }
+
+    #[test]
+    fn sids_stay_in_range() {
+        let mut g = TatpGenerator::new(777, 12);
+        for _ in 0..5_000 {
+            assert!(g.next_txn().sid() < 777);
+        }
+    }
+
+    #[test]
+    fn sf_types_and_start_times_are_valid() {
+        let mut g = TatpGenerator::new(1000, 13);
+        for _ in 0..10_000 {
+            match g.next_txn() {
+                TatpTxn::GetNewDestination { sf_type, .. }
+                | TatpTxn::UpdateSubscriberData { sf_type, .. } => {
+                    assert!((1..=4).contains(&sf_type))
+                }
+                TatpTxn::InsertCallForwarding {
+                    sf_type,
+                    start_time,
+                    ..
+                }
+                | TatpTxn::DeleteCallForwarding {
+                    sf_type,
+                    start_time,
+                    ..
+                } => {
+                    assert!((1..=4).contains(&sf_type));
+                    assert!([0, 8, 16].contains(&start_time));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn nurand_is_nonuniform() {
+        // The OR-fold biases sids toward ones with more set bits.
+        let mut g = TatpGenerator::new(1 << 16, 14);
+        let mut high = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if g.next_txn().sid() >= (1 << 15) {
+                high += 1;
+            }
+        }
+        let ratio = high as f64 / n as f64;
+        assert!(
+            ratio > 0.6,
+            "upper-half share {ratio} should exceed uniform 0.5"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let seq = |seed| {
+            let mut g = TatpGenerator::new(1000, seed);
+            (0..20).map(|_| g.next_txn()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(1), seq(1));
+        assert_ne!(seq(1), seq(2));
+    }
+}

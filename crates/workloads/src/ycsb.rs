@@ -1,0 +1,194 @@
+//! YCSB-style key/value workloads with the paper's three read/write mixes
+//! (§6.2.1): write-heavy (50 % updates), read-heavy (5 % updates) and
+//! read-only; keys follow a scrambled Zipfian (θ = 0.99 by default).
+
+use smart_rt::rng::SimRng;
+
+use crate::zipf::ScrambledZipfian;
+
+/// The three YCSB mixes the paper evaluates.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Mix {
+    /// 50 % updates, 50 % lookups.
+    WriteHeavy,
+    /// 5 % updates, 95 % lookups.
+    ReadHeavy,
+    /// 100 % lookups.
+    ReadOnly,
+    /// 100 % updates (used by the Figure 14 conflict study).
+    UpdateOnly,
+    /// Custom update fraction.
+    Custom(f64),
+}
+
+impl Mix {
+    /// The update fraction of this mix.
+    pub fn update_fraction(self) -> f64 {
+        match self {
+            Mix::WriteHeavy => 0.50,
+            Mix::ReadHeavy => 0.05,
+            Mix::ReadOnly => 0.0,
+            Mix::UpdateOnly => 1.0,
+            Mix::Custom(f) => f.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// One generated index operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum YcsbOp {
+    /// Read the value of a key.
+    Lookup(u64),
+    /// Overwrite the value of a key.
+    Update(u64),
+}
+
+impl YcsbOp {
+    /// The key this operation touches.
+    pub fn key(self) -> u64 {
+        match self {
+            YcsbOp::Lookup(k) | YcsbOp::Update(k) => k,
+        }
+    }
+
+    /// Whether this is an update.
+    pub fn is_update(self) -> bool {
+        matches!(self, YcsbOp::Update(_))
+    }
+}
+
+/// Per-client YCSB operation stream.
+///
+/// ```rust
+/// use smart_workloads::ycsb::{Mix, YcsbGenerator};
+///
+/// let mut g = YcsbGenerator::new(1_000, 0.99, Mix::ReadHeavy, 42);
+/// let op = g.next_op();
+/// assert!(op.key() < 1_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct YcsbGenerator {
+    keys: ScrambledZipfian,
+    mix: Mix,
+    rng: SimRng,
+}
+
+impl YcsbGenerator {
+    /// Creates a generator over `n` keys with Zipfian skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `[0, 1)`.
+    pub fn new(n: u64, theta: f64, mix: Mix, seed: u64) -> Self {
+        YcsbGenerator {
+            keys: ScrambledZipfian::new(n, theta),
+            mix,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Number of keys in the key space.
+    pub fn key_space(&self) -> u64 {
+        self.keys.n()
+    }
+
+    /// Derives a generator with the same key space and mix but an
+    /// independent random stream — cheap (the Zipfian tables are reused),
+    /// which matters when spawning hundreds of client coroutines.
+    pub fn fork(&self, seed: u64) -> YcsbGenerator {
+        YcsbGenerator {
+            keys: self.keys.clone(),
+            mix: self.mix,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> YcsbOp {
+        let key = self.keys.next(&mut self.rng);
+        if self.rng.gen_bool(self.mix.update_fraction()) {
+            YcsbOp::Update(key)
+        } else {
+            YcsbOp::Lookup(key)
+        }
+    }
+
+    /// An 8-byte value derived from `key` and a version counter — lets
+    /// correctness tests verify that reads observe some legitimately
+    /// written value.
+    pub fn value_for(key: u64, version: u64) -> u64 {
+        key.rotate_left(17) ^ version.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update_ratio(mix: Mix) -> f64 {
+        let mut g = YcsbGenerator::new(10_000, 0.99, mix, 7);
+        let n = 20_000;
+        let updates = (0..n).filter(|_| g.next_op().is_update()).count();
+        updates as f64 / n as f64
+    }
+
+    #[test]
+    fn write_heavy_is_half_updates() {
+        let r = update_ratio(Mix::WriteHeavy);
+        assert!((r - 0.5).abs() < 0.02, "ratio {r}");
+    }
+
+    #[test]
+    fn read_heavy_is_5_percent_updates() {
+        let r = update_ratio(Mix::ReadHeavy);
+        assert!((r - 0.05).abs() < 0.01, "ratio {r}");
+    }
+
+    #[test]
+    fn read_only_never_updates() {
+        assert_eq!(update_ratio(Mix::ReadOnly), 0.0);
+    }
+
+    #[test]
+    fn update_only_always_updates() {
+        assert_eq!(update_ratio(Mix::UpdateOnly), 1.0);
+    }
+
+    #[test]
+    fn custom_mix_clamps() {
+        assert_eq!(Mix::Custom(2.0).update_fraction(), 1.0);
+        assert_eq!(Mix::Custom(-1.0).update_fraction(), 0.0);
+        let r = update_ratio(Mix::Custom(0.25));
+        assert!((r - 0.25).abs() < 0.02, "ratio {r}");
+    }
+
+    #[test]
+    fn keys_stay_in_space() {
+        let mut g = YcsbGenerator::new(123, 0.5, Mix::WriteHeavy, 1);
+        for _ in 0..5_000 {
+            assert!(g.next_op().key() < 123);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ops = |seed| {
+            let mut g = YcsbGenerator::new(100, 0.99, Mix::WriteHeavy, seed);
+            (0..50).map(|_| g.next_op()).collect::<Vec<_>>()
+        };
+        assert_eq!(ops(5), ops(5));
+        assert_ne!(ops(5), ops(6));
+    }
+
+    #[test]
+    fn value_for_varies_with_inputs() {
+        assert_ne!(
+            YcsbGenerator::value_for(1, 0),
+            YcsbGenerator::value_for(1, 1)
+        );
+        assert_ne!(
+            YcsbGenerator::value_for(1, 0),
+            YcsbGenerator::value_for(2, 0)
+        );
+    }
+}

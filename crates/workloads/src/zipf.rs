@@ -1,0 +1,252 @@
+//! Zipfian key generator (Gray et al., "Quickly generating billion-record
+//! synthetic databases", SIGMOD '94) — the distribution YCSB and the SMART
+//! paper use for skewed keys (θ = 0.99).
+
+use smart_rt::rng::SimRng;
+
+/// Draws ranks in `[0, n)` with Zipfian skew θ; rank 0 is the hottest.
+///
+/// With θ = 0 the distribution is uniform; θ = 0.99 is YCSB's default
+/// "zipfian constant" used throughout the SMART evaluation.
+///
+/// ```rust
+/// use smart_rt::rng::SimRng;
+/// use smart_workloads::zipf::Zipfian;
+///
+/// let mut z = Zipfian::new(1_000, 0.99);
+/// let mut rng = SimRng::new(7);
+/// let rank = z.next(&mut rng);
+/// assert!(rank < 1_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Exact for small n; Euler–Maclaurin style approximation beyond, which
+    // keeps construction O(1)-ish for the paper's 100 M-key tables.
+    const EXACT: u64 = 1_000_000;
+    if n <= EXACT {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    } else {
+        let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        // ∫_{EXACT}^{n} x^-θ dx
+        let tail =
+            ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
+        head + tail
+    }
+}
+
+impl Zipfian {
+    /// Creates a generator over `n` ranks with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `theta < 0` or `theta >= 1`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs a non-empty key space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        if theta == 0.0 {
+            return Zipfian {
+                n,
+                theta,
+                alpha: 0.0,
+                zetan: 0.0,
+                eta: 0.0,
+            };
+        }
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws the next rank; rank 0 is the most popular.
+    pub fn next(&mut self, rng: &mut SimRng) -> u64 {
+        if self.theta == 0.0 {
+            return rng.next_u64_below(self.n);
+        }
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// A scrambled Zipfian: Zipfian ranks hashed over the key space so hot
+/// keys are spread out (YCSB's `ScrambledZipfianGenerator`).
+#[derive(Clone, Debug)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x1_0000_01B3;
+
+/// FNV-1a 64-bit hash of a `u64`, YCSB-style.
+pub fn fnv1a_u64(mut v: u64) -> u64 {
+    let mut h = FNV_OFFSET;
+    for _ in 0..8 {
+        h ^= v & 0xFF;
+        h = h.wrapping_mul(FNV_PRIME);
+        v >>= 8;
+    }
+    h
+}
+
+impl ScrambledZipfian {
+    /// Creates a scrambled generator over `n` keys with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Zipfian::new`].
+    pub fn new(n: u64, theta: f64) -> Self {
+        ScrambledZipfian {
+            inner: Zipfian::new(n, theta),
+        }
+    }
+
+    /// Number of keys.
+    pub fn n(&self) -> u64 {
+        self.inner.n()
+    }
+
+    /// Draws the next key in `[0, n)`.
+    pub fn next(&mut self, rng: &mut SimRng) -> u64 {
+        let rank = self.inner.next(rng);
+        fnv1a_u64(rank) % self.inner.n()
+    }
+
+    /// The key a given rank maps to (rank 0 is the hottest key).
+    pub fn key_of_rank(&self, rank: u64) -> u64 {
+        fnv1a_u64(rank) % self.inner.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head_mass(theta: f64, n: u64, draws: usize, head: u64) -> f64 {
+        let mut z = Zipfian::new(n, theta);
+        let mut rng = SimRng::new(1);
+        let mut hits = 0usize;
+        for _ in 0..draws {
+            if z.next(&mut rng) < head {
+                hits += 1;
+            }
+        }
+        hits as f64 / draws as f64
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let mass = head_mass(0.0, 10_000, 50_000, 100);
+        assert!((mass - 0.01).abs() < 0.005, "head mass {mass}");
+    }
+
+    #[test]
+    fn theta_099_is_heavily_skewed() {
+        // With θ=0.99 the top 100 of 10k keys draw a large share.
+        let mass = head_mass(0.99, 10_000, 50_000, 100);
+        assert!(mass > 0.45, "head mass {mass}");
+    }
+
+    #[test]
+    fn skew_increases_with_theta() {
+        let m0 = head_mass(0.0, 10_000, 30_000, 10);
+        let m5 = head_mass(0.5, 10_000, 30_000, 10);
+        let m9 = head_mass(0.9, 10_000, 30_000, 10);
+        assert!(m0 < m5 && m5 < m9, "{m0} {m5} {m9}");
+    }
+
+    #[test]
+    fn ranks_stay_in_range() {
+        for theta in [0.0, 0.5, 0.99] {
+            let mut z = Zipfian::new(97, theta);
+            let mut rng = SimRng::new(3);
+            for _ in 0..10_000 {
+                assert!(z.next(&mut rng) < 97);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_frequent() {
+        let mut z = Zipfian::new(1000, 0.99);
+        let mut rng = SimRng::new(5);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        let max = counts.iter().copied().max().expect("nonempty");
+        assert_eq!(counts[0], max);
+        assert!(counts[0] > counts[10] && counts[10] > counts[500]);
+    }
+
+    #[test]
+    fn large_n_constructs_and_draws() {
+        let mut z = Zipfian::new(100_000_000, 0.99);
+        let mut rng = SimRng::new(9);
+        for _ in 0..1000 {
+            assert!(z.next(&mut rng) < 100_000_000);
+        }
+    }
+
+    #[test]
+    fn scrambled_spreads_hot_keys_but_keeps_skew() {
+        let mut s = ScrambledZipfian::new(10_000, 0.99);
+        let mut rng = SimRng::new(2);
+        let hot = s.key_of_rank(0);
+        let mut hot_hits = 0;
+        for _ in 0..20_000 {
+            if s.next(&mut rng) == hot {
+                hot_hits += 1;
+            }
+        }
+        // The hottest key keeps its zipfian share (~10 % for θ=.99, n=10k)...
+        assert!(hot_hits > 1000, "hot hits {hot_hits}");
+        // ...but is not simply key 0.
+        assert_ne!(hot, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn rejects_theta_one() {
+        let _ = Zipfian::new(10, 1.0);
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_spreading() {
+        assert_eq!(fnv1a_u64(42), fnv1a_u64(42));
+        assert_ne!(fnv1a_u64(1), fnv1a_u64(2));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use smart_rt::rng::SimRng;
+use smart_rt::Duration;
+use smart_workloads::latency::LatencyRecorder;
+use smart_workloads::smallbank::SmallBankGenerator;
+use smart_workloads::tatp::TatpGenerator;
+use smart_workloads::ycsb::{Mix, YcsbGenerator};
+use smart_workloads::zipf::Zipfian;
+
+proptest! {
+    #[test]
+    fn zipf_ranks_always_in_range(
+        n in 1u64..100_000,
+        theta in 0.0f64..0.999,
+        seed in any::<u64>(),
+    ) {
+        let mut z = Zipfian::new(n, theta);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            prop_assert!(z.next(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_are_monotone(
+        samples in prop::collection::vec(1u64..10_000_000_000, 1..200),
+        quantiles in prop::collection::vec(0.0f64..=1.0, 2..6),
+    ) {
+        let mut rec = LatencyRecorder::new();
+        for &ns in &samples {
+            rec.record(Duration::from_nanos(ns));
+        }
+        let mut qs = quantiles;
+        qs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mut prev = Duration::ZERO;
+        for q in qs {
+            let v = rec.percentile(q);
+            prop_assert!(v >= prev, "percentile({q}) = {v:?} < {prev:?}");
+            prev = v;
+        }
+        prop_assert!(rec.percentile(1.0) >= Duration::from_nanos(*samples.iter().max().expect("nonempty") * 98 / 100));
+    }
+
+    #[test]
+    fn latency_percentile_error_is_bounded(ns in 64u64..10_000_000_000) {
+        let mut rec = LatencyRecorder::new();
+        rec.record(Duration::from_nanos(ns));
+        let got = rec.percentile(0.5).as_nanos() as f64;
+        let err = (got - ns as f64).abs() / ns as f64;
+        prop_assert!(err <= 0.02, "ns {ns} -> {got}, err {err}");
+    }
+
+    #[test]
+    fn merged_recorder_counts_add_up(
+        a in prop::collection::vec(1u64..1_000_000, 0..100),
+        b in prop::collection::vec(1u64..1_000_000, 0..100),
+    ) {
+        let mut ra = LatencyRecorder::new();
+        let mut rb = LatencyRecorder::new();
+        for &x in &a { ra.record(Duration::from_nanos(x)); }
+        for &x in &b { rb.record(Duration::from_nanos(x)); }
+        let (ca, cb) = (ra.count(), rb.count());
+        ra.merge(&rb);
+        prop_assert_eq!(ra.count(), ca + cb);
+    }
+
+    #[test]
+    fn ycsb_streams_are_deterministic_and_in_range(
+        n in 1u64..1_000_000,
+        seed in any::<u64>(),
+        frac in 0.0f64..=1.0,
+    ) {
+        let mut g1 = YcsbGenerator::new(n, 0.99, Mix::Custom(frac), seed);
+        let mut g2 = YcsbGenerator::new(n, 0.99, Mix::Custom(frac), seed);
+        for _ in 0..100 {
+            let (a, b) = (g1.next_op(), g2.next_op());
+            prop_assert_eq!(a, b);
+            prop_assert!(a.key() < n);
+        }
+    }
+
+    #[test]
+    fn smallbank_accounts_in_range(accounts in 2u64..1_000_000, seed in any::<u64>()) {
+        let mut g = SmallBankGenerator::new(accounts, seed);
+        for _ in 0..100 {
+            for a in g.next_txn().accounts() {
+                prop_assert!(a < accounts);
+            }
+        }
+    }
+
+    #[test]
+    fn tatp_sids_in_range(subs in 1u64..2_000_000, seed in any::<u64>()) {
+        let mut g = TatpGenerator::new(subs, seed);
+        for _ in 0..100 {
+            prop_assert!(g.next_txn().sid() < subs);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! A disaggregated cache server — the IOPS-bound workload class the
+//! paper's introduction motivates. Runs the RACE hash table with 48
+//! client threads under a skewed read-heavy mix, first as plain RACE
+//! (per-thread QPs) and then as SMART-HT, and prints the throughput and
+//! latency gap.
+//!
+//! Run with: `cargo run --release --example kv_cache`
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use smart_lab::smart::{QpPolicy, SmartConfig, SmartContext};
+use smart_lab::smart_race::{RaceConfig, RaceHashTable};
+use smart_lab::smart_rnic::{Cluster, ClusterConfig};
+use smart_lab::smart_rt::{Duration, Simulation};
+use smart_lab::smart_workloads::latency::LatencyRecorder;
+use smart_lab::smart_workloads::ycsb::{Mix, YcsbGenerator, YcsbOp};
+
+const THREADS: usize = 48;
+const DEPTH: usize = 8;
+const KEYS: u64 = 100_000;
+
+fn run(name: &str, cfg: SmartConfig) {
+    let mut sim = Simulation::new(7);
+    let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
+    let table = RaceHashTable::create(
+        cluster.blades(),
+        RaceConfig {
+            initial_depth: 4,
+            ..Default::default()
+        },
+    );
+    for k in 0..KEYS {
+        table.load(&k.to_le_bytes(), format!("value-{k}").as_bytes());
+    }
+
+    let ctx = SmartContext::new(cluster.compute(0), cluster.blades(), cfg);
+    let ops = Rc::new(Cell::new(0u64));
+    let latency = Rc::new(RefCell::new(LatencyRecorder::new()));
+    let base = YcsbGenerator::new(KEYS, 0.99, Mix::ReadHeavy, 1);
+
+    for t in 0..THREADS {
+        let thread = ctx.create_thread();
+        for c in 0..DEPTH {
+            let coro = thread.coroutine();
+            let table = Rc::clone(&table);
+            let mut gen = base.fork((t * DEPTH + c) as u64);
+            let ops = Rc::clone(&ops);
+            let latency = Rc::clone(&latency);
+            let handle = sim.handle();
+            sim.spawn(async move {
+                loop {
+                    let start = handle.now();
+                    match gen.next_op() {
+                        YcsbOp::Lookup(k) => {
+                            let v = table.get(&coro, &k.to_le_bytes()).await;
+                            assert!(v.is_some(), "cache must hold every loaded key");
+                        }
+                        YcsbOp::Update(k) => {
+                            let _ = table.update(&coro, &k.to_le_bytes(), b"fresh-value").await;
+                        }
+                    }
+                    ops.set(ops.get() + 1);
+                    latency.borrow_mut().record(handle.now() - start);
+                }
+            });
+        }
+    }
+
+    // Warm up (lets SMART's tuners converge), then measure 10 ms.
+    sim.run_for(Duration::from_millis(40));
+    latency.borrow_mut().reset();
+    let before = ops.get();
+    sim.run_for(Duration::from_millis(10));
+    let done = ops.get() - before;
+
+    let lat = latency.borrow();
+    println!(
+        "{name:>9}: {:6.2} Mop/s   p50 {:7.1} us   p99 {:8.1} us   avg CAS retries {:.2}",
+        done as f64 / 0.010 / 1e6,
+        lat.median().as_nanos() as f64 / 1e3,
+        lat.p99().as_nanos() as f64 / 1e3,
+        table.stats().avg_retries(),
+    );
+}
+
+fn main() {
+    println!(
+        "disaggregated KV cache: {THREADS} client threads x {DEPTH} coroutines, \
+         {KEYS} keys, YCSB read-heavy (zipf 0.99)\n"
+    );
+    run(
+        "RACE",
+        SmartConfig::baseline(QpPolicy::PerThreadQp, THREADS),
+    );
+    run("SMART-HT", SmartConfig::smart_full(THREADS));
+    println!("\nSMART-HT wins by removing doorbell contention (§4.1), WQE-cache");
+    println!("thrashing (§4.2) and wasted CAS retries (§4.3).");
+}

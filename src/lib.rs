@@ -1,0 +1,10 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the SMART reproduction. Re-exports the workspace crates.
+pub use smart;
+pub use smart_ford;
+pub use smart_race;
+pub use smart_rnic;
+pub use smart_rt;
+pub use smart_sherman;
+pub use smart_workloads;

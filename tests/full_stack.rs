@@ -1,0 +1,248 @@
+//! Workspace-level integration tests: the full stack (runtime → RNIC →
+//! SMART → applications) exercised together, including determinism and
+//! multi-compute-node scenarios.
+
+use std::rc::Rc;
+
+use smart_lab::smart::{QpPolicy, SmartConfig, SmartContext};
+use smart_lab::smart_ford::{backoff_after_abort, SmallBank};
+use smart_lab::smart_race::{RaceConfig, RaceHashTable};
+use smart_lab::smart_rnic::{Cluster, ClusterConfig};
+use smart_lab::smart_rt::{Duration, Simulation};
+use smart_lab::smart_sherman::{ShermanConfig, ShermanTree};
+use smart_lab::smart_workloads::smallbank::SmallBankGenerator;
+use smart_lab::smart_workloads::ycsb::{Mix, YcsbGenerator, YcsbOp};
+
+/// All three applications share one cluster and run concurrently; every
+/// data structure stays consistent.
+#[test]
+fn three_applications_share_a_cluster() {
+    let mut sim = Simulation::new(1);
+    let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
+
+    let table = RaceHashTable::create(cluster.blades(), RaceConfig::default());
+    let tree = ShermanTree::create(cluster.blades(), ShermanConfig::with_speculative_lookup());
+    let bank = SmallBank::create(cluster.blades(), 64, 1_000);
+    for k in 0..500u64 {
+        table.load(&k.to_le_bytes(), &k.to_be_bytes());
+        tree.load(k, k + 1);
+    }
+
+    let ctx = SmartContext::new(
+        cluster.compute(0),
+        cluster.blades(),
+        SmartConfig::smart_full(3),
+    );
+
+    // One thread per application.
+    let t1 = ctx.create_thread();
+    let table2 = Rc::clone(&table);
+    let j1 = sim.spawn(async move {
+        let coro = t1.coroutine();
+        for k in 0..200u64 {
+            table2
+                .update(&coro, &k.to_le_bytes(), &(k * 7).to_le_bytes())
+                .await
+                .expect("update");
+        }
+    });
+
+    let t2 = ctx.create_thread();
+    let tree2 = Rc::clone(&tree);
+    let j2 = sim.spawn(async move {
+        let coro = t2.coroutine();
+        for k in 500..700u64 {
+            tree2.insert(&coro, k, k).await;
+        }
+        assert_eq!(tree2.get(&coro, 650).await, Some(650));
+    });
+
+    let t3 = ctx.create_thread();
+    let bank2 = Rc::clone(&bank);
+    let log = bank.db().alloc_log_region();
+    let j3 = sim.spawn(async move {
+        let coro = t3.coroutine();
+        let mut gen = SmallBankGenerator::new(64, 9);
+        for _ in 0..100 {
+            let txn = gen.next_txn();
+            let mut attempt = 0;
+            while bank2.execute(&coro, log, &txn).await.is_err() {
+                attempt += 1;
+                backoff_after_abort(&coro, attempt).await;
+            }
+        }
+    });
+
+    sim.run_for(Duration::from_secs(3));
+    assert!(j1.is_finished() && j2.is_finished() && j3.is_finished());
+
+    // Cross-checks after the dust settles.
+    assert_eq!(table.stats().updates.get(), 200);
+    let pairs = tree.check_consistency();
+    assert_eq!(pairs.len(), 700);
+    assert_eq!(bank.stats().committed.get(), 100);
+}
+
+/// The same seed must reproduce the exact same execution, event for
+/// event — the core promise of the deterministic simulator.
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    fn run(seed: u64) -> (u64, u64, u64) {
+        let mut sim = Simulation::new(seed);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
+        let table = RaceHashTable::create(cluster.blades(), RaceConfig::default());
+        for k in 0..2_000u64 {
+            table.load(&k.to_le_bytes(), &k.to_le_bytes());
+        }
+        let ctx = SmartContext::new(
+            cluster.compute(0),
+            cluster.blades(),
+            SmartConfig::smart_full(8),
+        );
+        for t in 0..8 {
+            let thread = ctx.create_thread();
+            let table = Rc::clone(&table);
+            let mut gen = YcsbGenerator::new(2_000, 0.99, Mix::WriteHeavy, t);
+            sim.spawn(async move {
+                let coro = thread.coroutine();
+                loop {
+                    match gen.next_op() {
+                        YcsbOp::Lookup(k) => {
+                            table.get(&coro, &k.to_le_bytes()).await;
+                        }
+                        YcsbOp::Update(k) => {
+                            let _ = table.update(&coro, &k.to_le_bytes(), b"new-val8").await;
+                        }
+                    }
+                }
+            });
+        }
+        sim.run_for(Duration::from_millis(5));
+        let node = cluster.compute(0).counters();
+        (
+            node.ops_completed,
+            table.stats().lookups.get() + table.stats().updates.get(),
+            table.stats().cas_retries.get(),
+        )
+    }
+    let a = run(77);
+    let b = run(77);
+    let c = run(78);
+    assert_eq!(a, b, "same seed, same virtual execution");
+    assert_ne!(a, c, "different seed, different execution");
+}
+
+/// Two compute nodes hammer the same hash table; writes from both are
+/// visible everywhere and CAS arbitration stays correct.
+#[test]
+fn two_compute_nodes_share_one_table() {
+    let mut sim = Simulation::new(5);
+    let cluster = Cluster::new(sim.handle(), ClusterConfig::new(2, 2));
+    let table = RaceHashTable::create(cluster.blades(), RaceConfig::default());
+    table.load(b"shared", b"init0000");
+
+    let mut joins = Vec::new();
+    for node in 0..2u64 {
+        let ctx = SmartContext::new(
+            cluster.compute(node as usize),
+            cluster.blades(),
+            SmartConfig::smart_full(4),
+        );
+        for t in 0..4u64 {
+            let thread = ctx.create_thread();
+            let table = Rc::clone(&table);
+            joins.push(sim.spawn(async move {
+                let coro = thread.coroutine();
+                for i in 0..25u64 {
+                    let key = (node * 1000 + t * 100 + i).to_le_bytes();
+                    table
+                        .insert(&coro, &key, &i.to_le_bytes())
+                        .await
+                        .expect("insert");
+                    table
+                        .update(&coro, b"shared", &(node * 10 + t).to_le_bytes())
+                        .await
+                        .expect("update");
+                }
+            }));
+        }
+    }
+    sim.run_for(Duration::from_secs(3));
+    for j in &joins {
+        assert!(j.is_finished());
+    }
+
+    // Every key inserted by either node is readable from the other.
+    let probe_ctx = SmartContext::new(
+        cluster.compute(1),
+        cluster.blades(),
+        SmartConfig::baseline(QpPolicy::PerThreadQp, 1),
+    );
+    let thread = probe_ctx.create_thread();
+    let table2 = Rc::clone(&table);
+    sim.block_on(async move {
+        let coro = thread.coroutine();
+        for node in 0..2u64 {
+            for t in 0..4u64 {
+                for i in 0..25u64 {
+                    let key = (node * 1000 + t * 100 + i).to_le_bytes();
+                    assert_eq!(
+                        table2.get(&coro, &key).await.as_deref(),
+                        Some(i.to_le_bytes().as_slice())
+                    );
+                }
+            }
+        }
+        let hot = table2.get(&coro, b"shared").await.expect("hot key present");
+        let v = u64::from_le_bytes(hot.try_into().expect("8 bytes"));
+        assert!(v < 20, "final value must come from one of the writers");
+    });
+    assert_eq!(table.stats().updates.get(), 200);
+}
+
+/// SMART's headline effect end-to-end: with 48 threads, the full SMART
+/// configuration beats the per-thread-QP baseline on the read-heavy
+/// hash-table workload.
+#[test]
+fn smart_beats_baseline_end_to_end() {
+    fn throughput(cfg: SmartConfig) -> u64 {
+        let mut sim = Simulation::new(11);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
+        let table = RaceHashTable::create(cluster.blades(), RaceConfig::default());
+        for k in 0..10_000u64 {
+            table.load(&k.to_le_bytes(), &k.to_le_bytes());
+        }
+        let ctx = SmartContext::new(cluster.compute(0), cluster.blades(), cfg);
+        let base = YcsbGenerator::new(10_000, 0.99, Mix::ReadHeavy, 3);
+        for t in 0..48u64 {
+            let thread = ctx.create_thread();
+            for c in 0..8u64 {
+                let coro = thread.coroutine();
+                let table = Rc::clone(&table);
+                let mut g = base.fork(t * 8 + c);
+                sim.spawn(async move {
+                    loop {
+                        match g.next_op() {
+                            YcsbOp::Lookup(k) => {
+                                table.get(&coro, &k.to_le_bytes()).await;
+                            }
+                            YcsbOp::Update(k) => {
+                                let _ = table.update(&coro, &k.to_le_bytes(), b"freshval").await;
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        sim.run_for(Duration::from_millis(45));
+        let before = table.stats().lookups.get();
+        sim.run_for(Duration::from_millis(5));
+        table.stats().lookups.get() - before
+    }
+    let baseline = throughput(SmartConfig::baseline(QpPolicy::PerThreadQp, 48));
+    let smart = throughput(SmartConfig::smart_full(48));
+    assert!(
+        smart > baseline * 2,
+        "SMART {smart} lookups vs baseline {baseline} in the same window"
+    );
+}
