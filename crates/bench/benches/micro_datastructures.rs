@@ -1,84 +1,102 @@
-//! Criterion microbenchmarks of the hot data structures underneath the
+//! Wall-clock microbenchmarks of the hot data structures underneath the
 //! simulator: the PRNG, Zipfian generator, LRU cache, node codec and the
-//! discrete-event executor itself. These measure real wall-clock cost
-//! (unlike the figure benches, which measure virtual-time throughput).
+//! discrete-event executor itself. These measure real elapsed time (unlike
+//! the figure benches, which measure virtual-time throughput) with a small
+//! self-contained timing harness, so the workspace stays dependency-free.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
+use smart_bench::{banner, BenchTable, Mode};
 use smart_rnic::lru::LruCache;
 use smart_rt::rng::SimRng;
 use smart_rt::{Duration, Simulation};
 use smart_sherman::Node;
 use smart_workloads::zipf::Zipfian;
 
-fn bench_rng(c: &mut Criterion) {
-    let mut rng = SimRng::new(1);
-    c.bench_function("simrng/next_u64", |b| {
-        b.iter(|| black_box(rng.next_u64()));
-    });
-    c.bench_function("simrng/next_u64_below", |b| {
-        b.iter(|| black_box(rng.next_u64_below(1_000_003)));
-    });
+/// Times `op` over enough iterations to fill roughly `budget`, after a
+/// short warm-up, and reports mean nanoseconds per iteration.
+fn bench(name: &str, table: &mut BenchTable, budget: std::time::Duration, mut op: impl FnMut()) {
+    // Warm-up + calibration: discover an iteration count that fills the
+    // budget without calling Instant::now in the hot loop.
+    let mut iters: u64 = 64;
+    let iters = loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        let elapsed = t.elapsed();
+        if elapsed >= budget / 8 {
+            let scale = budget.as_nanos().max(1) / elapsed.as_nanos().max(1);
+            break (iters * scale.max(1) as u64).max(iters);
+        }
+        iters = iters.saturating_mul(4);
+    };
+    let t = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+    eprintln!("  {name}: {ns:.1} ns/iter ({iters} iters)");
+    table.row(&[&name, &format!("{ns:.2}"), &iters]);
 }
 
-fn bench_zipf(c: &mut Criterion) {
+fn main() {
+    let mode = Mode::from_env();
+    banner("Micro: hot data structures (wall-clock)", mode);
+    let budget = mode.pick(
+        std::time::Duration::from_millis(20),
+        std::time::Duration::from_millis(200),
+    );
+    let mut table = BenchTable::new("micro_datastructures", &["bench", "ns_per_iter", "iters"]);
+
+    let mut rng = SimRng::new(1);
+    bench("simrng/next_u64", &mut table, budget, || {
+        black_box(rng.next_u64());
+    });
+    let mut rng = SimRng::new(1);
+    bench("simrng/next_u64_below", &mut table, budget, || {
+        black_box(rng.next_u64_below(1_000_003));
+    });
+
     let mut z = Zipfian::new(100_000_000, 0.99);
     let mut rng = SimRng::new(2);
-    c.bench_function("zipf/next_theta099_100M", |b| {
-        b.iter(|| black_box(z.next(&mut rng)));
+    bench("zipf/next_theta099_100M", &mut table, budget, || {
+        black_box(z.next(&mut rng));
     });
-}
 
-fn bench_lru(c: &mut Criterion) {
     let mut cache = LruCache::new(1024);
     let mut rng = SimRng::new(3);
-    c.bench_function("lru/insert_touch_mixed", |b| {
-        b.iter(|| {
-            let k = rng.next_u64_below(4096);
-            if !cache.touch(&k) {
-                cache.insert(k);
-            }
-        });
+    bench("lru/insert_touch_mixed", &mut table, budget, || {
+        let k = rng.next_u64_below(4096);
+        if !cache.touch(&k) {
+            cache.insert(k);
+        }
     });
-}
 
-fn bench_node_codec(c: &mut Criterion) {
     let mut node = Node::new_leaf(0, u64::MAX);
     for k in 0..smart_sherman::FANOUT as u64 {
         node.upsert(k * 7, k);
     }
     let buf = node.encode();
-    c.bench_function("btree_node/encode", |b| {
-        b.iter(|| black_box(node.encode()));
+    bench("btree_node/encode", &mut table, budget, || {
+        black_box(node.encode());
     });
-    c.bench_function("btree_node/decode", |b| {
-        b.iter(|| black_box(Node::decode(&buf)));
+    bench("btree_node/decode", &mut table, budget, || {
+        black_box(Node::decode(&buf));
     });
-}
 
-fn bench_executor(c: &mut Criterion) {
-    c.bench_function("executor/spawn_sleep_run_1000", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new(0);
-            let h = sim.handle();
-            for i in 0..1000u64 {
-                let h = h.clone();
-                sim.spawn(async move {
-                    h.sleep(Duration::from_nanos(i)).await;
-                });
-            }
-            sim.run();
-        });
+    bench("executor/spawn_sleep_run_1000", &mut table, budget, || {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        for i in 0..1000u64 {
+            let h = h.clone();
+            sim.spawn(async move {
+                h.sleep(Duration::from_nanos(i)).await;
+            });
+        }
+        sim.run();
     });
-}
 
-criterion_group!(
-    benches,
-    bench_rng,
-    bench_zipf,
-    bench_lru,
-    bench_node_codec,
-    bench_executor
-);
-criterion_main!(benches);
+    table.finish();
+}

@@ -2,7 +2,7 @@
 //! and builds `SmartThread`s according to the allocation policy.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use smart_rnic::{BladeId, ComputeNode, Cq, DeviceContext, DoorbellBinding, MemoryBlade, Qp};
@@ -29,8 +29,8 @@ pub struct SmartContext {
     blades: Vec<Rc<MemoryBlade>>,
     /// The shared device context (absent for per-thread-context policy).
     device: Option<Rc<DeviceContext>>,
-    shared_qps: RefCell<HashMap<(usize, usize), Rc<Qp>>>,
-    shared_hubs: RefCell<HashMap<usize, Rc<CompletionHub>>>,
+    shared_qps: RefCell<BTreeMap<(usize, usize), Rc<Qp>>>,
+    shared_hubs: RefCell<BTreeMap<usize, Rc<CompletionHub>>>,
     next_thread: Cell<usize>,
     next_wr: Cell<u64>,
 }
@@ -76,8 +76,8 @@ impl SmartContext {
             node: Rc::clone(node),
             blades: blades.to_vec(),
             device,
-            shared_qps: RefCell::new(HashMap::new()),
-            shared_hubs: RefCell::new(HashMap::new()),
+            shared_qps: RefCell::new(BTreeMap::new()),
+            shared_hubs: RefCell::new(BTreeMap::new()),
             next_thread: Cell::new(0),
             next_wr: Cell::new(1),
         })

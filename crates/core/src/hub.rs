@@ -5,7 +5,7 @@
 //! coroutine for each thread to poll CQs" (§5.1).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -19,7 +19,7 @@ use crate::throttle::WrThrottle;
 /// coroutines.
 pub struct CompletionHub {
     cq: Rc<Cq>,
-    map: RefCell<HashMap<u64, Cqe>>,
+    map: RefCell<BTreeMap<u64, Cqe>>,
     notify: Notify,
 }
 
@@ -53,7 +53,7 @@ impl CompletionHub {
     ) -> Rc<Self> {
         let hub = Rc::new(CompletionHub {
             cq: Rc::clone(&cq),
-            map: RefCell::new(HashMap::new()),
+            map: RefCell::new(BTreeMap::new()),
             notify: Notify::new(),
         });
         let pump = Rc::clone(&hub);

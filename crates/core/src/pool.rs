@@ -14,7 +14,7 @@
 //! thread-aware allocation invariant.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use smart_rnic::{BladeId, Cq, DeviceContext, DoorbellBinding, MemoryBlade, Qp};
@@ -24,7 +24,7 @@ pub struct QpPool {
     device: Rc<DeviceContext>,
     cq: Rc<Cq>,
     binding: DoorbellBinding,
-    idle: RefCell<HashMap<BladeId, Vec<Rc<Qp>>>>,
+    idle: RefCell<BTreeMap<BladeId, Vec<Rc<Qp>>>>,
     created: Cell<usize>,
 }
 
@@ -50,7 +50,7 @@ impl QpPool {
             // coroutine.
             cq: Cq::new(),
             binding,
-            idle: RefCell::new(HashMap::new()),
+            idle: RefCell::new(BTreeMap::new()),
             created: Cell::new(0),
         }
     }

@@ -1,0 +1,133 @@
+//! `smart-lint` — workspace determinism & calibration-drift static
+//! analysis for the SMART reproduction.
+//!
+//! Every figure this repo reproduces rests on the claim that the
+//! discrete-event simulation is deterministic from a single seed. This
+//! crate mechanically enforces the invariants behind that claim over all
+//! workspace `.rs` sources plus DESIGN.md, with zero dependencies:
+//!
+//! | rule | enforces |
+//! |---|---|
+//! | `wall-clock` | no `Instant::now`/`SystemTime` in sim crates |
+//! | `os-concurrency` | no OS threads / blocking sync in sim crates |
+//! | `unordered-iter` | no `HashMap`/`HashSet` in non-test sim code |
+//! | `unseeded-rng` | no `thread_rng`/`from_entropy`/`OsRng` anywhere |
+//! | `calibration-drift` | DESIGN.md §4 constants match config defaults |
+//! | `bench-index-drift` | DESIGN.md §3 bench targets exist on disk |
+//!
+//! False positives are silenced inline with `// lint:allow(<rule>)`
+//! (covers that line and the next) or `// lint:allow-file(<rule>)`
+//! (covers the file); both should carry a rationale.
+//!
+//! Run it with `cargo run -p smart-lint` (non-zero exit on violations);
+//! `tests/lint_workspace.rs` wires the same pass into `cargo test`.
+
+pub mod rules;
+pub mod scrub;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use rules::{Diagnostic, SourceFile};
+
+/// Directories never scanned: build output, VCS state, CSV dumps and the
+/// lint's own deliberately-bad fixtures.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "bench_out", "fixtures"];
+
+/// Recursively collects every `.rs` file under `root`, as sorted
+/// root-relative paths (sorted so diagnostics are deterministic).
+fn collect_rs(root: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                found.push(
+                    path.strip_prefix(root)
+                        .expect("walk stays under root")
+                        .to_path_buf(),
+                );
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Loads and scrubs one workspace source.
+fn load(root: &Path, rel: &Path) -> Option<SourceFile> {
+    let src = fs::read_to_string(root.join(rel)).ok()?;
+    Some(SourceFile {
+        rel: rel.to_path_buf(),
+        scrubbed: scrub::scrub(&src),
+    })
+}
+
+/// Runs the whole lint pass over the workspace at `root`.
+///
+/// Diagnostics come back sorted by path and line. An unreadable
+/// DESIGN.md or config source is itself a diagnostic — the pass must
+/// never silently skip the files it exists to check.
+pub fn run_lint(root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rel in collect_rs(root) {
+        let Some(file) = load(root, &rel) else {
+            continue;
+        };
+        rules::wall_clock(&file, &mut out);
+        rules::os_concurrency(&file, &mut out);
+        rules::unordered_iter(&file, &mut out);
+        rules::unseeded_rng(&file, &mut out);
+    }
+
+    let design_rel = Path::new("DESIGN.md");
+    match fs::read_to_string(root.join(design_rel)) {
+        Ok(design) => {
+            let rnic_cfg = load(root, Path::new("crates/rnic/src/config.rs"));
+            let core_cfg = load(root, Path::new("crates/core/src/config.rs"));
+            match (rnic_cfg, core_cfg) {
+                (Some(rnic_cfg), Some(core_cfg)) => {
+                    rules::calibration_drift(design_rel, &design, &rnic_cfg, &core_cfg, &mut out);
+                }
+                _ => out.push(Diagnostic {
+                    path: design_rel.to_path_buf(),
+                    line: 1,
+                    rule: "calibration-drift",
+                    message: "missing crates/rnic/src/config.rs or crates/core/src/config.rs"
+                        .into(),
+                }),
+            }
+            rules::bench_index_drift(root, design_rel, &design, &mut out);
+        }
+        Err(_) => out.push(Diagnostic {
+            path: design_rel.to_path_buf(),
+            line: 1,
+            rule: "calibration-drift",
+            message: "DESIGN.md not found — calibration cannot be checked".into(),
+        }),
+    }
+
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_dirs_cover_fixtures() {
+        assert!(SKIP_DIRS.contains(&"fixtures"));
+        assert!(SKIP_DIRS.contains(&"target"));
+    }
+}

@@ -1,0 +1,44 @@
+//! `cargo run -p smart-lint [-- <workspace-root>]`
+//!
+//! Prints one `file:line: [rule] message` diagnostic per violation and
+//! exits non-zero if there are any. With no argument it lints the
+//! workspace that contains the current directory (walking up to the
+//! first dir holding both `Cargo.toml` and `DESIGN.md`, so it works from
+//! any crate subdirectory).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("DESIGN.md").is_file() && dir.join("Cargo.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return std::env::current_dir().expect("cwd");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => find_workspace_root(),
+    };
+    let diags = smart_lint::run_lint(&root);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("smart-lint: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "smart-lint: {} violation(s) in {}",
+            diags.len(),
+            root.display()
+        );
+        ExitCode::FAILURE
+    }
+}

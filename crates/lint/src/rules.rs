@@ -1,0 +1,576 @@
+//! The six lint rules.
+//!
+//! Every rule is a pure function from scrubbed sources to diagnostics;
+//! the driver in [`crate::run_lint`] handles file discovery, scrubbing
+//! and pragma suppression. Code rules operate per line on a
+//! whitespace-condensed copy of the scrubbed line, so `Instant :: now`
+//! and `Instant::now` both match while anything inside comments, string
+//! literals or `#[cfg(test)]` modules never does.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::scrub::Scrubbed;
+
+/// Crates whose `src/` trees are simulation code: nothing inside them may
+/// observe wall-clock time, OS threads or unordered iteration, because
+/// all of it can reach the event queue and break seed-determinism.
+pub const SIM_CRATES: &[&str] = &["rt", "rnic", "core", "race", "ford", "sherman", "workloads"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the linted root.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (e.g. `wall-clock`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// A scrubbed workspace source file, ready for rule matching.
+pub struct SourceFile {
+    /// Path relative to the linted root, with `/` separators.
+    pub rel: PathBuf,
+    pub scrubbed: Scrubbed,
+}
+
+impl SourceFile {
+    /// True if this file is non-test simulation code.
+    pub fn is_sim_src(&self) -> bool {
+        let s = self.rel.to_string_lossy().replace('\\', "/");
+        SIM_CRATES
+            .iter()
+            .any(|c| s.starts_with(&format!("crates/{c}/src/")))
+    }
+
+    /// Scrubbed lines paired with their whitespace-condensed form.
+    fn condensed_lines(&self) -> impl Iterator<Item = (usize, String)> + '_ {
+        self.scrubbed.text.lines().enumerate().map(|(i, l)| {
+            (
+                i + 1,
+                l.chars().filter(|c| !c.is_whitespace()).collect::<String>(),
+            )
+        })
+    }
+}
+
+/// True if `needle` occurs in `hay` delimited by non-identifier chars.
+fn has_ident(hay: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+fn diag(
+    file: &SourceFile,
+    line: usize,
+    rule: &'static str,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !file.scrubbed.allowed(rule, line) {
+        out.push(Diagnostic {
+            path: file.rel.clone(),
+            line,
+            rule,
+            message,
+        });
+    }
+}
+
+/// Rule 1 — `wall-clock`: simulation code must be driven by `SimTime`
+/// only; real clocks make runs irreproducible.
+pub fn wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    for (line, l) in file.condensed_lines() {
+        for pat in ["Instant::now", "std::time::Instant", "SystemTime"] {
+            if l.contains(pat) {
+                diag(
+                    file,
+                    line,
+                    "wall-clock",
+                    format!("`{pat}` in sim code; only SimTime may drive time"),
+                    out,
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Rule 2 — `os-concurrency`: the executor is single-threaded; OS
+/// threads and blocking sync primitives mask scheduling bugs.
+pub fn os_concurrency(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    for (line, l) in file.condensed_lines() {
+        let hit = if l.contains("thread::spawn") || l.contains("std::thread") {
+            Some("std::thread")
+        } else if l.contains("std::sync::Mutex") {
+            Some("std::sync::Mutex")
+        } else if l.contains("std::sync::RwLock") {
+            Some("std::sync::RwLock")
+        } else if l.contains("std::sync::Condvar") || has_ident(&l, "Condvar") {
+            Some("Condvar")
+        } else if l.contains("std::sync::{") && (has_ident(&l, "Mutex") || has_ident(&l, "RwLock"))
+        {
+            Some("std::sync::{Mutex|RwLock}")
+        } else {
+            None
+        };
+        if let Some(pat) = hit {
+            diag(
+                file,
+                line,
+                "os-concurrency",
+                format!("`{pat}` in sim code; the executor is single-threaded — use smart_rt::sync primitives"),
+                out,
+            );
+        }
+    }
+}
+
+/// Rule 3 — `unordered-iter`: `HashMap`/`HashSet` iteration order is
+/// randomized per process; if it reaches the event queue, two runs with
+/// one seed diverge. Sim code must use `BTreeMap`/`BTreeSet`/`Vec`, or
+/// carry a pragma arguing the map is never iterated.
+pub fn unordered_iter(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    for (line, l) in file.condensed_lines() {
+        for pat in ["HashMap", "HashSet"] {
+            if has_ident(&l, pat) {
+                diag(
+                    file,
+                    line,
+                    "unordered-iter",
+                    format!(
+                        "`{pat}` in sim code; iteration order is unseeded — use BTreeMap/BTreeSet/Vec \
+                         or justify with lint:allow(unordered-iter)"
+                    ),
+                    out,
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Rule 4 — `unseeded-rng`: all randomness must come from the seeded
+/// PRNG in `smart_rt::rng`; entropy-seeded generators break replay.
+/// Applies to every workspace source, tests included.
+pub fn unseeded_rng(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (line, l) in file.condensed_lines() {
+        for pat in ["thread_rng", "from_entropy", "OsRng", "rand::random"] {
+            let hit = if pat.contains("::") {
+                l.contains(pat)
+            } else {
+                has_ident(&l, pat)
+            };
+            if hit {
+                diag(
+                    file,
+                    line,
+                    "unseeded-rng",
+                    format!("`{pat}` draws OS entropy; use the seeded smart_rt::rng::SimRng"),
+                    out,
+                );
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// calibration-drift
+// ---------------------------------------------------------------------------
+
+/// A numeric config field parsed out of a scrubbed Rust source.
+fn field_value(file: &SourceFile, field: &str) -> Option<(usize, f64)> {
+    let marker = format!("{field}:");
+    for (line, l) in file.condensed_lines() {
+        let Some(pos) = l.find(&marker) else { continue };
+        let rest = &l[pos + marker.len()..];
+        // Either a literal (`uar_medium:12,`) or a duration constructor
+        // (`base_service:Duration::from_nanos(9),`).
+        let num = if let Some(inner) = rest.strip_prefix("Duration::from_nanos(") {
+            parse_number(inner)
+        } else if let Some(inner) = rest.strip_prefix("Duration::from_micros(") {
+            parse_number(inner).map(|v| v * 1_000.0)
+        } else {
+            parse_number(rest)
+        };
+        if let Some(v) = num {
+            return Some((line, v));
+        }
+    }
+    None
+}
+
+/// Parses a leading `f64` allowing `_` separators; `None` if the text
+/// does not start with a digit.
+fn parse_number(s: &str) -> Option<f64> {
+    let cleaned: String = s
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_' || *c == '.')
+        .filter(|c| *c != '_')
+        .collect();
+    if cleaned.is_empty() || !cleaned.starts_with(|c: char| c.is_ascii_digit()) {
+        return None;
+    }
+    cleaned.trim_end_matches('.').parse().ok()
+}
+
+/// Finds the first number in `s` at or after `from`.
+fn first_number(s: &str) -> Option<f64> {
+    let start = s.find(|c: char| c.is_ascii_digit())?;
+    parse_number(&s[start..])
+}
+
+/// Finds the number immediately preceding `marker` on the same line.
+fn number_before(line: &str, marker: &str) -> Option<f64> {
+    let pos = line.find(marker)?;
+    let head = line[..pos].trim_end();
+    let tail_start = head
+        .rfind(|c: char| !(c.is_ascii_digit() || c == '_' || c == '.'))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    parse_number(&head[tail_start..])
+}
+
+/// The calibration constants DESIGN.md §4 promises.
+#[derive(Debug, PartialEq)]
+pub struct DesignCalibration {
+    /// Hardware IOPS ceiling in MOPS ("110 MOPS ceiling").
+    pub mops_ceiling: f64,
+    /// Doorbells per device context ("Doorbells: 16 per context").
+    pub doorbells: f64,
+    /// WQE cache capacity ("1024-entry capacity-pressure model").
+    pub wqe_entries: f64,
+    /// Backoff unit in cycles ("t0 = 4096 cycles").
+    pub t0_cycles: f64,
+    /// Fabric roundtrip budget in µs ("2 µs roundtrip budget").
+    pub roundtrip_us: f64,
+}
+
+/// Extracts the §4 constants from DESIGN.md prose. Returns Err with the
+/// missing anchor phrase when the doc was reworded past recognition —
+/// the lint then fails, which is exactly the drift signal we want.
+pub fn parse_design_calibration(design: &str) -> Result<DesignCalibration, String> {
+    let mut mops = None;
+    let mut doorbells = None;
+    let mut wqe = None;
+    let mut t0 = None;
+    let mut rt = None;
+    for line in design.lines() {
+        if mops.is_none() && line.contains("MOPS ceiling") {
+            mops = number_before(line, "MOPS ceiling");
+        }
+        if doorbells.is_none() {
+            if let Some(pos) = line.find("Doorbells:") {
+                doorbells = first_number(&line[pos..]);
+            }
+        }
+        if wqe.is_none() && line.contains("-entry") && line.contains("WQE cache") {
+            wqe = number_before(line, "-entry");
+        }
+        if t0.is_none() {
+            if let Some(pos) = line.find("t0 = ") {
+                t0 = first_number(&line[pos + 5..]);
+            }
+        }
+        if rt.is_none() && line.contains("roundtrip budget") {
+            rt = number_before(line, "µs roundtrip budget");
+        }
+    }
+    Ok(DesignCalibration {
+        mops_ceiling: mops.ok_or("§4 'NNN MOPS ceiling'")?,
+        doorbells: doorbells.ok_or("§4 'Doorbells: NN per context'")?,
+        wqe_entries: wqe.ok_or("§4 'NNNN-entry … WQE cache'")?,
+        t0_cycles: t0.ok_or("§4 't0 = NNNN cycles'")?,
+        roundtrip_us: rt.ok_or("§4 'N µs roundtrip budget'")?,
+    })
+}
+
+/// Rule 5 — `calibration-drift`: DESIGN.md §4 constants must match the
+/// defaults in `smart_rnic::config` (and `t0` in `smart::config`).
+///
+/// `design` is the raw DESIGN.md text; `rnic_cfg`/`core_cfg` are the
+/// scrubbed config sources. Ceiling tolerance is 2.5 % (the doc rounds
+/// 111.1 down to the paper's 110); the roundtrip budget tolerance is
+/// 25 % because the doc states an approximate budget, not a parameter.
+pub fn calibration_drift(
+    design_path: &Path,
+    design: &str,
+    rnic_cfg: &SourceFile,
+    core_cfg: &SourceFile,
+    out: &mut Vec<Diagnostic>,
+) {
+    let cal = match parse_design_calibration(design) {
+        Ok(c) => c,
+        Err(anchor) => {
+            out.push(Diagnostic {
+                path: design_path.to_path_buf(),
+                line: 1,
+                rule: "calibration-drift",
+                message: format!("could not find {anchor} in DESIGN.md — doc and lint drifted"),
+            });
+            return;
+        }
+    };
+    fn check(
+        file: &SourceFile,
+        field: &str,
+        expect: f64,
+        tol: f64,
+        what: &str,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        match field_value(file, field) {
+            Some((line, got)) if (got - expect).abs() > tol => diag(
+                file,
+                line,
+                "calibration-drift",
+                format!("{what}: config has {got}, DESIGN.md §4 says {expect}"),
+                out,
+            ),
+            Some(_) => {}
+            None => out.push(Diagnostic {
+                path: file.rel.clone(),
+                line: 1,
+                rule: "calibration-drift",
+                message: format!(
+                    "could not parse default `{field}` out of {}",
+                    file.rel.display()
+                ),
+            }),
+        }
+    }
+    // base_service ns → MOPS ceiling.
+    match field_value(rnic_cfg, "base_service") {
+        Some((line, ns)) if ns > 0.0 => {
+            let mops = 1_000.0 / ns;
+            if (mops - cal.mops_ceiling).abs() > cal.mops_ceiling * 0.025 {
+                diag(
+                    rnic_cfg,
+                    line,
+                    "calibration-drift",
+                    format!(
+                        "IOPS ceiling: base_service {ns} ns ⇒ {mops:.1} MOPS, DESIGN.md §4 says {} MOPS",
+                        cal.mops_ceiling
+                    ),
+                    out,
+                );
+            }
+        }
+        _ => out.push(Diagnostic {
+            path: rnic_cfg.rel.clone(),
+            line: 1,
+            rule: "calibration-drift",
+            message: "could not parse default `base_service`".into(),
+        }),
+    }
+    // Doorbell count is the sum of the low-latency and medium pools.
+    match (
+        field_value(rnic_cfg, "uar_low_latency"),
+        field_value(rnic_cfg, "uar_medium"),
+    ) {
+        (Some((line, low)), Some((_, med))) => {
+            if low + med != cal.doorbells {
+                diag(
+                    rnic_cfg,
+                    line,
+                    "calibration-drift",
+                    format!(
+                        "doorbells per context: config has {} + {} = {}, DESIGN.md §4 says {}",
+                        low,
+                        med,
+                        low + med,
+                        cal.doorbells
+                    ),
+                    out,
+                );
+            }
+        }
+        _ => out.push(Diagnostic {
+            path: rnic_cfg.rel.clone(),
+            line: 1,
+            rule: "calibration-drift",
+            message: "could not parse default `uar_low_latency`/`uar_medium`".into(),
+        }),
+    }
+    check(
+        rnic_cfg,
+        "wqe_cache_entries",
+        cal.wqe_entries,
+        0.0,
+        "WQE cache entries",
+        out,
+    );
+    check(
+        core_cfg,
+        "t0_cycles",
+        cal.t0_cycles,
+        0.0,
+        "backoff unit t0",
+        out,
+    );
+    // one_way_latency ns ×2 vs the roundtrip budget.
+    match field_value(rnic_cfg, "one_way_latency")
+        .or_else(|| field_value(core_cfg, "one_way_latency"))
+    {
+        Some((line, _)) => {
+            // The field lives in FabricConfig inside the rnic config file.
+            let (line, ns) = field_value(rnic_cfg, "one_way_latency").unwrap_or((line, 0.0));
+            let rt_us = 2.0 * ns / 1_000.0;
+            if (rt_us - cal.roundtrip_us).abs() > cal.roundtrip_us * 0.25 {
+                diag(
+                    rnic_cfg,
+                    line,
+                    "calibration-drift",
+                    format!(
+                        "fabric roundtrip: 2 × one_way_latency = {rt_us:.2} µs, DESIGN.md §4 budgets {} µs (±25 %)",
+                        cal.roundtrip_us
+                    ),
+                    out,
+                );
+            }
+        }
+        None => out.push(Diagnostic {
+            path: rnic_cfg.rel.clone(),
+            line: 1,
+            rule: "calibration-drift",
+            message: "could not parse default `one_way_latency`".into(),
+        }),
+    }
+}
+
+/// Rule 6 — `bench-index-drift`: every bench target named in DESIGN.md
+/// §3's experiment index must exist under `crates/bench/benches/`.
+pub fn bench_index_drift(root: &Path, design_path: &Path, design: &str, out: &mut Vec<Diagnostic>) {
+    for (i, line) in design.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("bench/benches/") {
+            let tail = &rest[pos..];
+            let Some(end) = tail.find(".rs") else { break };
+            let rel = &tail[..end + 3];
+            let on_disk = root.join("crates").join(rel);
+            if !on_disk.is_file() {
+                out.push(Diagnostic {
+                    path: design_path.to_path_buf(),
+                    line: i + 1,
+                    rule: "bench-index-drift",
+                    message: format!(
+                        "experiment index names `{rel}` but crates/{rel} does not exist"
+                    ),
+                });
+            }
+            rest = &tail[end + 3..];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    fn sim_file(src: &str) -> SourceFile {
+        SourceFile {
+            rel: PathBuf::from("crates/rt/src/fake.rs"),
+            scrubbed: scrub(src),
+        }
+    }
+
+    #[test]
+    fn ident_matching_respects_boundaries() {
+        assert!(!has_ident("useHashMap;", "HashMap"));
+        assert!(has_ident("x: HashMap<u64,u32>", "HashMap"));
+        assert!(!has_ident("MyHashMapLike", "HashMap"));
+    }
+
+    #[test]
+    fn wall_clock_flags_and_pragma_suppresses() {
+        let mut out = Vec::new();
+        wall_clock(&sim_file("let t = Instant::now();"), &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        wall_clock(
+            &sim_file("let t = Instant::now(); // lint:allow(wall-clock)"),
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn non_sim_crates_are_exempt_from_sim_rules() {
+        let file = SourceFile {
+            rel: PathBuf::from("crates/bench/benches/micro.rs"),
+            scrubbed: scrub("let t = Instant::now();"),
+        };
+        let mut out = Vec::new();
+        wall_clock(&file, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parse_number_handles_underscores() {
+        assert_eq!(parse_number("1_150),"), Some(1150.0));
+        assert_eq!(parse_number("9.09 ns"), Some(9.09));
+        assert_eq!(parse_number("abc"), None);
+    }
+
+    #[test]
+    fn design_extraction_finds_all_constants() {
+        let doc = "\
+* RNIC pipeline: 9.09 ns/WQE base service ⇒ 110 MOPS ceiling (§6.1).
+* Doorbells: 16 per context (4 low-latency: 1 QP each; 12 medium).
+* WQE cache: 1024-entry capacity-pressure model; a miss adds 13 ns.
+* Backoff unit: `t0 = 4096 cycles` at 2.4 GHz ≈ 1.7 µs.
+* Fabric: 2 µs roundtrip budget, 200 Gbps links.
+";
+        let cal = parse_design_calibration(doc).expect("parses");
+        assert_eq!(cal.mops_ceiling, 110.0);
+        assert_eq!(cal.doorbells, 16.0);
+        assert_eq!(cal.wqe_entries, 1024.0);
+        assert_eq!(cal.t0_cycles, 4096.0);
+        assert_eq!(cal.roundtrip_us, 2.0);
+    }
+}

@@ -1,0 +1,374 @@
+//! A minimal Rust source scrubber.
+//!
+//! Rules must not fire on text inside comments, string/char literals or
+//! `#[cfg(test)]` modules, and must honour `// lint:allow(<rule>)`
+//! pragmas. Rather than building a full lexer token stream, the scrubber
+//! produces a copy of the source with exactly the same byte/line layout
+//! in which the contents of comments and literals are replaced by spaces;
+//! rules then do plain substring matching on the scrubbed text and line
+//! numbers stay valid for diagnostics.
+
+/// Suppression pragmas found in comments.
+///
+/// `// lint:allow(rule)` suppresses `rule` on the pragma's own line and
+/// on the line immediately below (so a pragma can sit on its own line
+/// above the code it excuses). `// lint:allow-file(rule)` suppresses the
+/// rule for the whole file; it must come with a rationale in practice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the pragma appears on.
+    pub line: usize,
+    /// Rule name inside the parentheses.
+    pub rule: String,
+    /// Whether this is a whole-file `lint:allow-file` pragma.
+    pub whole_file: bool,
+}
+
+/// The result of scrubbing one source file.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// Source text with comment and literal contents blanked to spaces.
+    /// Line structure is identical to the input.
+    pub text: String,
+    /// All suppression pragmas, in file order.
+    pub allows: Vec<Allow>,
+}
+
+impl Scrubbed {
+    /// True if `rule` is suppressed at `line` (1-based).
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.whole_file || a.line == line || a.line + 1 == line))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scrubs Rust source: blanks comments and string/char literal contents
+/// (keeping delimiters and newlines), extracts `lint:allow` pragmas and
+/// blanks `#[cfg(test)] mod … { … }` blocks.
+pub fn scrub(src: &str) -> Scrubbed {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut allows = Vec::new();
+    let mut state = State::Normal;
+    let mut line = 1usize;
+    let mut comment_buf = String::new();
+    let mut comment_line = 0usize;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            if state == State::LineComment {
+                flush_pragmas(&comment_buf, comment_line, &mut allows);
+                comment_buf.clear();
+                state = State::Normal;
+            }
+            out.push(b'\n');
+            line += 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    state = State::LineComment;
+                    comment_line = line;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    state = State::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'"' {
+                    state = State::Str;
+                    out.push(b'"');
+                    i += 1;
+                } else if c == b'r' || c == b'b' {
+                    // Possible raw/byte string start: r", r#", br", b"…
+                    let (is_raw, hashes, len) = raw_string_start(&b[i..]);
+                    if is_raw {
+                        state = State::RawStr(hashes);
+                        out.resize(out.len() + len, b' ');
+                        out.push(b'"');
+                        i += len + 1;
+                    } else if c == b'b' && i + 1 < b.len() && b[i + 1] == b'"' {
+                        state = State::Str;
+                        out.extend_from_slice(b" \"");
+                        i += 2;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else if c == b'\'' {
+                    // Distinguish a char literal from a lifetime: a
+                    // lifetime is `'` + ident not followed by a closing
+                    // quote (e.g. `'a>`, `'static`).
+                    if is_char_literal(&b[i..]) {
+                        state = State::Char;
+                        out.push(b'\'');
+                        i += 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment_buf.push(c as char);
+                out.push(b' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if depth == 1 {
+                        state = State::Normal;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == b'\\' && i + 1 < b.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'"' {
+                    out.push(b'"');
+                    i += 1;
+                    state = State::Normal;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' && has_hashes(&b[i + 1..], hashes) {
+                    out.push(b'"');
+                    out.resize(out.len() + hashes as usize, b' ');
+                    i += 1 + hashes as usize;
+                    state = State::Normal;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == b'\\' && i + 1 < b.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'\'' {
+                    out.push(b'\'');
+                    i += 1;
+                    state = State::Normal;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if state == State::LineComment {
+        flush_pragmas(&comment_buf, comment_line, &mut allows);
+    }
+    let mut text = String::from_utf8(out).expect("scrub preserves UTF-8 structure");
+    blank_test_mods(&mut text);
+    Scrubbed { text, allows }
+}
+
+/// Parses `lint:allow(a, b)` / `lint:allow-file(a)` out of one comment.
+fn flush_pragmas(comment: &str, line: usize, allows: &mut Vec<Allow>) {
+    for (marker, whole_file) in [("lint:allow-file(", true), ("lint:allow(", false)] {
+        let mut rest = comment;
+        while let Some(pos) = rest.find(marker) {
+            let after = &rest[pos + marker.len()..];
+            if let Some(end) = after.find(')') {
+                for rule in after[..end].split(',') {
+                    let rule = rule.trim();
+                    if !rule.is_empty() {
+                        allows.push(Allow {
+                            line,
+                            rule: rule.to_string(),
+                            whole_file,
+                        });
+                    }
+                }
+                rest = &after[end..];
+            } else {
+                break;
+            }
+        }
+        // `lint:allow-file(` also contains `lint:allow`? No: "lint:allow("
+        // requires the open paren right after "allow", which "-file("
+        // breaks, so the two markers never double-report.
+    }
+}
+
+/// Detects `r"`, `r#"`, `br"`, `br##"` … at the start of `b`.
+/// Returns (is_raw, hash_count, prefix_len_before_quote).
+fn raw_string_start(b: &[u8]) -> (bool, u32, usize) {
+    let mut j = 0;
+    if b[0] == b'b' {
+        j = 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return (false, 0, 0);
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        (true, hashes, j)
+    } else {
+        (false, 0, 0)
+    }
+}
+
+fn has_hashes(b: &[u8], n: u32) -> bool {
+    let n = n as usize;
+    b.len() >= n && b[..n].iter().all(|&c| c == b'#')
+}
+
+fn is_char_literal(b: &[u8]) -> bool {
+    // b[0] == '\''. `'\x'`, `'a'`, `'\u{…}'` are char literals; `'a` is a
+    // lifetime. An escape always means a literal.
+    if b.len() < 2 {
+        return false;
+    }
+    if b[1] == b'\\' {
+        return true;
+    }
+    // A literal closes with a quote shortly after one code point.
+    let mut j = 2;
+    // Skip continuation bytes of a multi-byte code point.
+    while j < b.len() && b[j] & 0xC0 == 0x80 {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'\''
+}
+
+/// Blanks the bodies of `#[cfg(test)] mod … { … }` blocks in scrubbed
+/// text (newlines are preserved so line numbers stay valid).
+fn blank_test_mods(text: &mut str) {
+    let marker = "#[cfg(test)]";
+    let mut search_from = 0;
+    while let Some(pos) = text[search_from..].find(marker) {
+        let attr_at = search_from + pos;
+        let after_attr = attr_at + marker.len();
+        // Only treat it as a test *module* (`mod` keyword next); a
+        // `#[cfg(test)]` on a single item is rare in this codebase and
+        // blanking a whole item would be fine too, but stay precise.
+        let rest = &text[after_attr..];
+        let trimmed = rest.trim_start();
+        if !trimmed.starts_with("mod") {
+            search_from = after_attr;
+            continue;
+        }
+        let Some(open_rel) = rest.find('{') else {
+            break;
+        };
+        let open = after_attr + open_rel;
+        let bytes = unsafe { text.as_bytes_mut() };
+        let mut depth = 0i32;
+        let mut end = None;
+        for (k, &byte) in bytes.iter().enumerate().skip(open) {
+            match byte {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let end = end.unwrap_or(bytes.len() - 1);
+        for item in bytes.iter_mut().take(end).skip(open + 1) {
+            if *item != b'\n' {
+                *item = b' ';
+            }
+        }
+        search_from = end + 1;
+        if search_from >= text.len() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let s = scrub("let x = \"HashMap\"; // HashMap in comment\nuse foo;\n");
+        assert!(!s.text.contains("HashMap"));
+        assert!(s.text.contains("use foo;"));
+        assert_eq!(s.text.lines().count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = scrub("let x = r#\"Instant::now\"#; let y = 1;");
+        assert!(!s.text.contains("Instant"));
+        assert!(s.text.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scrub("fn f<'a>(x: &'a str) { let c = 'y'; }");
+        assert!(s.text.contains("'a>"), "lifetime untouched: {}", s.text);
+        assert!(!s.text.contains('y'), "char literal blanked: {}", s.text);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scrub("/* outer /* inner */ still comment */ let z = 3;");
+        assert!(!s.text.contains("outer"));
+        assert!(s.text.contains("let z = 3;"));
+    }
+
+    #[test]
+    fn pragmas_are_collected() {
+        let s = scrub("// lint:allow(wall-clock)\nInstant::now();\n// lint:allow-file(unordered-iter): reason\n");
+        assert!(s.allowed("wall-clock", 1));
+        assert!(s.allowed("wall-clock", 2), "applies one line below");
+        assert!(!s.allowed("wall-clock", 3));
+        assert!(s.allowed("unordered-iter", 999), "file pragma is global");
+    }
+
+    #[test]
+    fn test_mods_are_blanked() {
+        let src = "use std::collections::BTreeMap;\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\nfn live() {}\n";
+        let s = scrub(src);
+        assert!(!s.text.contains("HashMap"));
+        assert!(s.text.contains("BTreeMap"));
+        assert!(s.text.contains("fn live"));
+        assert_eq!(s.text.lines().count(), src.lines().count());
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture core config with a drifted backoff unit.
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            t0_cycles: 1024, // != 4096
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: unordered iteration in sim code.
+
+use std::collections::HashMap;
+
+pub fn naughty_iter(m: &HashMap<u64, u64>) -> u64 {
+    m.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    fn in_tests_is_fine() {
+        let _ok: HashSet<u64> = HashSet::new();
+    }
+}

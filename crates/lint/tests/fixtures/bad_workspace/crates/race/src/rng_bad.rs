@@ -1,0 +1,6 @@
+//! Fixture: entropy-seeded randomness.
+
+pub fn naughty_random() -> u64 {
+    let mut r = rand::thread_rng();
+    r.gen()
+}

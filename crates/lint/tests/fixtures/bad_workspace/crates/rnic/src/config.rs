@@ -1,0 +1,27 @@
+//! Fixture config whose defaults drifted from the fixture DESIGN.md.
+
+pub struct RnicConfig {
+    pub base_service: Duration,
+    pub wqe_cache_entries: u64,
+    pub uar_low_latency: u32,
+    pub uar_medium: u32,
+}
+
+impl Default for RnicConfig {
+    fn default() -> Self {
+        RnicConfig {
+            base_service: Duration::from_nanos(20), // 50 MOPS != 110 MOPS
+            wqe_cache_entries: 512,                 // != 1024
+            uar_low_latency: 4,
+            uar_medium: 8, // 4 + 8 != 16
+        }
+    }
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            one_way_latency: Duration::from_nanos(9_000), // 18 µs roundtrip != 2 µs
+        }
+    }
+}

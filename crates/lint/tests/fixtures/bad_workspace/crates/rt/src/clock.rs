@@ -1,0 +1,6 @@
+//! Fixture: wall-clock time in sim code.
+
+pub fn naughty_now() -> std::time::Instant {
+    let _epoch = std::time::SystemTime::UNIX_EPOCH;
+    Instant::now()
+}

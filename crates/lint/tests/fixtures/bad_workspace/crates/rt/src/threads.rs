@@ -1,0 +1,8 @@
+//! Fixture: OS concurrency in sim code.
+
+use std::sync::Mutex;
+
+pub fn naughty_spawn() {
+    let _guard = Mutex::new(0u32);
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,7 @@
+//! Fixture core config matching the fixture DESIGN.md.
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig { t0_cycles: 4096 }
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture config matching the fixture DESIGN.md.
+
+impl Default for RnicConfig {
+    fn default() -> Self {
+        RnicConfig {
+            base_service: Duration::from_nanos(9),
+            wqe_cache_entries: 1024,
+            uar_low_latency: 4,
+            uar_medium: 12,
+        }
+    }
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            one_way_latency: Duration::from_nanos(1_150),
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: sim code that stays inside the determinism rules, including
+//! a justified pragma and mentions of banned names in comments/strings
+//! that must not fire.
+
+use std::collections::BTreeMap;
+
+// A Waker-facing queue genuinely needs a real mutex.
+use std::sync::Mutex; // lint:allow(os-concurrency)
+
+pub fn fine(m: &BTreeMap<u64, u64>) -> u64 {
+    // HashMap and Instant::now only appear in this comment.
+    let _label = "prefer HashMap? no: SystemTime is banned";
+    let _m = Mutex::new(0u32);
+    m.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    fn test_code_may_use_hashmap() {
+        let _ok: HashMap<u64, u64> = HashMap::new();
+    }
+}

@@ -1,0 +1,37 @@
+//! Tier-1 gate: the real workspace must be lint-clean.
+//!
+//! This is the test that makes `cargo test` fail the moment anyone
+//! reintroduces wall-clock time, OS concurrency, unordered iteration or
+//! unseeded randomness into sim code, or lets DESIGN.md drift from the
+//! calibration defaults / bench index.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint → crates → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has two ancestors")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("DESIGN.md").is_file(),
+        "workspace root detection broke: {}",
+        root.display()
+    );
+    let diags = smart_lint::run_lint(root);
+    assert!(
+        diags.is_empty(),
+        "smart-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

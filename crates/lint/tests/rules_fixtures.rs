@@ -1,0 +1,135 @@
+//! Fixture-based tests: every rule fires on the seeded-bad workspace,
+//! none fires on the clean one, and the binary's exit code reflects it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn rules_hit(root: &str) -> Vec<smart_lint::Diagnostic> {
+    smart_lint::run_lint(&fixture(root))
+}
+
+#[test]
+fn bad_workspace_trips_every_rule() {
+    let diags = rules_hit("bad_workspace");
+    for rule in [
+        "wall-clock",
+        "os-concurrency",
+        "unordered-iter",
+        "unseeded-rng",
+        "calibration-drift",
+        "bench-index-drift",
+    ] {
+        assert!(
+            diags.iter().any(|d| d.rule == rule),
+            "expected a {rule} diagnostic, got:\n{}",
+            diags
+                .iter()
+                .map(|d| format!("  {d}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn bad_workspace_diagnostics_point_at_the_right_files() {
+    let diags = rules_hit("bad_workspace");
+    let at = |rule: &str| {
+        diags
+            .iter()
+            .filter(|d| d.rule == rule)
+            .map(|d| d.path.to_string_lossy().replace('\\', "/"))
+            .collect::<Vec<_>>()
+    };
+    assert!(at("wall-clock").iter().all(|p| p.ends_with("clock.rs")));
+    assert!(at("os-concurrency")
+        .iter()
+        .all(|p| p.ends_with("threads.rs")));
+    assert!(at("unordered-iter").iter().all(|p| p.ends_with("maps.rs")));
+    assert!(at("unseeded-rng").iter().all(|p| p.ends_with("rng_bad.rs")));
+    assert!(at("bench-index-drift").iter().all(|p| p == "DESIGN.md"));
+}
+
+#[test]
+fn bad_workspace_calibration_catches_all_five_constants() {
+    let diags = rules_hit("bad_workspace");
+    let msgs: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.rule == "calibration-drift")
+        .map(|d| d.message.as_str())
+        .collect();
+    for needle in [
+        "IOPS ceiling",
+        "doorbells per context",
+        "WQE cache entries",
+        "backoff unit t0",
+        "fabric roundtrip",
+    ] {
+        assert!(
+            msgs.iter().any(|m| m.contains(needle)),
+            "missing calibration check {needle:?} in {msgs:#?}"
+        );
+    }
+}
+
+#[test]
+fn test_modules_in_bad_workspace_do_not_fire() {
+    // maps.rs also holds a HashSet inside #[cfg(test)]; only the live
+    // HashMap lines may be reported.
+    let diags = rules_hit("bad_workspace");
+    assert!(
+        diags
+            .iter()
+            .filter(|d| d.rule == "unordered-iter")
+            .all(|d| !d.message.contains("HashSet")),
+        "test-module HashSet leaked into diagnostics"
+    );
+}
+
+#[test]
+fn clean_workspace_is_quiet_and_pragma_suppresses() {
+    let diags = rules_hit("clean_workspace");
+    assert!(
+        diags.is_empty(),
+        "clean fixture should produce no diagnostics:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn binary_exit_codes_reflect_violations() {
+    let bin = env!("CARGO_BIN_EXE_smart-lint");
+    let bad = Command::new(bin)
+        .arg(fixture("bad_workspace"))
+        .output()
+        .expect("run smart-lint");
+    assert!(
+        !bad.status.success(),
+        "expected non-zero exit on bad fixture"
+    );
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(
+        stdout.contains("[wall-clock]"),
+        "diagnostics on stdout: {stdout}"
+    );
+
+    let clean = Command::new(bin)
+        .arg(fixture("clean_workspace"))
+        .output()
+        .expect("run smart-lint");
+    assert!(
+        clean.status.success(),
+        "expected zero exit on clean fixture, stdout: {}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+}

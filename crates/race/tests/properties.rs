@@ -1,68 +1,101 @@
-//! Property-based tests for the hash-table layout and full-table model
-//! equivalence.
+//! Randomized (seeded, deterministic) tests for the hash-table layout and
+//! full-table model equivalence; the offline replacement for the earlier
+//! proptest suite.
 
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use proptest::prelude::*;
 use smart::{SmartConfig, SmartContext};
 use smart_race::layout::{decode_block, encode_block, hash_key, Slot, MAX_BLOCK_BYTES};
 use smart_race::{RaceConfig, RaceHashTable};
 use smart_rnic::{Cluster, ClusterConfig};
+use smart_rt::rng::SimRng;
 use smart_rt::Simulation;
 
-proptest! {
-    /// Slot encoding is a lossless round-trip over its full field ranges.
-    #[test]
-    fn slot_roundtrip(fp in any::<u8>(), units in 1usize..=255, off in 0u64..(1 << 48)) {
+fn rand_bytes(rng: &mut SimRng, max_len: u64) -> Vec<u8> {
+    let len = rng.next_u64_below(max_len) as usize;
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+/// Slot encoding is a lossless round-trip over its full field ranges.
+#[test]
+fn slot_roundtrip() {
+    let mut rng = SimRng::new(0x5107);
+    for _ in 0..512 {
+        let fp = rng.next_u64() as u8;
+        let units = rng.gen_range(1, 256) as usize;
+        let off = rng.next_u64_below(1 << 48);
         let s = Slot::encode(fp, units * 8, off);
-        prop_assert_eq!(s.fp(), fp);
-        prop_assert_eq!(s.block_bytes(), units * 8);
-        prop_assert_eq!(s.offset(), off);
-        prop_assert!(!s.is_empty() || (fp == 0 && units == 0 && off == 0));
+        assert_eq!(s.fp(), fp);
+        assert_eq!(s.block_bytes(), units * 8);
+        assert_eq!(s.offset(), off);
+        assert!(!s.is_empty() || (fp == 0 && units == 0 && off == 0));
     }
+}
 
-    /// Key/value blocks round-trip for arbitrary contents within the
-    /// encodable size.
-    #[test]
-    fn block_roundtrip(
-        key in prop::collection::vec(any::<u8>(), 0..128),
-        value in prop::collection::vec(any::<u8>(), 0..512),
-    ) {
+/// Key/value blocks round-trip for arbitrary contents within the
+/// encodable size.
+#[test]
+fn block_roundtrip() {
+    let mut rng = SimRng::new(0xB10C);
+    for _ in 0..256 {
+        let key = rand_bytes(&mut rng, 128);
+        let value = rand_bytes(&mut rng, 512);
         let buf = encode_block(&key, &value);
-        prop_assert!(buf.len() <= MAX_BLOCK_BYTES);
-        prop_assert_eq!(buf.len() % 8, 0);
+        assert!(buf.len() <= MAX_BLOCK_BYTES);
+        assert_eq!(buf.len() % 8, 0);
         let (k, v) = decode_block(&buf).expect("valid");
-        prop_assert_eq!(k, &key[..]);
-        prop_assert_eq!(v, &value[..]);
+        assert_eq!(k, &key[..]);
+        assert_eq!(v, &value[..]);
     }
+}
 
-    /// Fingerprints never collide with the empty-slot sentinel and the
-    /// two bucket hashes are independent of each other.
-    #[test]
-    fn hashes_well_formed(key in prop::collection::vec(any::<u8>(), 0..64)) {
+/// Fingerprints never collide with the empty-slot sentinel and the
+/// two bucket hashes are independent of each other.
+#[test]
+fn hashes_well_formed() {
+    let mut rng = SimRng::new(0x4A54);
+    for _ in 0..512 {
+        let key = rand_bytes(&mut rng, 64);
         let kh = hash_key(&key);
-        prop_assert_ne!(kh.fp, 0);
+        assert_ne!(kh.fp, 0);
         // h1 == h2 would make the "two choices" degenerate; allow the
         // astronomically unlikely collision only for the empty key.
         if key.len() > 1 {
-            prop_assert_ne!(kh.h1, kh.h2);
+            assert_ne!(kh.h1, kh.h2);
         }
     }
+}
 
-    /// A random single-client operation sequence over the RDMA path
-    /// matches a HashMap model (smaller/faster variant of the fixed-seed
-    /// integration test, across arbitrary seeds and sequences).
-    #[test]
-    fn table_matches_hashmap(
-        ops in prop::collection::vec((0u8..3, 0u64..24, any::<u64>()), 1..60),
-        seed in any::<u64>(),
-    ) {
+/// A random single-client operation sequence over the RDMA path
+/// matches a HashMap model (smaller/faster variant of the fixed-seed
+/// integration test, across arbitrary seeds and sequences).
+#[test]
+fn table_matches_hashmap() {
+    let mut case_rng = SimRng::new(0x7AB1);
+    for _ in 0..12 {
+        let seed = case_rng.next_u64();
+        let n_ops = case_rng.gen_range(1, 60);
+        let ops: Vec<(u8, u64, u64)> = (0..n_ops)
+            .map(|_| {
+                (
+                    case_rng.next_u64_below(3) as u8,
+                    case_rng.next_u64_below(24),
+                    case_rng.next_u64(),
+                )
+            })
+            .collect();
         let mut sim = Simulation::new(seed);
         let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
         let table = RaceHashTable::create(
             cluster.blades(),
-            RaceConfig { buckets_per_subtable: 64, initial_depth: 1, ..Default::default() },
+            RaceConfig {
+                buckets_per_subtable: 64,
+                initial_depth: 1,
+                ..Default::default()
+            },
         );
         let ctx = SmartContext::new(
             cluster.compute(0),
@@ -78,7 +111,9 @@ proptest! {
                 let kb = key.to_le_bytes();
                 match op {
                     0 => {
-                        t.insert(&coro, &kb, &val.to_le_bytes()).await.expect("insert");
+                        t.insert(&coro, &kb, &val.to_le_bytes())
+                            .await
+                            .expect("insert");
                         model.insert(key, val);
                     }
                     1 => {
@@ -86,9 +121,10 @@ proptest! {
                         assert_eq!(present, model.remove(&key).is_some());
                     }
                     _ => {
-                        let got = t.get(&coro, &kb).await.map(|v| {
-                            u64::from_le_bytes(v.try_into().expect("8B"))
-                        });
+                        let got = t
+                            .get(&coro, &kb)
+                            .await
+                            .map(|v| u64::from_le_bytes(v.try_into().expect("8B")));
                         assert_eq!(got, model.get(&key).copied());
                     }
                 }

@@ -1,4 +1,10 @@
 //! A small O(1) LRU cache used for the MTT/MPT translation cache.
+//!
+//! The key→slot map below is never iterated — every access is a point
+//! lookup, so its unordered layout cannot leak into simulation results,
+//! and HashMap keeps touch/insert O(1) where a BTreeMap would be
+//! O(log n) on the hot MTT/MPT path.
+// lint:allow-file(unordered-iter)
 
 use std::collections::HashMap;
 use std::hash::Hash;

@@ -9,7 +9,10 @@ use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::Duration;
 
-use parking_lot::Mutex;
+// The ready queue is shared with `std::task::Waker`s, whose contract
+// demands `Send + Sync`; a real mutex is unavoidable here even though the
+// executor itself is single-threaded. Nothing ever blocks on it.
+use std::sync::Mutex; // lint:allow(os-concurrency)
 
 use crate::join::{JoinHandle, JoinState};
 use crate::rng::SimRng;
@@ -36,7 +39,7 @@ impl Wake for TaskWaker {
 
     fn wake_by_ref(self: &Arc<Self>) {
         if !self.scheduled.swap(true, Ordering::Relaxed) {
-            self.ready.lock().push_back(self.id);
+            self.ready.lock().unwrap().push_back(self.id);
         }
     }
 }
@@ -150,7 +153,7 @@ impl SimHandle {
             waker,
             scheduled,
         });
-        self.inner.ready.lock().push_back(id);
+        self.inner.ready.lock().unwrap().push_back(id);
     }
 
     /// Registers `waker` to be woken at virtual time `at`.
@@ -306,7 +309,7 @@ impl Simulation {
 
     /// Runs one scheduling step. Returns `false` if no work remains.
     fn step(&mut self, limit: Option<SimTime>) -> bool {
-        let id = self.handle.inner.ready.lock().pop_front();
+        let id = self.handle.inner.ready.lock().unwrap().pop_front();
         if let Some(id) = id {
             self.poll_task(id);
             return true;
@@ -384,7 +387,7 @@ impl Drop for Simulation {
         // holds the tasks.
         self.handle.inner.tasks.borrow_mut().clear();
         self.handle.inner.timers.borrow_mut().clear();
-        self.handle.inner.ready.lock().clear();
+        self.handle.inner.ready.lock().unwrap().clear();
     }
 }
 

@@ -6,8 +6,6 @@
 
 /// xoshiro256\*\* PRNG with SplitMix64 seeding.
 ///
-/// Implements [`rand::RngCore`], so it composes with `rand` distributions.
-///
 /// ```rust
 /// use smart_rt::rng::SimRng;
 ///
@@ -98,36 +96,22 @@ impl SimRng {
         self.next_f64() < p
     }
 
-    /// Derives an independent child generator (for per-task streams).
-    pub fn fork(&mut self) -> SimRng {
-        SimRng::new(self.next_u64())
-    }
-}
-
-impl rand::RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        SimRng::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
-            chunk.copy_from_slice(&SimRng::next_u64(self).to_le_bytes());
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
         }
         let rem = chunks.into_remainder();
         if !rem.is_empty() {
-            let bytes = SimRng::next_u64(self).to_le_bytes();
+            let bytes = self.next_u64().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
     }
 
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
+    /// Derives an independent child generator (for per-task streams).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.next_u64())
     }
 }
 
@@ -196,7 +180,6 @@ mod tests {
 
     #[test]
     fn fill_bytes_covers_all_lengths() {
-        use rand::RngCore;
         let mut r = SimRng::new(11);
         for len in 0..33 {
             let mut buf = vec![0u8; len];

@@ -14,7 +14,7 @@
 //!   `pthread_spin_lock` at 96 threads).
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -445,7 +445,7 @@ struct LockInner {
     handle: SimHandle,
     busy_until: Cell<SimTime>,
     queued: Cell<u32>,
-    queued_by_tag: RefCell<HashMap<u64, u32>>,
+    queued_by_tag: RefCell<BTreeMap<u64, u32>>,
     fresh_tag: Cell<u64>,
     handoff: Duration,
     max_penalty_waiters: u32,
@@ -500,7 +500,7 @@ impl ContendedLock {
                 handle,
                 busy_until: Cell::new(SimTime::ZERO),
                 queued: Cell::new(0),
-                queued_by_tag: RefCell::new(HashMap::new()),
+                queued_by_tag: RefCell::new(BTreeMap::new()),
                 fresh_tag: Cell::new(u64::MAX),
                 handoff,
                 max_penalty_waiters,

@@ -1,18 +1,26 @@
-//! Property-based tests for the simulation runtime's primitives.
+//! Randomized (but fully seeded and deterministic) tests for the
+//! simulation runtime's primitives. Each property is checked over many
+//! `SimRng`-generated cases, replacing the earlier proptest suite with an
+//! offline-friendly, reproducible equivalent.
 
-use proptest::prelude::*;
+use smart_rt::rng::SimRng;
 use smart_rt::sync::{Bandwidth, FifoResource, Semaphore};
 use smart_rt::{Duration, SimTime, Simulation};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-proptest! {
-    /// FIFO server: completion times are exactly the prefix sums of the
-    /// service times when all requests arrive together.
-    #[test]
-    fn fifo_resource_completions_are_prefix_sums(
-        services in prop::collection::vec(1u64..10_000, 1..40),
-    ) {
+fn vec_of(rng: &mut SimRng, min_len: u64, max_len: u64, lo: u64, hi: u64) -> Vec<u64> {
+    let len = rng.gen_range(min_len, max_len);
+    (0..len).map(|_| rng.gen_range(lo, hi)).collect()
+}
+
+/// FIFO server: completion times are exactly the prefix sums of the
+/// service times when all requests arrive together.
+#[test]
+fn fifo_resource_completions_are_prefix_sums() {
+    let mut rng = SimRng::new(0xF1F0);
+    for _ in 0..48 {
+        let services = vec_of(&mut rng, 1, 40, 1, 10_000);
         let mut sim = Simulation::new(0);
         let h = sim.handle();
         let server = FifoResource::new(h.clone());
@@ -33,14 +41,18 @@ proptest! {
             acc += svc;
             expect.push(acc);
         }
-        prop_assert_eq!(&*done.borrow(), &expect);
-        prop_assert_eq!(server.busy_time(), Duration::from_nanos(acc));
+        assert_eq!(&*done.borrow(), &expect);
+        assert_eq!(server.busy_time(), Duration::from_nanos(acc));
     }
+}
 
-    /// Timers fire in deadline order regardless of spawn order, and the
-    /// clock ends at the max deadline.
-    #[test]
-    fn timers_fire_in_deadline_order(delays in prop::collection::vec(0u64..1_000_000, 1..50)) {
+/// Timers fire in deadline order regardless of spawn order, and the
+/// clock ends at the max deadline.
+#[test]
+fn timers_fire_in_deadline_order() {
+    let mut rng = SimRng::new(0x71AE);
+    for _ in 0..48 {
+        let delays = vec_of(&mut rng, 1, 50, 0, 1_000_000);
         let mut sim = Simulation::new(1);
         let h = sim.handle();
         let fired = Rc::new(RefCell::new(Vec::new()));
@@ -54,57 +66,69 @@ proptest! {
         }
         sim.run();
         let fired = fired.borrow();
-        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]), "monotone firing");
+        assert!(fired.windows(2).all(|w| w[0] <= w[1]), "monotone firing");
         let mut sorted = delays.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(&*fired, &sorted);
-        prop_assert_eq!(sim.now().as_nanos(), *sorted.last().expect("nonempty"));
+        assert_eq!(&*fired, &sorted);
+        assert_eq!(sim.now().as_nanos(), *sorted.last().expect("nonempty"));
     }
+}
 
-    /// Semaphore balance accounting: after an arbitrary interleaving of
-    /// acquires (that can all be satisfied) and releases, the balance is
-    /// exactly initial - acquired + released.
-    #[test]
-    fn semaphore_balance_accounting(
-        init in 0i64..100,
-        ops in prop::collection::vec((0u64..5, any::<bool>()), 0..50),
-    ) {
+/// Semaphore balance accounting: after an arbitrary interleaving of
+/// acquires (that can all be satisfied) and releases, the balance is
+/// exactly initial - acquired + released.
+#[test]
+fn semaphore_balance_accounting() {
+    let mut rng = SimRng::new(0x5E4A);
+    for _ in 0..64 {
+        let init = rng.next_u64_below(100) as i64;
+        let n_ops = rng.next_u64_below(50);
         let sem = Semaphore::new(init);
         let mut expected = init;
-        for (n, is_release) in ops {
-            if is_release {
+        for _ in 0..n_ops {
+            let n = rng.next_u64_below(5);
+            if rng.gen_bool(0.5) {
                 sem.release(n);
                 expected += n as i64;
             } else if sem.try_acquire(n) {
                 expected -= n as i64;
             }
-            prop_assert_eq!(sem.available(), expected);
-            prop_assert!(sem.available() >= 0 || init < 0);
+            assert_eq!(sem.available(), expected);
+            assert!(sem.available() >= 0 || init < 0);
         }
     }
+}
 
-    /// take_up_to never exceeds the balance or the request.
-    #[test]
-    fn take_up_to_is_bounded(init in 0i64..64, want in 0u64..128) {
+/// take_up_to never exceeds the balance or the request.
+#[test]
+fn take_up_to_is_bounded() {
+    let mut rng = SimRng::new(0x7A4E);
+    for _ in 0..128 {
+        let init = rng.next_u64_below(64) as i64;
+        let want = rng.next_u64_below(128);
         let sem = Semaphore::new(init);
         let got = sem.take_up_to(want);
-        prop_assert!(got <= want);
-        prop_assert!(got as i64 <= init);
-        prop_assert_eq!(sem.available(), init - got as i64);
+        assert!(got <= want);
+        assert!(got as i64 <= init);
+        assert_eq!(sem.available(), init - got as i64);
     }
+}
 
-    /// Bandwidth serialization: total transfer time equals bytes / rate.
-    #[test]
-    fn bandwidth_total_time_matches_rate(
-        chunks in prop::collection::vec(1u64..100_000, 1..20),
-        rate_gbps in 1u64..40,
-    ) {
+/// Bandwidth serialization: total transfer time equals bytes / rate.
+#[test]
+fn bandwidth_total_time_matches_rate() {
+    let mut rng = SimRng::new(0xBA4D);
+    for _ in 0..48 {
+        let chunks = vec_of(&mut rng, 1, 20, 1, 100_000);
+        let rate_gbps = rng.gen_range(1, 40);
         let mut sim = Simulation::new(2);
         let h = sim.handle();
         let link = Bandwidth::new(h.clone(), rate_gbps * 1_000_000_000);
         for &c in &chunks {
             let l = link.clone();
-            sim.spawn(async move { l.transfer(c).await; });
+            sim.spawn(async move {
+                l.transfer(c).await;
+            });
         }
         sim.run();
         let total: u64 = chunks.iter().sum();
@@ -112,39 +136,52 @@ proptest! {
             .iter()
             .map(|&c| c * 1_000_000_000 / (rate_gbps * 1_000_000_000))
             .sum();
-        prop_assert_eq!(sim.now().as_nanos(), expect);
-        prop_assert_eq!(link.transferred(), total);
+        assert_eq!(sim.now().as_nanos(), expect);
+        assert_eq!(link.transferred(), total);
     }
+}
 
-    /// SimTime arithmetic is consistent with u64 arithmetic.
-    #[test]
-    fn simtime_arithmetic(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+/// SimTime arithmetic is consistent with u64 arithmetic.
+#[test]
+fn simtime_arithmetic() {
+    let mut rng = SimRng::new(0x51A7);
+    for _ in 0..256 {
+        let a = rng.next_u64_below(u64::MAX / 4);
+        let d = rng.next_u64_below(u64::MAX / 4);
         let t = SimTime::from_nanos(a) + Duration::from_nanos(d);
-        prop_assert_eq!(t.as_nanos(), a + d);
-        prop_assert_eq!(t - SimTime::from_nanos(a), Duration::from_nanos(d));
-        prop_assert_eq!(t.saturating_since(SimTime::from_nanos(a + d + 1)), Duration::ZERO);
+        assert_eq!(t.as_nanos(), a + d);
+        assert_eq!(t - SimTime::from_nanos(a), Duration::from_nanos(d));
+        assert_eq!(
+            t.saturating_since(SimTime::from_nanos(a + d + 1)),
+            Duration::ZERO
+        );
     }
+}
 
-    /// Identical seeds produce identical executions (PRNG + scheduler).
-    #[test]
-    fn simulation_is_deterministic(seed in any::<u64>(), n in 1usize..20) {
-        fn run(seed: u64, n: usize) -> Vec<u64> {
-            let mut sim = Simulation::new(seed);
-            let h = sim.handle();
-            let out = Rc::new(RefCell::new(Vec::new()));
-            for _ in 0..n {
-                let h = h.clone();
-                let out = Rc::clone(&out);
-                sim.spawn(async move {
-                    let d = h.rand_below(10_000) + 1;
-                    h.sleep(Duration::from_nanos(d)).await;
-                    out.borrow_mut().push(h.now().as_nanos());
-                });
-            }
-            sim.run();
-            let v = out.borrow().clone();
-            v
+/// Identical seeds produce identical executions (PRNG + scheduler).
+#[test]
+fn simulation_is_deterministic() {
+    fn run(seed: u64, n: usize) -> Vec<u64> {
+        let mut sim = Simulation::new(seed);
+        let h = sim.handle();
+        let out = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..n {
+            let h = h.clone();
+            let out = Rc::clone(&out);
+            sim.spawn(async move {
+                let d = h.rand_below(10_000) + 1;
+                h.sleep(Duration::from_nanos(d)).await;
+                out.borrow_mut().push(h.now().as_nanos());
+            });
         }
-        prop_assert_eq!(run(seed, n), run(seed, n));
+        sim.run();
+        let v = out.borrow().clone();
+        v
+    }
+    let mut rng = SimRng::new(0xDE7E);
+    for _ in 0..24 {
+        let seed = rng.next_u64();
+        let n = rng.gen_range(1, 20) as usize;
+        assert_eq!(run(seed, n), run(seed, n));
     }
 }

@@ -10,7 +10,7 @@
 //! starving).
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -48,7 +48,7 @@ pub struct HoclStats {
 pub struct HoclTable {
     enabled: bool,
     handover_cap: u32,
-    states: RefCell<HashMap<(u32, u64), Rc<LockState>>>,
+    states: RefCell<BTreeMap<(u32, u64), Rc<LockState>>>,
     stats: HoclStats,
 }
 
@@ -68,7 +68,7 @@ impl HoclTable {
         HoclTable {
             enabled,
             handover_cap,
-            states: RefCell::new(HashMap::new()),
+            states: RefCell::new(BTreeMap::new()),
             stats: HoclStats::default(),
         }
     }

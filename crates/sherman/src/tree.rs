@@ -16,7 +16,7 @@
 //! lookup) to IOPS-bound (16 B per lookup).
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use smart::SmartCoro;
@@ -94,8 +94,8 @@ pub struct ShermanTree {
     blades: Vec<Rc<MemoryBlade>>,
     root_ptr: RemoteAddr,
     cached_root: Cell<(u64, u16)>, // (packed addr, level); 0 = unset
-    index_cache: RefCell<HashMap<u64, Node>>,
-    spec: RefCell<HashMap<u64, (u64, u16)>>,
+    index_cache: RefCell<BTreeMap<u64, Node>>,
+    spec: RefCell<BTreeMap<u64, (u64, u16)>>,
     spec_fifo: RefCell<std::collections::VecDeque<u64>>,
     hocl: HoclTable,
     next_blade: Cell<usize>,
@@ -139,8 +139,8 @@ impl ShermanTree {
             blades: blades.to_vec(),
             root_ptr,
             cached_root: Cell::new((0, 0)),
-            index_cache: RefCell::new(HashMap::new()),
-            spec: RefCell::new(HashMap::new()),
+            index_cache: RefCell::new(BTreeMap::new()),
+            spec: RefCell::new(BTreeMap::new()),
             spec_fifo: RefCell::new(std::collections::VecDeque::new()),
             next_blade: Cell::new(0),
             stats: ShermanStats::default(),

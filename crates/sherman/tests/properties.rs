@@ -1,76 +1,95 @@
-//! Property-based tests for the B+Tree node codec and tree structure.
+//! Randomized (seeded, deterministic) tests for the B+Tree node codec and
+//! tree structure; the offline replacement for the earlier proptest suite.
 
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use proptest::prelude::*;
 use smart::{SmartConfig, SmartContext};
 use smart_rnic::{BladeId, Cluster, ClusterConfig, RemoteAddr};
+use smart_rt::rng::SimRng;
 use smart_rt::Simulation;
 use smart_sherman::node::{pack_addr, unpack_addr};
 use smart_sherman::{Node, ShermanConfig, ShermanTree, FANOUT};
 
-fn sorted_unique_entries(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
-    prop::collection::btree_map(any::<u64>(), any::<u64>(), 0..=max_len)
-        .prop_map(|m| m.into_iter().collect())
+fn sorted_unique_entries(rng: &mut SimRng, max_len: usize, key_space: u64) -> Vec<(u64, u64)> {
+    let len = rng.next_u64_below(max_len as u64 + 1);
+    let mut m = BTreeMap::new();
+    for _ in 0..len {
+        m.insert(rng.next_u64_below(key_space), rng.next_u64());
+    }
+    m.into_iter().collect()
 }
 
-proptest! {
-    /// Node encode/decode is a lossless round-trip for any legal node.
-    #[test]
-    fn node_codec_roundtrip(
-        entries in sorted_unique_entries(FANOUT),
-        lock in any::<u64>(),
-        version in any::<u64>(),
-        level in 0u16..8,
-        low in any::<u64>(),
-        sibling in any::<u64>(),
-    ) {
+/// Node encode/decode is a lossless round-trip for any legal node.
+#[test]
+fn node_codec_roundtrip() {
+    let mut rng = SimRng::new(0xC0DEC);
+    for _ in 0..128 {
+        let entries = sorted_unique_entries(&mut rng, FANOUT, u64::MAX);
+        let low = rng.next_u64();
         let node = Node {
-            lock,
-            version,
-            level,
+            lock: rng.next_u64(),
+            version: rng.next_u64(),
+            level: rng.next_u64_below(8) as u16,
             low_fence: low,
             high_fence: low.saturating_add(1_000_000),
-            sibling,
+            sibling: rng.next_u64(),
             entries,
         };
-        prop_assert_eq!(Node::decode(&node.encode()), node);
+        assert_eq!(Node::decode(&node.encode()), node);
     }
+}
 
-    /// Splitting any full-enough node preserves every entry, keeps both
-    /// halves sorted and makes the fences meet exactly at the separator.
-    #[test]
-    fn split_preserves_entries_and_fences(entries in sorted_unique_entries(FANOUT).prop_filter(
-        "need at least 2 entries",
-        |e| e.len() >= 2,
-    )) {
+/// Splitting any full-enough node preserves every entry, keeps both
+/// halves sorted and makes the fences meet exactly at the separator.
+#[test]
+fn split_preserves_entries_and_fences() {
+    let mut rng = SimRng::new(0x5B117);
+    let mut cases = 0;
+    while cases < 96 {
+        let entries = sorted_unique_entries(&mut rng, FANOUT, u64::MAX);
+        if entries.len() < 2 {
+            continue;
+        }
+        cases += 1;
         let mut left = Node::new_leaf(0, smart_sherman::node::INF_KEY);
         left.entries = entries.clone();
         let right = left.split();
-        prop_assert_eq!(left.entries.len() + right.entries.len(), entries.len());
+        assert_eq!(left.entries.len() + right.entries.len(), entries.len());
         let mut merged = left.entries.clone();
         merged.extend(&right.entries);
-        prop_assert_eq!(merged, entries);
-        prop_assert_eq!(left.high_fence, right.low_fence);
-        prop_assert!(left.entries.iter().all(|&(k, _)| left.covers(k)));
-        prop_assert!(right.entries.iter().all(|&(k, _)| right.covers(k)));
+        assert_eq!(merged, entries);
+        assert_eq!(left.high_fence, right.low_fence);
+        assert!(left.entries.iter().all(|&(k, _)| left.covers(k)));
+        assert!(right.entries.iter().all(|&(k, _)| right.covers(k)));
     }
+}
 
-    /// Packed node addresses round-trip for every blade/offset in range.
-    #[test]
-    fn addr_packing_roundtrip(blade in 0u32..256, off in 0u64..(1 << 56)) {
+/// Packed node addresses round-trip for every blade/offset in range.
+#[test]
+fn addr_packing_roundtrip() {
+    let mut rng = SimRng::new(0xADD4);
+    for _ in 0..256 {
+        let blade = rng.next_u64_below(256) as u32;
+        let off = rng.next_u64_below(1 << 56);
         let addr = RemoteAddr::new(BladeId(blade), off);
-        prop_assert_eq!(unpack_addr(pack_addr(addr)), addr);
+        assert_eq!(unpack_addr(pack_addr(addr)), addr);
     }
+}
 
-    /// Routing in an internal node always picks the child whose range
-    /// contains the key (vs. a linear-scan model).
-    #[test]
-    fn route_matches_linear_scan(
-        entries in sorted_unique_entries(FANOUT).prop_filter("nonempty", |e| !e.is_empty()),
-        key in any::<u64>(),
-    ) {
+/// Routing in an internal node always picks the child whose range
+/// contains the key (vs. a linear-scan model).
+#[test]
+fn route_matches_linear_scan() {
+    let mut rng = SimRng::new(0x4017E);
+    let mut cases = 0;
+    while cases < 128 {
+        let entries = sorted_unique_entries(&mut rng, FANOUT, u64::MAX);
+        if entries.is_empty() {
+            continue;
+        }
+        cases += 1;
+        let key = rng.next_u64();
         let mut n = Node::new_internal(1, 0, smart_sherman::node::INF_KEY);
         n.entries = entries.clone();
         let got = n.route(key);
@@ -80,16 +99,28 @@ proptest! {
             .find(|&&(k, _)| k <= key)
             .map(|&(_, c)| c)
             .unwrap_or(entries[0].1);
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// Bulk-load + RDMA upserts of arbitrary key sets behave exactly like
-    /// a BTreeMap: same membership, same values, same global order.
-    #[test]
-    fn tree_matches_btreemap(
-        loads in prop::collection::btree_map(0u64..5_000, any::<u64>(), 0..150),
-        inserts in prop::collection::vec((0u64..5_000, any::<u64>()), 0..60),
-    ) {
+/// Bulk-load + RDMA upserts of arbitrary key sets behave exactly like
+/// a BTreeMap: same membership, same values, same global order.
+#[test]
+fn tree_matches_btreemap() {
+    let mut rng = SimRng::new(0x73EE);
+    for _ in 0..6 {
+        let loads: BTreeMap<u64, u64> = {
+            let n = rng.next_u64_below(150);
+            (0..n)
+                .map(|_| (rng.next_u64_below(5_000), rng.next_u64()))
+                .collect()
+        };
+        let inserts: Vec<(u64, u64)> = {
+            let n = rng.next_u64_below(60);
+            (0..n)
+                .map(|_| (rng.next_u64_below(5_000), rng.next_u64()))
+                .collect()
+        };
         let mut sim = Simulation::new(9);
         let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
         let tree = ShermanTree::create(cluster.blades(), ShermanConfig::with_speculative_lookup());
@@ -128,6 +159,6 @@ proptest! {
         });
         let pairs = tree.check_consistency();
         let model_final: Vec<(u64, u64)> = model2.into_iter().collect();
-        prop_assert_eq!(pairs, model_final);
+        assert_eq!(pairs, model_final);
     }
 }

@@ -1,6 +1,6 @@
-//! Property-based tests for the workload generators.
+//! Randomized (seeded, deterministic) tests for the workload generators;
+//! the offline replacement for the earlier proptest suite.
 
-use proptest::prelude::*;
 use smart_rt::rng::SimRng;
 use smart_rt::Duration;
 use smart_workloads::latency::LatencyRecorder;
@@ -9,93 +9,130 @@ use smart_workloads::tatp::TatpGenerator;
 use smart_workloads::ycsb::{Mix, YcsbGenerator};
 use smart_workloads::zipf::Zipfian;
 
-proptest! {
-    #[test]
-    fn zipf_ranks_always_in_range(
-        n in 1u64..100_000,
-        theta in 0.0f64..0.999,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn zipf_ranks_always_in_range() {
+    let mut case_rng = SimRng::new(0x21FF);
+    for _ in 0..24 {
+        let n = case_rng.gen_range(1, 100_000);
+        let theta = case_rng.next_f64() * 0.999;
+        let seed = case_rng.next_u64();
         let mut z = Zipfian::new(n, theta);
         let mut rng = SimRng::new(seed);
         for _ in 0..200 {
-            prop_assert!(z.next(&mut rng) < n);
+            assert!(z.next(&mut rng) < n);
         }
     }
+}
 
-    #[test]
-    fn latency_percentiles_are_monotone(
-        samples in prop::collection::vec(1u64..10_000_000_000, 1..200),
-        quantiles in prop::collection::vec(0.0f64..=1.0, 2..6),
-    ) {
+#[test]
+fn latency_percentiles_are_monotone() {
+    let mut rng = SimRng::new(0x1A7);
+    for _ in 0..24 {
+        let samples: Vec<u64> = {
+            let n = rng.gen_range(1, 200);
+            (0..n).map(|_| rng.gen_range(1, 10_000_000_000)).collect()
+        };
         let mut rec = LatencyRecorder::new();
         for &ns in &samples {
             rec.record(Duration::from_nanos(ns));
         }
-        let mut qs = quantiles;
+        let mut qs: Vec<f64> = {
+            let n = rng.gen_range(2, 6);
+            (0..n).map(|_| rng.next_f64()).collect()
+        };
+        qs.push(1.0);
         qs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let mut prev = Duration::ZERO;
         for q in qs {
             let v = rec.percentile(q);
-            prop_assert!(v >= prev, "percentile({q}) = {v:?} < {prev:?}");
+            assert!(v >= prev, "percentile({q}) = {v:?} < {prev:?}");
             prev = v;
         }
-        prop_assert!(rec.percentile(1.0) >= Duration::from_nanos(*samples.iter().max().expect("nonempty") * 98 / 100));
+        assert!(
+            rec.percentile(1.0)
+                >= Duration::from_nanos(*samples.iter().max().expect("nonempty") * 98 / 100)
+        );
     }
+}
 
-    #[test]
-    fn latency_percentile_error_is_bounded(ns in 64u64..10_000_000_000) {
+#[test]
+fn latency_percentile_error_is_bounded() {
+    let mut rng = SimRng::new(0xE44);
+    for _ in 0..256 {
+        let ns = rng.gen_range(64, 10_000_000_000);
         let mut rec = LatencyRecorder::new();
         rec.record(Duration::from_nanos(ns));
         let got = rec.percentile(0.5).as_nanos() as f64;
         let err = (got - ns as f64).abs() / ns as f64;
-        prop_assert!(err <= 0.02, "ns {ns} -> {got}, err {err}");
+        assert!(err <= 0.02, "ns {ns} -> {got}, err {err}");
     }
+}
 
-    #[test]
-    fn merged_recorder_counts_add_up(
-        a in prop::collection::vec(1u64..1_000_000, 0..100),
-        b in prop::collection::vec(1u64..1_000_000, 0..100),
-    ) {
+#[test]
+fn merged_recorder_counts_add_up() {
+    let mut rng = SimRng::new(0x3E46E);
+    for _ in 0..32 {
+        let a: Vec<u64> = (0..rng.next_u64_below(100))
+            .map(|_| rng.gen_range(1, 1_000_000))
+            .collect();
+        let b: Vec<u64> = (0..rng.next_u64_below(100))
+            .map(|_| rng.gen_range(1, 1_000_000))
+            .collect();
         let mut ra = LatencyRecorder::new();
         let mut rb = LatencyRecorder::new();
-        for &x in &a { ra.record(Duration::from_nanos(x)); }
-        for &x in &b { rb.record(Duration::from_nanos(x)); }
+        for &x in &a {
+            ra.record(Duration::from_nanos(x));
+        }
+        for &x in &b {
+            rb.record(Duration::from_nanos(x));
+        }
         let (ca, cb) = (ra.count(), rb.count());
         ra.merge(&rb);
-        prop_assert_eq!(ra.count(), ca + cb);
+        assert_eq!(ra.count(), ca + cb);
     }
+}
 
-    #[test]
-    fn ycsb_streams_are_deterministic_and_in_range(
-        n in 1u64..1_000_000,
-        seed in any::<u64>(),
-        frac in 0.0f64..=1.0,
-    ) {
+#[test]
+fn ycsb_streams_are_deterministic_and_in_range() {
+    let mut case_rng = SimRng::new(0xFC5B);
+    for _ in 0..24 {
+        let n = case_rng.gen_range(1, 1_000_000);
+        let seed = case_rng.next_u64();
+        let frac = case_rng.next_f64();
         let mut g1 = YcsbGenerator::new(n, 0.99, Mix::Custom(frac), seed);
         let mut g2 = YcsbGenerator::new(n, 0.99, Mix::Custom(frac), seed);
         for _ in 0..100 {
             let (a, b) = (g1.next_op(), g2.next_op());
-            prop_assert_eq!(a, b);
-            prop_assert!(a.key() < n);
+            assert_eq!(a, b);
+            assert!(a.key() < n);
         }
     }
+}
 
-    #[test]
-    fn smallbank_accounts_in_range(accounts in 2u64..1_000_000, seed in any::<u64>()) {
+#[test]
+fn smallbank_accounts_in_range() {
+    let mut case_rng = SimRng::new(0x5BA4);
+    for _ in 0..24 {
+        let accounts = case_rng.gen_range(2, 1_000_000);
+        let seed = case_rng.next_u64();
         let mut g = SmallBankGenerator::new(accounts, seed);
         for _ in 0..100 {
             for a in g.next_txn().accounts() {
-                prop_assert!(a < accounts);
+                assert!(a < accounts);
             }
         }
     }
+}
 
-    #[test]
-    fn tatp_sids_in_range(subs in 1u64..2_000_000, seed in any::<u64>()) {
+#[test]
+fn tatp_sids_in_range() {
+    let mut case_rng = SimRng::new(0x7A7);
+    for _ in 0..24 {
+        let subs = case_rng.gen_range(1, 2_000_000);
+        let seed = case_rng.next_u64();
         let mut g = TatpGenerator::new(subs, seed);
         for _ in 0..100 {
-            prop_assert!(g.next_txn().sid() < subs);
+            assert!(g.next_txn().sid() < subs);
         }
     }
 }

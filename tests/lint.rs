@@ -1,0 +1,19 @@
+//! Root-package mirror of `crates/lint/tests/lint_workspace.rs`, so the
+//! lint gate runs even under a bare `cargo test` (which skips workspace
+//! members' own test suites).
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = smart_lint::run_lint(root);
+    assert!(
+        diags.is_empty(),
+        "smart-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
