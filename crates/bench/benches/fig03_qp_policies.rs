@@ -7,12 +7,14 @@
 //! ~110 MOPS hardware ceiling.
 
 use smart::{run_microbench, MicroOp, MicrobenchSpec, QpPolicy, SmartConfig};
-use smart_bench::{banner, BenchTable, Mode};
+use smart_bench::{banner, trace_requested, BenchTable, Mode};
 use smart_rt::Duration;
+use smart_trace::TraceSink;
 
 fn main() {
     let mode = Mode::from_env();
     banner("Figure 3: QP allocation policies", mode);
+    let trace = trace_requested();
     let policies: &[(&str, QpPolicy)] = &[
         ("shared-qp", QpPolicy::SharedQp),
         (
@@ -28,14 +30,25 @@ fn main() {
         ("write-8B", MicroOp::Write(8)),
     ] {
         for &(name, policy) in policies {
-            for &threads in &mode.thread_sweep() {
+            let sweep = mode.thread_sweep();
+            let max_threads = sweep.iter().copied().max().unwrap_or(0);
+            for &threads in &sweep {
                 let mut spec =
                     MicrobenchSpec::new(SmartConfig::baseline(policy, threads), threads, 8);
                 spec.op = op;
                 spec.warmup = mode.pick(Duration::from_millis(1), Duration::from_millis(3));
                 spec.measure = mode.pick(Duration::from_millis(3), Duration::from_millis(10));
+                // SMART_TRACE=1: attribute latency at the most contended
+                // point of the sweep (the §3.1 diagnosis).
+                let attribute = trace && threads == max_threads;
+                if attribute {
+                    spec.trace = Some(TraceSink::new());
+                }
                 let r = run_microbench(&spec);
                 eprintln!("  {opname} {name} threads={threads}: {:.1} MOPS", r.mops);
+                if let Some(sink) = spec.trace.take() {
+                    eprint!("{}", sink.attribution().render());
+                }
                 table.row(&[&opname, &name, &threads, &format!("{:.2}", r.mops)]);
             }
         }

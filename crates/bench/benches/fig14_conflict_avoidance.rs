@@ -9,8 +9,9 @@
 //! with everything on, ≥ 90 % of updates need no retry.
 
 use smart::{QpPolicy, SmartConfig};
-use smart_bench::{banner, run_ht, BenchTable, HtParams, Mode};
+use smart_bench::{banner, run_ht, trace_requested, BenchTable, HtParams, Mode};
 use smart_rt::Duration;
+use smart_trace::TraceSink;
 use smart_workloads::ycsb::Mix;
 
 fn configs(threads: usize) -> Vec<(&'static str, SmartConfig)> {
@@ -36,17 +37,27 @@ fn main() {
     banner("Figure 14: conflict avoidance", mode);
     let keys = mode.pick(200_000, 2_000_000);
     let threads_sweep = mode.pick(vec![8, 32, 96], vec![8, 16, 32, 48, 64, 96]);
+    let trace = trace_requested();
+    let max_threads = threads_sweep.iter().copied().max().unwrap_or(0);
     let mut table = BenchTable::new("fig14ab", &["config", "threads", "mops", "avg_retries"]);
     for &threads in &threads_sweep {
         for (name, cfg) in configs(threads) {
             let mut p = HtParams::new(cfg, threads, keys, Mix::UpdateOnly);
             p.warmup = mode.pick(Duration::from_millis(30), Duration::from_millis(60));
             p.measure = mode.pick(Duration::from_millis(5), Duration::from_millis(20));
+            // SMART_TRACE=1: show where update latency goes (backoff vs
+            // credit wait vs fabric) at the contended end of the sweep.
+            if trace && threads == max_threads {
+                p.trace = Some(TraceSink::new());
+            }
             let r = run_ht(&p);
             eprintln!(
                 "  {name} threads={threads}: {:.2} MOPS, {:.2} retries/op",
                 r.mops, r.avg_retries
             );
+            if let Some(sink) = p.trace.take() {
+                eprint!("{}", sink.attribution().render());
+            }
             table.row(&[
                 &name,
                 &threads,

@@ -12,7 +12,7 @@
 pub mod report;
 pub mod runners;
 
-pub use report::{banner, us, BenchTable, Mode};
+pub use report::{banner, trace_requested, us, BenchTable, Mode};
 pub use runners::{
     run_bt, run_dtx, run_ht, BtParams, BtVariant, DtxParams, DtxWorkload, HtParams, RunReport,
 };

@@ -43,6 +43,13 @@ impl Mode {
     }
 }
 
+/// Whether `SMART_TRACE=1` is set: figure binaries that support it attach
+/// a [`smart_trace::TraceSink`] to their most contended configuration and
+/// print the latency-attribution report next to the throughput numbers.
+pub fn trace_requested() -> bool {
+    std::env::var("SMART_TRACE").as_deref() == Ok("1")
+}
+
 /// A result table that prints aligned rows and writes a CSV.
 pub struct BenchTable {
     name: String,

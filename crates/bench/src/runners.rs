@@ -112,6 +112,9 @@ pub struct HtParams {
     pub measure: Duration,
     /// Seed.
     pub seed: u64,
+    /// Optional trace sink installed into the simulation (op-level
+    /// latency attribution + Perfetto export).
+    pub trace: Option<smart_trace::TraceSink>,
 }
 
 impl HtParams {
@@ -130,6 +133,7 @@ impl HtParams {
             warmup: Duration::from_millis(2),
             measure: Duration::from_millis(5),
             seed: 42,
+            trace: None,
         }
     }
 }
@@ -152,6 +156,9 @@ fn ht_table_config(keys: u64) -> RaceConfig {
 /// Runs a hash-table experiment.
 pub fn run_ht(p: &HtParams) -> RunReport {
     let mut sim = Simulation::new(p.seed);
+    if let Some(sink) = &p.trace {
+        sim.handle().install_tracer(sink.clone());
+    }
     let region = 64 * 1024 * 1024 + p.keys * 96;
     let cluster = Cluster::new(
         sim.handle(),
@@ -281,6 +288,8 @@ pub struct DtxParams {
     pub measure: Duration,
     /// Seed.
     pub seed: u64,
+    /// Optional trace sink installed into the simulation.
+    pub trace: Option<smart_trace::TraceSink>,
 }
 
 impl DtxParams {
@@ -296,6 +305,7 @@ impl DtxParams {
             warmup: Duration::from_millis(2),
             measure: Duration::from_millis(5),
             seed: 7,
+            trace: None,
         }
     }
 }
@@ -303,6 +313,9 @@ impl DtxParams {
 /// Runs a transaction experiment (always 2 memory blades, as in §6.2.2).
 pub fn run_dtx(p: &DtxParams) -> RunReport {
     let mut sim = Simulation::new(p.seed);
+    if let Some(sink) = &p.trace {
+        sim.handle().install_tracer(sink.clone());
+    }
     let cluster = Cluster::new(
         sim.handle(),
         ClusterConfig {
@@ -480,6 +493,8 @@ pub struct BtParams {
     pub measure: Duration,
     /// Seed.
     pub seed: u64,
+    /// Optional trace sink installed into the simulation.
+    pub trace: Option<smart_trace::TraceSink>,
 }
 
 impl BtParams {
@@ -497,6 +512,7 @@ impl BtParams {
             warmup: Duration::from_millis(3),
             measure: Duration::from_millis(5),
             seed: 13,
+            trace: None,
         }
     }
 }
@@ -505,6 +521,9 @@ impl BtParams {
 /// co-locates a memory blade with every server).
 pub fn run_bt(p: &BtParams) -> RunReport {
     let mut sim = Simulation::new(p.seed);
+    if let Some(sink) = &p.trace {
+        sim.handle().install_tracer(sink.clone());
+    }
     let blades = p.compute_nodes.max(2);
     let cluster = Cluster::new(
         sim.handle(),

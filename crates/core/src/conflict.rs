@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use smart_rt::sync::Semaphore;
 use smart_rt::SimHandle;
+use smart_trace::{Actor, Category};
 
 use crate::config::SmartConfig;
 
@@ -118,6 +119,17 @@ impl ConflictControl {
         }
     }
 
+    /// [`Self::acquire_slot`] with tracing: time blocked on the `c_max`
+    /// slot semaphore is recorded as a `credit` span (`"coro_slot"`)
+    /// attributed to `actor`.
+    pub async fn acquire_slot_as(&self, handle: &SimHandle, actor: Actor) {
+        if self.coro_throttle {
+            self.slots
+                .acquire_traced(1, handle, actor, "coro_slot")
+                .await;
+        }
+    }
+
     /// Releases a coroutine slot.
     pub fn release_slot(&self) {
         if self.coro_throttle {
@@ -168,6 +180,23 @@ pub async fn run_conflict_controller(
     loop {
         handle.sleep(interval).await;
         control.step();
+        handle.with_tracer(|t| {
+            let ns = handle.now().as_nanos();
+            t.counter(
+                ns,
+                Actor::SYSTEM,
+                Category::Tune,
+                "conflict_c_max",
+                control.c_max().max(0) as u64,
+            );
+            t.counter(
+                ns,
+                Actor::SYSTEM,
+                Category::Tune,
+                "t_max_ns",
+                control.t_max().as_nanos() as u64,
+            );
+        });
     }
 }
 

@@ -7,6 +7,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use smart_rnic::{Cqe, OneSidedOp, RemoteAddr, WorkRequest};
+use smart_trace::{Actor, Args, Category};
 
 use crate::thread::SmartThread;
 
@@ -18,6 +19,7 @@ use crate::thread::SmartThread;
 /// combine all three.
 pub struct SmartCoro {
     thread: Rc<SmartThread>,
+    actor: Actor,
     pending: RefCell<Vec<WorkRequest>>,
     unsynced: RefCell<Vec<u64>>,
     backoff_attempt: Cell<u32>,
@@ -56,8 +58,10 @@ impl std::fmt::Debug for SmartCoro {
 
 impl SmartCoro {
     pub(crate) fn new(thread: Rc<SmartThread>) -> Self {
+        let actor = Actor::new(thread.tag(), thread.next_coro_index());
         SmartCoro {
             thread,
+            actor,
             pending: RefCell::new(Vec::new()),
             unsynced: RefCell::new(Vec::new()),
             backoff_attempt: Cell::new(0),
@@ -78,12 +82,26 @@ impl SmartCoro {
     /// flight — the mechanism that narrows the read→CAS vulnerability
     /// window. Without a scope, `sync` releases the slot per verb.
     pub async fn op_scope(&self) -> OpGuard<'_> {
+        self.op_scope_named("op").await
+    }
+
+    /// [`Self::op_scope`] with an operation-kind label (`"ht_get"`,
+    /// `"dtx_txn"`, `"bt_insert"`, …) for the tracer's latency-attribution
+    /// layer: until the guard drops, `db_lock`/`credit`/`pipeline`/
+    /// `fabric`/`backoff` spans recorded by this coroutine are charged to
+    /// one operation of that kind.
+    pub async fn op_scope_named(&self, kind: &'static str) -> OpGuard<'_> {
         if !self.holds_slot.get() {
-            self.thread.conflict.acquire_slot().await;
+            self.thread
+                .conflict
+                .acquire_slot_as(self.thread.handle(), self.actor)
+                .await;
             self.holds_slot.set(true);
         }
         self.in_op.set(true);
         self.op_conflicted.set(false);
+        let h = self.thread.handle();
+        h.with_tracer(|t| t.begin_op(h.now().as_nanos(), self.actor, kind));
         OpGuard { coro: self }
     }
 
@@ -101,6 +119,8 @@ impl SmartCoro {
     }
 
     fn end_op(&self) {
+        let h = self.thread.handle();
+        h.with_tracer(|t| t.end_op(h.now().as_nanos(), self.actor));
         self.in_op.set(false);
         self.thread.conflict.record(!self.op_conflicted.get());
         self.op_conflicted.set(false);
@@ -113,6 +133,11 @@ impl SmartCoro {
     /// The owning thread.
     pub fn thread(&self) -> &Rc<SmartThread> {
         &self.thread
+    }
+
+    /// This coroutine's trace identity (thread tag + coroutine index).
+    pub fn actor(&self) -> Actor {
+        self.actor
     }
 
     /// Current virtual time.
@@ -175,7 +200,10 @@ impl SmartCoro {
             return;
         }
         if !self.holds_slot.get() {
-            self.thread.conflict.acquire_slot().await;
+            self.thread
+                .conflict
+                .acquire_slot_as(self.thread.handle(), self.actor)
+                .await;
             self.holds_slot.set(true);
         }
         let cfg = self.thread.context().config().clone();
@@ -189,7 +217,11 @@ impl SmartCoro {
             let mut rest = group;
             while !rest.is_empty() {
                 let want = rest.len().min(self.thread.throttle.chunk_limit());
-                let take = self.thread.throttle.acquire_chunk(want).await;
+                let take = self
+                    .thread
+                    .throttle
+                    .acquire_chunk_as(want, self.thread.handle(), self.actor)
+                    .await;
                 let chunk: Vec<WorkRequest> = rest.drain(..take).collect();
                 self.thread.stats().rdma_posted.add(chunk.len() as u64);
                 self.thread
@@ -203,7 +235,7 @@ impl SmartCoro {
                 // spin against each other (they share the OS thread), and
                 // charging inter-thread lock waits twice would compound
                 // the contention model quadratically.
-                qp.post_send(chunk, Rc::as_ptr(&self.thread) as u64).await;
+                qp.post_send_as(chunk, self.actor).await;
                 self.unsynced.borrow_mut().extend(ids);
             }
         }
@@ -297,6 +329,22 @@ impl SmartCoro {
                     .thread
                     .conflict
                     .backoff_delay(self.backoff_attempt.get(), self.thread.handle());
+                let h = self.thread.handle();
+                h.with_tracer(|t| {
+                    t.span(
+                        h.now().as_nanos(),
+                        d.as_nanos() as u64,
+                        self.actor,
+                        Category::Backoff,
+                        "cas_backoff",
+                        Args::two(
+                            "t_max_ns",
+                            self.thread.conflict.t_max().as_nanos() as u64,
+                            "c_max",
+                            self.thread.conflict.c_max().max(0) as u64,
+                        ),
+                    );
+                });
                 self.thread.handle().sleep(d).await;
             }
             self.backoff_attempt.set(self.backoff_attempt.get() + 1);

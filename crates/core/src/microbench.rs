@@ -68,6 +68,9 @@ pub struct MicrobenchSpec {
     /// RNIC model parameters (ablations override cache sizes, doorbell
     /// counts, penalties, ...).
     pub rnic: RnicConfig,
+    /// Optional trace sink installed into the simulation: every batch is
+    /// recorded as a `"micro"` op with per-category latency attribution.
+    pub trace: Option<smart_trace::TraceSink>,
 }
 
 impl MicrobenchSpec {
@@ -86,6 +89,7 @@ impl MicrobenchSpec {
             seed: 42,
             dynamic: None,
             rnic: RnicConfig::default(),
+            trace: None,
         }
     }
 }
@@ -123,6 +127,9 @@ pub struct MicrobenchReport {
 /// ```
 pub fn run_microbench(spec: &MicrobenchSpec) -> MicrobenchReport {
     let mut sim = Simulation::new(spec.seed);
+    if let Some(sink) = &spec.trace {
+        sim.handle().install_tracer(sink.clone());
+    }
     let cluster = Cluster::new(
         sim.handle(),
         ClusterConfig {
@@ -178,6 +185,7 @@ pub fn run_microbench(spec: &MicrobenchSpec) -> MicrobenchReport {
                     handle.sleep(Duration::from_micros(20)).await;
                     continue;
                 }
+                let _op = coro.op_scope_named("micro").await;
                 for _ in 0..depth {
                     let blade = cluster_blade_id(t as u64, handle.rand_below(blades));
                     let offset = 64 + handle.rand_below(slots) * 8;

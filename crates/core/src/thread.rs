@@ -1,11 +1,13 @@
 //! Per-thread framework state.
 
+use std::cell::Cell;
 use std::rc::Rc;
 use std::time::Duration;
 
 use smart_rnic::{BladeId, Qp};
 use smart_rt::sync::FifoResource;
 use smart_rt::{SimHandle, SimTime};
+use smart_trace::Actor;
 
 use crate::conflict::ConflictControl;
 use crate::context::SmartContext;
@@ -24,6 +26,8 @@ use crate::throttle::WrThrottle;
 pub struct SmartThread {
     ctx: Rc<SmartContext>,
     idx: usize,
+    tag: u64,
+    next_coro: Cell<u32>,
     pub(crate) cpu: FifoResource,
     qps: Vec<Rc<Qp>>,
     pub(crate) hub: Rc<CompletionHub>,
@@ -55,9 +59,12 @@ impl SmartThread {
         pool: Option<QpPool>,
         stats: ThreadStats,
     ) -> Rc<Self> {
+        let tag = ((ctx.node().id().0 as u64) << 32) | idx as u64;
         Rc::new(SmartThread {
             ctx,
             idx,
+            tag,
+            next_coro: Cell::new(0),
             cpu,
             qps,
             hub,
@@ -80,6 +87,24 @@ impl SmartThread {
     /// This thread's index within its context.
     pub fn index(&self) -> usize {
         self.idx
+    }
+
+    /// Stable thread identity (`node_id << 32 | thread_index`), used as
+    /// the spinlock owner tag and as the trace track id. Unlike a pointer
+    /// it is identical across same-seed runs.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// The trace actor for thread-level (coroutine-less) events.
+    pub fn actor(&self) -> Actor {
+        Actor::thread(self.tag)
+    }
+
+    pub(crate) fn next_coro_index(&self) -> u32 {
+        let i = self.next_coro.get();
+        self.next_coro.set(i + 1);
+        i
     }
 
     /// The owning context.

@@ -13,6 +13,7 @@ use std::rc::Rc;
 use smart_rt::metrics::Counter;
 use smart_rt::sync::Semaphore;
 use smart_rt::SimHandle;
+use smart_trace::{Actor, Category};
 
 use crate::config::SmartConfig;
 
@@ -105,6 +106,24 @@ impl WrThrottle {
         1 + self.credits.take_up_to(want as u64 - 1) as usize
     }
 
+    /// [`Self::acquire_chunk`] with tracing: time stalled on depleted
+    /// credits is recorded as a `credit` span (`"wr_credits"`) attributed
+    /// to `actor`. The throttle holds no [`SimHandle`], so the caller
+    /// passes one in.
+    pub async fn acquire_chunk_as(&self, want: usize, handle: &SimHandle, actor: Actor) -> usize {
+        debug_assert!(want > 0);
+        if !self.enabled {
+            return want;
+        }
+        if !self.credits.try_acquire(1) {
+            self.stalls.incr();
+            self.credits
+                .acquire_traced(1, handle, actor, "wr_credits")
+                .await;
+        }
+        1 + self.credits.take_up_to(want as u64 - 1) as usize
+    }
+
     /// Replenishes `n` credits after completions are polled
     /// (Algorithm 1 line 13).
     pub fn replenish(&self, n: u64) {
@@ -144,6 +163,17 @@ pub async fn run_c_max_tuner(
             }
         }
         throttle.update_c_max(best_target);
+        // Record the epoch decision; the tuner is a background task, so
+        // the sample lands on the system track.
+        handle.with_tracer(|t| {
+            t.counter(
+                handle.now().as_nanos(),
+                Actor::SYSTEM,
+                Category::Tune,
+                "c_max",
+                best_target.max(0) as u64,
+            );
+        });
         handle.sleep(cfg.probe_interval * cfg.stable_epochs).await;
     }
 }

@@ -86,7 +86,7 @@ impl SmallBank {
         log: RemoteAddr,
         txn: &SmallBankTxn,
     ) -> Result<(), DtxError> {
-        let _op = coro.op_scope().await;
+        let _op = coro.op_scope_named("dtx_txn").await;
         let mut t = self.db.begin(coro, log);
         match *txn {
             SmallBankTxn::Amalgamate { from, to } => {

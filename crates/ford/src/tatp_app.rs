@@ -129,7 +129,7 @@ impl Tatp {
         log: RemoteAddr,
         txn: &TatpTxn,
     ) -> Result<(), DtxError> {
-        let _op = coro.op_scope().await;
+        let _op = coro.op_scope_named("dtx_txn").await;
         let mut t = self.db.begin(coro, log);
         match *txn {
             TatpTxn::GetSubscriberData { sid } => {

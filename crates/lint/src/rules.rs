@@ -15,7 +15,16 @@ use crate::scrub::Scrubbed;
 /// Crates whose `src/` trees are simulation code: nothing inside them may
 /// observe wall-clock time, OS threads or unordered iteration, because
 /// all of it can reach the event queue and break seed-determinism.
-pub const SIM_CRATES: &[&str] = &["rt", "rnic", "core", "race", "ford", "sherman", "workloads"];
+pub const SIM_CRATES: &[&str] = &[
+    "trace",
+    "rt",
+    "rnic",
+    "core",
+    "race",
+    "ford",
+    "sherman",
+    "workloads",
+];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]

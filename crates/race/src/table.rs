@@ -432,7 +432,7 @@ impl RaceHashTable {
     /// assert_eq!(got.as_deref(), Some(b"v".as_slice()));
     /// ```
     pub async fn get(&self, coro: &SmartCoro, key: &[u8]) -> Option<Vec<u8>> {
-        let _op = coro.op_scope().await;
+        let _op = coro.op_scope_named("ht_get").await;
         let kh = hash_key(key);
         let (st, b1, b2) = self.locate(&kh);
         let found = self.find_slot(coro, &st, &kh, key, b1, b2).await;
@@ -465,7 +465,7 @@ impl RaceHashTable {
         key: &[u8],
         value: &[u8],
     ) -> Result<u32, RaceError> {
-        let _op = coro.op_scope().await;
+        let _op = coro.op_scope_named("ht_insert").await;
         let kh = hash_key(key);
         let mut retries = 0u32;
         'restart: loop {
@@ -573,7 +573,7 @@ impl RaceHashTable {
         key: &[u8],
         value: &[u8],
     ) -> Result<u32, RaceError> {
-        let _op = coro.op_scope().await;
+        let _op = coro.op_scope_named("ht_update").await;
         let kh = hash_key(key);
         let (st, b1, b2) = self.locate(&kh);
         let Some((b, i, old, _)) = self.find_slot(coro, &st, &kh, key, b1, b2).await else {
@@ -585,7 +585,7 @@ impl RaceHashTable {
 
     /// Removes `key`. Returns whether it was present.
     pub async fn remove(&self, coro: &SmartCoro, key: &[u8]) -> Result<bool, RaceError> {
-        let _op = coro.op_scope().await;
+        let _op = coro.op_scope_named("ht_remove").await;
         let kh = hash_key(key);
         let mut retries = 0u32;
         loop {

@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use smart_rt::sync::ContendedLock;
 use smart_rt::SimHandle;
+use smart_trace::Actor;
 
 use crate::config::RnicConfig;
 
@@ -93,12 +94,19 @@ impl Doorbell {
     /// thread so its own back-to-back posts only serialize, never pay the
     /// cross-core handoff penalty.
     pub async fn ring(&self, owner_tag: u64) {
+        self.ring_as(Actor::thread(owner_tag)).await;
+    }
+
+    /// Like [`Self::ring`] with `actor.tid` as the owner tag; the doorbell
+    /// lock section is recorded as a `db_lock` span labelled `"doorbell"`
+    /// on the installed tracer.
+    pub async fn ring_as(&self, actor: Actor) {
         self.rings.set(self.rings.get() + 1);
-        let last = self.last_owner.replace(owner_tag);
-        if last != u64::MAX && last != owner_tag {
+        let last = self.last_owner.replace(actor.tid);
+        if last != u64::MAX && last != actor.tid {
             self.multi_owner.set(true);
         }
-        self.lock.exec_tagged(self.mmio, owner_tag).await;
+        self.lock.exec_as(self.mmio, actor, "doorbell").await;
     }
 
     /// Whether rings from more than one owner (thread) were observed —

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use smart_rt::sync::{ContendedLock, Notify};
+use smart_trace::Actor;
 
 use crate::blade::MemoryBlade;
 use crate::device::DeviceContext;
@@ -181,13 +182,13 @@ impl Qp {
 
     /// Serializes a post of `n` WQEs on the QP lock (the RPC path reuses
     /// the one-sided posting costs).
-    pub(crate) async fn lock_for_post(&self, n: u32, owner_tag: u64) {
+    pub(crate) async fn lock_for_post(&self, n: u32, actor: Actor) {
         let cfg = &self.ctx.node().cfg;
         let mut hold = cfg.db_wqe_write.saturating_mul(n);
         if self.shared {
             hold += cfg.qp_shared_extra;
         }
-        self.lock.exec_tagged(hold, owner_tag).await;
+        self.lock.exec_as(hold, actor, "qp_lock").await;
     }
 
     /// Posts a chain of work requests (`ibv_post_send`) and rings the
@@ -208,6 +209,14 @@ impl Qp {
     /// Panics if `wrs` is empty or if a request targets a different blade
     /// than this QP is connected to.
     pub async fn post_send(self: &Rc<Self>, wrs: Vec<WorkRequest>, owner_tag: u64) {
+        self.post_send_as(wrs, Actor::thread(owner_tag)).await;
+    }
+
+    /// Like [`Self::post_send`] with `actor.tid` as the owner tag; the
+    /// actor additionally labels the `db_lock` spans recorded for the QP
+    /// lock and doorbell and travels with each work request's lifecycle so
+    /// pipeline/fabric time is attributed to the posting coroutine.
+    pub async fn post_send_as(self: &Rc<Self>, wrs: Vec<WorkRequest>, actor: Actor) {
         assert!(
             !wrs.is_empty(),
             "post_send requires at least one work request"
@@ -228,12 +237,12 @@ impl Qp {
         self.outstanding.set(self.outstanding.get() + n);
 
         let _ = cfg;
-        self.lock_for_post(n, owner_tag).await;
-        self.doorbell.ring(owner_tag).await;
+        self.lock_for_post(n, actor).await;
+        self.doorbell.ring_as(actor).await;
 
         for wr in wrs {
             let qp = Rc::clone(self);
-            node.handle.spawn(verbs::lifecycle(qp, wr));
+            node.handle.spawn(verbs::lifecycle(qp, wr, actor));
         }
     }
 }

@@ -136,8 +136,9 @@ pub async fn rpc_call(
     let header = node.fabric_header_bytes();
 
     // Sender side: QP + doorbell + requester pipeline, like any post.
-    qp.lock_for_post(1, owner_tag).await;
-    qp.doorbell().ring(owner_tag).await;
+    let actor = smart_trace::Actor::thread(owner_tag);
+    qp.lock_for_post(1, actor).await;
+    qp.doorbell().ring_as(actor).await;
     node.charge_wqe_fetch();
     node.requester_pipeline().use_for(cfg.base_service).await;
 

@@ -14,14 +14,21 @@
 //!    on the blade egress link and the requester PCIe.
 //! 5. **Completion** — WQE-cache lookup (thrashing ⇒ DMA re-fetch: extra
 //!    pipeline time, latency and DRAM traffic), CQE DMA write, CQ push.
+//!
+//! Every stage is mirrored onto the installed tracer (if any): pipeline
+//! and link visits become `pipeline`/`fabric` spans attributed to the
+//! posting actor, cache misses become `cache` instants, and CQE delivery
+//! becomes an instant — none of which alters the timing model.
 
 use std::rc::Rc;
 use std::time::Duration;
 
+use smart_trace::{Actor, Args, Category};
+
 use crate::qp::Qp;
 use crate::types::{Cqe, OneSidedOp, OpResult, WorkRequest};
 
-pub(crate) async fn lifecycle(qp: Rc<Qp>, wr: WorkRequest) {
+pub(crate) async fn lifecycle(qp: Rc<Qp>, wr: WorkRequest, actor: Actor) {
     let ctx = Rc::clone(qp.context());
     let node = Rc::clone(ctx.node());
     let cfg = Rc::clone(&node.cfg);
@@ -40,7 +47,20 @@ pub(crate) async fn lifecycle(qp: Rc<Qp>, wr: WorkRequest) {
     service += mtt_service;
     extra_latency += mtt_latency;
     node.dram_bytes.add(mtt_bytes);
-    node.pipeline.use_for(service).await;
+    if mtt_bytes > 0 {
+        handle.with_tracer(|t| {
+            t.instant(
+                handle.now().as_nanos(),
+                actor,
+                Category::Cache,
+                "mtt_miss",
+                Args::one("dma_bytes", mtt_bytes),
+            );
+        });
+    }
+    node.pipeline
+        .use_for_as(service, actor, Category::Pipeline, "rnic_pipeline")
+        .await;
 
     // --- 2. request leg ---------------------------------------------------
     let req_payload = wr.op.request_payload();
@@ -49,19 +69,46 @@ pub(crate) async fn lifecycle(qp: Rc<Qp>, wr: WorkRequest) {
         // (small payloads are inlined in the WQE and already accounted).
         if data.len() as u64 >= cfg.small_payload_cutoff {
             node.dram_bytes.add(data.len() as u64);
-            node.pcie.transfer(data.len() as u64).await;
+            node.pcie
+                .transfer_as(data.len() as u64, actor, Category::Fabric, "pcie_out")
+                .await;
         }
     }
     let req_wire = header + req_payload;
     if req_wire >= cfg.small_payload_cutoff {
-        blade.ingress.transfer(req_wire).await;
+        blade
+            .ingress
+            .transfer_as(req_wire, actor, Category::Fabric, "ingress")
+            .await;
     }
-    handle.sleep(one_way + extra_latency).await;
+    let flight = one_way + extra_latency;
+    handle.with_tracer(|t| {
+        t.span(
+            handle.now().as_nanos(),
+            flight.as_nanos() as u64,
+            actor,
+            Category::Fabric,
+            "net_req",
+            Args::NONE,
+        );
+    });
+    handle.sleep(flight).await;
 
     // --- 3. responder -----------------------------------------------------
-    blade.responder.use_for(cfg.responder_service).await;
+    blade
+        .responder
+        .use_for_as(
+            cfg.responder_service,
+            actor,
+            Category::Pipeline,
+            "responder",
+        )
+        .await;
     if wr.op.is_atomic() {
-        blade.atomic_unit.use_for(cfg.atomic_service).await;
+        blade
+            .atomic_unit
+            .use_for_as(cfg.atomic_service, actor, Category::Pipeline, "atomic_unit")
+            .await;
     }
     let result = match &wr.op {
         OneSidedOp::Read { addr, len } => {
@@ -74,7 +121,18 @@ pub(crate) async fn lifecycle(qp: Rc<Qp>, wr: WorkRequest) {
         } => {
             blade.write_bytes(addr.offset_bytes, data);
             if *persistent {
-                handle.sleep(blade.nvm_write_latency).await;
+                let nvm = blade.nvm_write_latency;
+                handle.with_tracer(|t| {
+                    t.span(
+                        handle.now().as_nanos(),
+                        nvm.as_nanos() as u64,
+                        actor,
+                        Category::Pipeline,
+                        "nvm_write",
+                        Args::NONE,
+                    );
+                });
+                handle.sleep(nvm).await;
             }
             OpResult::Write
         }
@@ -89,24 +147,75 @@ pub(crate) async fn lifecycle(qp: Rc<Qp>, wr: WorkRequest) {
     let resp_payload = wr.op.response_payload();
     let resp_wire = header + resp_payload;
     if resp_wire >= cfg.small_payload_cutoff {
-        blade.egress.transfer(resp_wire).await;
+        blade
+            .egress
+            .transfer_as(resp_wire, actor, Category::Fabric, "egress")
+            .await;
     }
+    handle.with_tracer(|t| {
+        t.span(
+            handle.now().as_nanos(),
+            one_way.as_nanos() as u64,
+            actor,
+            Category::Fabric,
+            "net_resp",
+            Args::NONE,
+        );
+    });
     handle.sleep(one_way).await;
     node.dram_bytes.add(resp_payload);
     if resp_payload >= cfg.small_payload_cutoff {
-        node.pcie.transfer(resp_payload).await;
+        node.pcie
+            .transfer_as(resp_payload, actor, Category::Fabric, "pcie_in")
+            .await;
     }
 
     // --- 5. completion ----------------------------------------------------
     if !node.wqe_lookup_is_hit() {
+        handle.with_tracer(|t| {
+            t.instant(
+                handle.now().as_nanos(),
+                actor,
+                Category::Cache,
+                "wqe_miss",
+                Args::one("dma_bytes", cfg.wqe_refetch_bytes),
+            );
+        });
         node.dram_bytes.add(cfg.wqe_refetch_bytes);
-        node.pipeline.use_for(cfg.wqe_miss_service).await;
-        handle.sleep(cfg.wqe_miss_latency).await;
+        node.pipeline
+            .use_for_as(
+                cfg.wqe_miss_service,
+                actor,
+                Category::Pipeline,
+                "wqe_refetch",
+            )
+            .await;
+        let stall = cfg.wqe_miss_latency;
+        handle.with_tracer(|t| {
+            t.span(
+                handle.now().as_nanos(),
+                stall.as_nanos() as u64,
+                actor,
+                Category::Pipeline,
+                "wqe_miss_stall",
+                Args::NONE,
+            );
+        });
+        handle.sleep(stall).await;
     }
     node.dram_bytes.add(cfg.cqe_bytes);
     node.outstanding.set(node.outstanding.get() - 1);
     node.ops_completed.incr();
     qp.complete_one();
+    handle.with_tracer(|t| {
+        t.instant(
+            handle.now().as_nanos(),
+            actor,
+            Category::Pipeline,
+            "cqe",
+            Args::one("wr_id", wr.wr_id),
+        );
+    });
     qp.cq().push(Cqe {
         wr_id: wr.wr_id,
         result,

@@ -75,6 +75,7 @@ pub(crate) struct Inner {
     tasks: RefCell<Vec<Option<Task>>>,
     free: RefCell<Vec<TaskId>>,
     rng: RefCell<SimRng>,
+    tracer: RefCell<Option<smart_trace::TraceSink>>,
 }
 
 /// A cheaply clonable handle onto a running [`Simulation`].
@@ -198,6 +199,39 @@ impl SimHandle {
         assert!(bound > 0, "rand_below bound must be positive");
         self.with_rng(|r| r.next_u64_below(bound))
     }
+
+    /// Installs a [`smart_trace::TraceSink`] on the simulation; subsequent
+    /// instrumentation in the runtime and everything built on top records
+    /// into it. Replaces any previously installed sink.
+    ///
+    /// Recording never advances virtual time, so installing (or enabling /
+    /// disabling) a tracer cannot change simulated behaviour — only observe
+    /// it.
+    pub fn install_tracer(&self, sink: smart_trace::TraceSink) {
+        *self.inner.tracer.borrow_mut() = Some(sink);
+    }
+
+    /// Removes and returns the installed tracer, if any.
+    pub fn take_tracer(&self) -> Option<smart_trace::TraceSink> {
+        self.inner.tracer.borrow_mut().take()
+    }
+
+    /// A clone of the installed tracer, if any.
+    pub fn tracer(&self) -> Option<smart_trace::TraceSink> {
+        self.inner.tracer.borrow().clone()
+    }
+
+    /// Runs `f` with the installed tracer when one is present *and*
+    /// enabled. This is the hot-path guard used by all instrumentation:
+    /// with no tracer (or a disabled one) it is a borrow, a check and an
+    /// early return.
+    pub fn with_tracer(&self, f: impl FnOnce(&smart_trace::TraceSink)) {
+        if let Some(sink) = self.inner.tracer.borrow().as_ref() {
+            if sink.is_enabled() {
+                f(sink);
+            }
+        }
+    }
 }
 
 /// Future returned by [`SimHandle::sleep`] and [`SimHandle::sleep_until`].
@@ -267,6 +301,7 @@ impl Simulation {
                     tasks: RefCell::new(Vec::new()),
                     free: RefCell::new(Vec::new()),
                     rng: RefCell::new(SimRng::new(seed)),
+                    tracer: RefCell::new(None),
                 }),
             },
         }

@@ -49,6 +49,11 @@ pub use executor::{SimHandle, Simulation};
 pub use join::JoinHandle;
 pub use time::SimTime;
 
+/// Re-export of the tracing subsystem so runtime users can install a
+/// [`trace::TraceSink`] (see [`SimHandle::install_tracer`]) without naming
+/// `smart-trace` in their own dependency list.
+pub use smart_trace as trace;
+
 /// Re-export of [`std::time::Duration`]; all simulated durations use it.
 pub use std::time::Duration;
 

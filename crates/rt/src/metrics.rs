@@ -29,10 +29,15 @@ impl Counter {
         Self::default()
     }
 
-    /// Adds `n`.
+    /// Adds `n`, wrapping on overflow.
+    ///
+    /// Byte counters (PCIe/DRAM traffic in full mode) can plausibly
+    /// overflow `u64` in very long sweeps; wrapping makes the behaviour
+    /// uniform across debug and release builds instead of panicking only
+    /// under debug assertions.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.value.set(self.value.get() + n);
+        self.value.set(self.value.get().wrapping_add(n));
     }
 
     /// Adds one.
@@ -97,6 +102,14 @@ mod tests {
         assert_eq!(a.get(), 3);
         assert_eq!(b.take(), 3);
         assert_eq!(a.get(), 0);
+    }
+
+    #[test]
+    fn add_wraps_on_overflow() {
+        let c = Counter::new();
+        c.add(u64::MAX);
+        c.add(3);
+        assert_eq!(c.get(), 2);
     }
 
     #[test]

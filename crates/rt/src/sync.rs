@@ -21,6 +21,8 @@ use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
+use smart_trace::{Actor, Args, Category};
+
 use crate::executor::{SimHandle, Sleep};
 use crate::time::SimTime;
 
@@ -233,6 +235,34 @@ impl Semaphore {
         }
     }
 
+    /// Like [`Self::acquire`], but records any time spent blocked as a
+    /// `credit` span on the installed tracer. The semaphore itself holds no
+    /// [`SimHandle`], so the caller passes one in. Zero-length waits emit
+    /// nothing.
+    pub async fn acquire_traced(
+        &self,
+        n: u64,
+        handle: &SimHandle,
+        actor: Actor,
+        name: &'static str,
+    ) {
+        let t0 = handle.now();
+        self.acquire(n).await;
+        let waited = handle.now().saturating_since(t0).as_nanos() as u64;
+        if waited > 0 {
+            handle.with_tracer(|t| {
+                t.span(
+                    t0.as_nanos(),
+                    waited,
+                    actor,
+                    Category::Credit,
+                    name,
+                    Args::one("permits", n),
+                );
+            });
+        }
+    }
+
     /// Acquires `n` permits without waiting; `false` if unavailable or if
     /// earlier waiters are queued (FIFO is never bypassed).
     pub fn try_acquire(&self, n: u64) -> bool {
@@ -404,6 +434,39 @@ impl FifoResource {
         self.inner.handle.sleep_until(done)
     }
 
+    /// Like [`Self::use_for`], additionally recording the whole visit
+    /// (queue wait + service) as a span of the given category on the
+    /// installed tracer, annotated with the split between service and wait.
+    pub fn use_for_as(
+        &self,
+        service: Duration,
+        actor: Actor,
+        cat: Category,
+        name: &'static str,
+    ) -> Sleep {
+        let now = self.inner.handle.now();
+        let sleep = self.use_for(service);
+        // `use_for` just set the busy horizon to this request's completion.
+        let dur = self.inner.busy_until.get().saturating_since(now).as_nanos() as u64;
+        let service_ns = service.as_nanos() as u64;
+        self.inner.handle.with_tracer(|t| {
+            t.span(
+                now.as_nanos(),
+                dur,
+                actor,
+                cat,
+                name,
+                Args::two(
+                    "service_ns",
+                    service_ns,
+                    "wait_ns",
+                    dur.saturating_sub(service_ns),
+                ),
+            );
+        });
+        sleep
+    }
+
     /// Extends the server's busy horizon by `d` without sleeping.
     ///
     /// Used to model a task that occupies the resource while blocked
@@ -530,6 +593,18 @@ impl ContendedLock {
     /// identity and only cross-thread waiters inflate the cost. Queueing
     /// (FIFO serialization of the hold times) applies regardless of tag.
     pub async fn exec_tagged(&self, hold: Duration, tag: u64) {
+        self.exec_inner(hold, tag, None).await;
+    }
+
+    /// Like [`Self::exec_tagged`] with `actor.tid` as the tag, additionally
+    /// recording the whole lock section (wait + handoff penalty + hold) as a
+    /// `db_lock` span on the installed tracer, annotated with the time lost
+    /// to contention and the number of cross-owner waiters seen at entry.
+    pub async fn exec_as(&self, hold: Duration, actor: Actor, name: &'static str) {
+        self.exec_inner(hold, actor.tid, Some((actor, name))).await;
+    }
+
+    async fn exec_inner(&self, hold: Duration, tag: u64, trace: Option<(Actor, &'static str)>) {
         let inner = &self.inner;
         let waiters = inner.queued.get();
         let same_tag = inner.queued_by_tag.borrow().get(&tag).copied().unwrap_or(0);
@@ -551,6 +626,18 @@ impl ContendedLock {
         inner
             .contention_ns
             .set(inner.contention_ns.get() + contention);
+        if let Some((actor, name)) = trace {
+            inner.handle.with_tracer(|t| {
+                t.span(
+                    now.as_nanos(),
+                    (done - now).as_nanos() as u64,
+                    actor,
+                    Category::DbLock,
+                    name,
+                    Args::two("wait_ns", contention, "waiters", other_waiters as u64),
+                );
+            });
+        }
         let sleep = inner.handle.sleep_until(done);
         sleep.await;
         inner.queued.set(inner.queued.get() - 1);
@@ -635,6 +722,21 @@ impl Bandwidth {
     pub fn transfer(&self, bytes: u64) -> Sleep {
         self.transferred.set(self.transferred.get() + bytes);
         self.server.use_for(self.service_time(bytes))
+    }
+
+    /// Like [`Self::transfer`], additionally recording the transfer
+    /// (queue wait + serialization) as a span of the given category on the
+    /// installed tracer.
+    pub fn transfer_as(
+        &self,
+        bytes: u64,
+        actor: Actor,
+        cat: Category,
+        name: &'static str,
+    ) -> Sleep {
+        self.transferred.set(self.transferred.get() + bytes);
+        self.server
+            .use_for_as(self.service_time(bytes), actor, cat, name)
     }
 
     /// Total bytes ever enqueued on the link.

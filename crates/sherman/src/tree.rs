@@ -324,7 +324,7 @@ impl ShermanTree {
 
     /// Looks up `key`.
     pub async fn get(&self, coro: &SmartCoro, key: u64) -> Option<u64> {
-        let _op = coro.op_scope().await;
+        let _op = coro.op_scope_named("bt_get").await;
         self.stats.lookups.incr();
         if self.cfg.speculative {
             let hint = self.spec.borrow().get(&key).copied();
@@ -428,7 +428,7 @@ impl ShermanTree {
 
     /// Inserts or updates `key`.
     pub async fn insert(&self, coro: &SmartCoro, key: u64, value: u64) {
-        let _op = coro.op_scope().await;
+        let _op = coro.op_scope_named("bt_insert").await;
         self.stats.inserts.incr();
         let mut restarts = 0u32;
         let mut leaf_addr = self.traverse_to_leaf(coro, key).await;
@@ -510,7 +510,7 @@ impl ShermanTree {
     /// the speculative cache remain valid; space is reclaimed by later
     /// inserts into the same range.
     pub async fn remove(&self, coro: &SmartCoro, key: u64) -> bool {
-        let _op = coro.op_scope().await;
+        let _op = coro.op_scope_named("bt_remove").await;
         let mut restarts = 0u32;
         let mut leaf_addr = self.traverse_to_leaf(coro, key).await;
         let mut node = loop {

@@ -1,0 +1,211 @@
+//! Chrome trace-event JSON exporter (Perfetto / `chrome://tracing`).
+//!
+//! Output is deterministic by construction: events are written in buffer
+//! order, metadata records in sorted-tid order, and all numbers are
+//! formatted with integer arithmetic (`ts`/`dur` are microseconds with a
+//! fixed three-decimal fraction), so a same-seed run re-exports the exact
+//! same bytes.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::{Args, TraceEvent};
+
+fn pid_of(tid: u64) -> u32 {
+    (tid >> 32) as u32
+}
+
+fn tid_of(tid: u64) -> u32 {
+    tid as u32
+}
+
+/// Writes nanoseconds as microseconds with exactly three decimals.
+fn write_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+fn write_head(out: &mut String, ph: char, tid: u64, ts_ns: u64) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"{ph}\",\"pid\":{},\"tid\":{},\"ts\":",
+        pid_of(tid),
+        tid_of(tid)
+    );
+    write_us(out, ts_ns);
+}
+
+fn write_args(out: &mut String, coro: u32, args: Args) {
+    let _ = write!(out, "\"args\":{{\"coro\":{coro}");
+    for (k, v) in args.0.iter().flatten() {
+        let _ = write!(out, ",\"{k}\":{v}");
+    }
+    out.push_str("}}");
+}
+
+/// Renders events as a Chrome trace-event JSON document.
+///
+/// One track is emitted per simulated thread: the actor's `tid` splits into
+/// Chrome's `pid` (`node_id`, high 32 bits) and `tid` (thread index, low 32
+/// bits), and a `thread_name` metadata record labels each track
+/// (`"n<node>.t<thread>"`, or `"background"` for [`crate::Actor::SYSTEM`]).
+/// Spans become `"X"` complete events, instants `"i"` thread-scoped
+/// events, counters `"C"` counter events; the coroutine index and any
+/// event [`Args`] travel in `args`. Event names must be JSON-safe ASCII
+/// identifiers (they are `&'static str` chosen by instrumentation code,
+/// never user data, so no escaping is performed).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+
+    let tids: BTreeSet<u64> = events.iter().map(|ev| ev.actor().tid).collect();
+    for tid in tids {
+        sep(&mut out);
+        let name = if tid == u64::MAX {
+            "background".to_string()
+        } else {
+            format!("n{}.t{}", pid_of(tid), tid_of(tid))
+        };
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{name}\"}}}}",
+            pid_of(tid),
+            tid_of(tid),
+        );
+    }
+
+    for ev in events {
+        sep(&mut out);
+        match *ev {
+            TraceEvent::Span {
+                t_ns,
+                dur_ns,
+                actor,
+                cat,
+                name,
+                args,
+            } => {
+                write_head(&mut out, 'X', actor.tid, t_ns);
+                out.push_str(",\"dur\":");
+                write_us(&mut out, dur_ns);
+                let _ = write!(out, ",\"cat\":\"{}\",\"name\":\"{name}\",", cat.label());
+                write_args(&mut out, actor.coro, args);
+            }
+            TraceEvent::Instant {
+                t_ns,
+                actor,
+                cat,
+                name,
+                args,
+            } => {
+                write_head(&mut out, 'i', actor.tid, t_ns);
+                let _ = write!(
+                    out,
+                    ",\"s\":\"t\",\"cat\":\"{}\",\"name\":\"{name}\",",
+                    cat.label()
+                );
+                write_args(&mut out, actor.coro, args);
+            }
+            TraceEvent::Counter {
+                t_ns,
+                actor,
+                cat,
+                name,
+                value,
+            } => {
+                write_head(&mut out, 'C', actor.tid, t_ns);
+                let _ = write!(
+                    out,
+                    ",\"cat\":\"{}\",\"name\":\"{name}\",\"args\":{{\"value\":{value}}}}}",
+                    cat.label()
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Actor, Category};
+
+    #[test]
+    fn empty_trace_is_valid_shell() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn microsecond_formatting_is_fixed_width_fraction() {
+        let mut s = String::new();
+        write_us(&mut s, 0);
+        s.push(' ');
+        write_us(&mut s, 1);
+        s.push(' ');
+        write_us(&mut s, 1_234_567);
+        assert_eq!(s, "0.000 0.001 1234.567");
+    }
+
+    #[test]
+    fn span_and_metadata_layout() {
+        let ev = TraceEvent::Span {
+            t_ns: 2_500,
+            dur_ns: 750,
+            actor: Actor::new((3 << 32) | 4, 1),
+            cat: Category::DbLock,
+            name: "qp_lock",
+            args: Args::one("wait_ns", 500),
+        };
+        let json = chrome_trace_json(&[ev]);
+        assert_eq!(
+            json,
+            concat!(
+                "{\"traceEvents\":[",
+                "{\"ph\":\"M\",\"pid\":3,\"tid\":4,\"name\":\"thread_name\",",
+                "\"args\":{\"name\":\"n3.t4\"}},",
+                "{\"ph\":\"X\",\"pid\":3,\"tid\":4,\"ts\":2.500,\"dur\":0.750,",
+                "\"cat\":\"db_lock\",\"name\":\"qp_lock\",",
+                "\"args\":{\"coro\":1,\"wait_ns\":500}}",
+                "]}"
+            )
+        );
+    }
+
+    #[test]
+    fn system_actor_gets_background_track() {
+        let ev = TraceEvent::Counter {
+            t_ns: 1_000,
+            actor: Actor::SYSTEM,
+            cat: Category::Tune,
+            name: "c_max",
+            value: 16,
+        };
+        let json = chrome_trace_json(&[ev]);
+        assert!(json.contains("\"name\":\"background\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("{\"value\":16}"));
+        assert!(json.contains("\"pid\":4294967295"));
+    }
+
+    #[test]
+    fn instants_are_thread_scoped() {
+        let ev = TraceEvent::Instant {
+            t_ns: 10,
+            actor: Actor::thread(1),
+            cat: Category::Cache,
+            name: "wqe_miss",
+            args: Args::NONE,
+        };
+        let json = chrome_trace_json(&[ev]);
+        assert!(json.contains("\"ph\":\"i\",\"pid\":0,\"tid\":1,\"ts\":0.010,\"s\":\"t\""));
+        assert!(json.contains("\"args\":{\"coro\":0}"));
+    }
+}

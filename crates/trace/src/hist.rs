@@ -1,0 +1,191 @@
+//! Log-bucketed HDR-style histogram with integer-only percentile queries.
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets, giving ≤ 12.5 % relative error.
+const SUB_BITS: u32 = 3;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// Total number of buckets needed to cover the full `u64` range: values
+/// below 16 get exact unit buckets, every following octave contributes
+/// `SUB_COUNT` buckets up to the 2^63 octave.
+const BUCKETS: usize = 16 + (60 << SUB_BITS) as usize;
+
+fn bucket_index(v: u64) -> usize {
+    if v < 2 * SUB_COUNT {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB_COUNT - 1)) as usize;
+        ((((msb - SUB_BITS) as usize) << SUB_BITS) + 8) + sub
+    }
+}
+
+fn bucket_low_edge(b: usize) -> u64 {
+    if b < 2 * SUB_COUNT as usize {
+        b as u64
+    } else {
+        let oct = ((b - 8) >> SUB_BITS) as u32 + SUB_BITS;
+        let sub = (b as u64) & (SUB_COUNT - 1);
+        (SUB_COUNT + sub) << (oct - SUB_BITS)
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (nanoseconds, by convention).
+///
+/// Values below 16 are recorded exactly; larger values fall into one of
+/// eight linear sub-buckets per power-of-two octave, so percentile queries
+/// carry at most ~12.5 % relative error while the whole structure stays a
+/// flat array of counts — no allocation per sample, no floating point in
+/// the record or query paths, fully deterministic.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample, 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Integer mean of the samples, 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The value at the given permille rank (`500` = p50, `999` = p99.9).
+    ///
+    /// Returns the low edge of the bucket containing the rank-th sample
+    /// (capped at the observed maximum), 0 for an empty histogram.
+    pub fn percentile(&self, permille: u32) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let permille = permille.min(1000) as u64;
+        let rank = ((self.count * permille).div_ceil(1000)).max(1);
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return bucket_low_edge(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_monotonic_and_consistent() {
+        // Every bucket's low edge maps back to the same bucket, and edges
+        // strictly increase.
+        let mut prev = None;
+        for b in 0..BUCKETS {
+            let edge = bucket_low_edge(b);
+            assert_eq!(bucket_index(edge), b, "low edge of bucket {b}");
+            if let Some(p) = prev {
+                assert!(edge > p, "edges must increase at bucket {b}");
+            }
+            prev = Some(edge);
+        }
+    }
+
+    #[test]
+    fn boundary_values_map_into_range() {
+        for v in [0, 1, 15, 16, 17, 31, 32, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let b = bucket_index(v);
+            assert!(b < BUCKETS, "bucket {b} out of range for {v}");
+            assert!(bucket_low_edge(b) <= v, "low edge above value {v}");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for p in 1..=15u32 {
+            // The p-th sample of 0..16 at permille p*1000/16 is exact.
+            assert_eq!(h.percentile(p * 1000 / 16), (p - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(500);
+        let p99 = h.percentile(990);
+        // 12.5 % relative error bound from the 8-sub-bucket octaves.
+        assert!((440..=500).contains(&p50), "p50 = {p50}");
+        assert!((870..=990).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+        assert!((900..=1000).contains(&h.percentile(1000)));
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.mean(), 500);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(500), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = LogHistogram::new();
+        h.record(12_345);
+        for p in [1, 500, 900, 990, 999, 1000] {
+            let v = h.percentile(p);
+            assert!(v <= 12_345, "percentile above sample");
+            assert!(v >= 12_288, "percentile {v} too far below sample");
+        }
+    }
+}

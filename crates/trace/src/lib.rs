@@ -1,0 +1,331 @@
+//! # smart-trace — deterministic simulation-time tracing
+//!
+//! A zero-dependency tracing subsystem for the SMART simulation stack. It
+//! records typed events — completed spans, instants and counter samples —
+//! stamped with the *simulated* time (raw nanoseconds, compatible with
+//! `smart_rt::SimTime::as_nanos`) and the identity of the simulated thread
+//! and coroutine that produced them. Because no wall-clock or OS state ever
+//! enters an event, the trace buffer produced by a run is a pure function of
+//! the simulation seed: two same-seed runs export byte-identical JSON, which
+//! makes the trace itself a determinism oracle.
+//!
+//! The crate has three layers:
+//!
+//! * [`TraceSink`] — a cheaply cloneable `Rc` ring-buffer recorder with a
+//!   bounded capacity and a per-[`Category`] filter mask. When disabled (or
+//!   when a category is masked out) every record call is a couple of `Cell`
+//!   reads and an early return, so instrumentation can stay compiled in.
+//! * op-scoped **latency attribution** ([`AttributionReport`]) — callers
+//!   bracket each application operation with [`TraceSink::begin_op`] /
+//!   [`TraceSink::end_op`]; span durations recorded in between are summed
+//!   per attribution category (DB-lock wait, credit wait, pipeline, fabric,
+//!   backoff) and folded into log-bucketed HDR-style histograms
+//!   ([`LogHistogram`], p50/p90/p99/p999).
+//! * exporters — [`chrome_trace_json`] emits Chrome trace-event JSON
+//!   (loadable in Perfetto or `chrome://tracing`, one track per simulated
+//!   thread) and [`AttributionReport::render`] produces the plain-text
+//!   report printed by the bench runners.
+//!
+//! This crate sits *below* `smart-rt` in the dependency order so the runtime
+//! and every layer above it can emit events; it therefore speaks raw `u64`
+//! nanoseconds rather than `SimTime`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod attr;
+mod chrome;
+mod hist;
+mod sink;
+
+pub use attr::{AttributionReport, OpKindStats};
+pub use chrome::chrome_trace_json;
+pub use hist::LogHistogram;
+pub use sink::TraceSink;
+
+/// Identity of the simulated execution context that emitted an event.
+///
+/// `tid` is a stable simulated-thread identifier (by convention
+/// `node_id << 32 | thread_index`, so the Chrome exporter can split it back
+/// into a process/thread pair) and `coro` is the coroutine index within that
+/// thread. Background tasks that belong to no thread use [`Actor::SYSTEM`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Actor {
+    /// Stable simulated-thread id (`node_id << 32 | thread_index`).
+    pub tid: u64,
+    /// Coroutine index within the thread, 0 for thread-level events.
+    pub coro: u32,
+}
+
+impl Actor {
+    /// Actor used by background/system tasks (tuners, controllers) that do
+    /// not belong to any simulated application thread.
+    pub const SYSTEM: Actor = Actor {
+        tid: u64::MAX,
+        coro: 0,
+    };
+
+    /// Builds an actor from a thread id and a coroutine index.
+    pub fn new(tid: u64, coro: u32) -> Actor {
+        Actor { tid, coro }
+    }
+
+    /// Builds a thread-level actor (coroutine index 0).
+    pub fn thread(tid: u64) -> Actor {
+        Actor { tid, coro: 0 }
+    }
+}
+
+/// Event category, used both for filtering (see [`TraceSink::set_mask`]) and
+/// for latency attribution.
+///
+/// The first five categories are the *attributed* ones: span durations
+/// recorded under them are charged to the enclosing operation opened with
+/// [`TraceSink::begin_op`]. The remaining categories annotate the timeline
+/// without entering the attribution sums.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Category {
+    /// Waiting for / holding a doorbell or QP spinlock (the paper's
+    /// "DB lock" component).
+    DbLock = 0,
+    /// Waiting for a work-request credit or a coroutine slot.
+    Credit = 1,
+    /// RNIC processing-unit or blade service-pipeline occupancy.
+    Pipeline = 2,
+    /// Time on the wire: PCIe transfers, network ingress/egress, flight
+    /// latency.
+    Fabric = 3,
+    /// Conflict-avoidance backoff sleeps.
+    Backoff = 4,
+    /// WQE / MTT cache hit-miss annotations.
+    Cache = 5,
+    /// Tuning decisions (chosen `C_max`, `t_max` updates).
+    Tune = 6,
+    /// Operation scopes themselves (one span per `begin_op`/`end_op` pair).
+    Op = 7,
+}
+
+/// Number of categories that participate in latency attribution.
+pub const ATTR_CATEGORIES: usize = 5;
+
+impl Category {
+    /// All categories, in declaration order.
+    pub const ALL: [Category; 8] = [
+        Category::DbLock,
+        Category::Credit,
+        Category::Pipeline,
+        Category::Fabric,
+        Category::Backoff,
+        Category::Cache,
+        Category::Tune,
+        Category::Op,
+    ];
+
+    /// The bit this category occupies in a filter mask.
+    pub fn bit(self) -> u32 {
+        1 << (self as u8)
+    }
+
+    /// Index into the attribution sums, `None` for non-attributed
+    /// categories.
+    pub fn attr_index(self) -> Option<usize> {
+        let i = self as usize;
+        if i < ATTR_CATEGORIES {
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// The attributed category at index `i` (inverse of [`attr_index`]).
+    ///
+    /// [`attr_index`]: Category::attr_index
+    pub fn from_attr_index(i: usize) -> Category {
+        Category::ALL[i]
+    }
+
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::DbLock => "db_lock",
+            Category::Credit => "credit",
+            Category::Pipeline => "pipeline",
+            Category::Fabric => "fabric",
+            Category::Backoff => "backoff",
+            Category::Cache => "cache",
+            Category::Tune => "tune",
+            Category::Op => "op",
+        }
+    }
+}
+
+/// Up to two optional key/value annotations attached to an event.
+///
+/// Keys are `&'static str` so recording never allocates; values are raw
+/// `u64`s. Both exporters print them in order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Args(pub [Option<(&'static str, u64)>; 2]);
+
+impl Args {
+    /// No annotations.
+    pub const NONE: Args = Args([None, None]);
+
+    /// A single key/value annotation.
+    pub fn one(k: &'static str, v: u64) -> Args {
+        Args([Some((k, v)), None])
+    }
+
+    /// Two key/value annotations.
+    pub fn two(k1: &'static str, v1: u64, k2: &'static str, v2: u64) -> Args {
+        Args([Some((k1, v1)), Some((k2, v2))])
+    }
+}
+
+/// A recorded trace event.
+///
+/// Spans are recorded as *completed* intervals (start + duration) at the
+/// moment the instrumented primitive reserves its service window — the
+/// simulation's queueing model always knows the completion time up front —
+/// so the event order in the ring equals the deterministic call order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A completed interval (lock section, credit wait, service window…).
+    Span {
+        /// Start of the interval, in simulated nanoseconds.
+        t_ns: u64,
+        /// Length of the interval, in nanoseconds.
+        dur_ns: u64,
+        /// Who executed the interval.
+        actor: Actor,
+        /// Category, also the attribution bucket for attributed categories.
+        cat: Category,
+        /// Short static name (`"qp_lock"`, `"net_req"`, …).
+        name: &'static str,
+        /// Optional annotations.
+        args: Args,
+    },
+    /// A point-in-time annotation (cache miss, CQE delivery…).
+    Instant {
+        /// When it happened, in simulated nanoseconds.
+        t_ns: u64,
+        /// Who observed it.
+        actor: Actor,
+        /// Category (filter bucket only; instants are never attributed).
+        cat: Category,
+        /// Short static name.
+        name: &'static str,
+        /// Optional annotations.
+        args: Args,
+    },
+    /// A sampled counter value (chosen `C_max`, `t_max`…).
+    Counter {
+        /// Sample time, in simulated nanoseconds.
+        t_ns: u64,
+        /// Who sampled it ([`Actor::SYSTEM`] for background tuners).
+        actor: Actor,
+        /// Category (filter bucket only).
+        cat: Category,
+        /// Counter name.
+        name: &'static str,
+        /// Sampled value.
+        value: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The actor that produced the event.
+    pub fn actor(&self) -> Actor {
+        match self {
+            TraceEvent::Span { actor, .. }
+            | TraceEvent::Instant { actor, .. }
+            | TraceEvent::Counter { actor, .. } => *actor,
+        }
+    }
+
+    /// The event timestamp in simulated nanoseconds (span start for spans).
+    pub fn t_ns(&self) -> u64 {
+        match self {
+            TraceEvent::Span { t_ns, .. }
+            | TraceEvent::Instant { t_ns, .. }
+            | TraceEvent::Counter { t_ns, .. } => *t_ns,
+        }
+    }
+
+    /// The event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Span { name, .. }
+            | TraceEvent::Instant { name, .. }
+            | TraceEvent::Counter { name, .. } => name,
+        }
+    }
+
+    /// The event category.
+    pub fn category(&self) -> Category {
+        match self {
+            TraceEvent::Span { cat, .. }
+            | TraceEvent::Instant { cat, .. }
+            | TraceEvent::Counter { cat, .. } => *cat,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_bits_are_distinct() {
+        let mut mask = 0u32;
+        for cat in Category::ALL {
+            assert_eq!(mask & cat.bit(), 0, "duplicate bit for {cat:?}");
+            mask |= cat.bit();
+        }
+        assert_eq!(mask.count_ones() as usize, Category::ALL.len());
+    }
+
+    #[test]
+    fn attr_index_roundtrip() {
+        for i in 0..ATTR_CATEGORIES {
+            assert_eq!(Category::from_attr_index(i).attr_index(), Some(i));
+        }
+        assert_eq!(Category::Cache.attr_index(), None);
+        assert_eq!(Category::Tune.attr_index(), None);
+        assert_eq!(Category::Op.attr_index(), None);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Category::DbLock.label(), "db_lock");
+        assert_eq!(Category::Credit.label(), "credit");
+        assert_eq!(Category::Pipeline.label(), "pipeline");
+        assert_eq!(Category::Fabric.label(), "fabric");
+        assert_eq!(Category::Backoff.label(), "backoff");
+    }
+
+    #[test]
+    fn actor_constructors() {
+        let a = Actor::new(7, 3);
+        assert_eq!(a.tid, 7);
+        assert_eq!(a.coro, 3);
+        assert_eq!(Actor::thread(7).coro, 0);
+        assert_eq!(Actor::SYSTEM.tid, u64::MAX);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let ev = TraceEvent::Span {
+            t_ns: 10,
+            dur_ns: 5,
+            actor: Actor::thread(1),
+            cat: Category::DbLock,
+            name: "qp_lock",
+            args: Args::one("wait_ns", 3),
+        };
+        assert_eq!(ev.t_ns(), 10);
+        assert_eq!(ev.name(), "qp_lock");
+        assert_eq!(ev.category(), Category::DbLock);
+        assert_eq!(ev.actor(), Actor::thread(1));
+    }
+}

@@ -1,0 +1,303 @@
+//! The `TraceSink` ring-buffer recorder.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::attr::{Attribution, AttributionReport};
+use crate::{Actor, Args, Category, TraceEvent};
+
+#[derive(Debug)]
+struct SinkInner {
+    enabled: Cell<bool>,
+    mask: Cell<u32>,
+    capacity: usize,
+    events: RefCell<VecDeque<TraceEvent>>,
+    dropped: Cell<u64>,
+    attr: RefCell<Attribution>,
+}
+
+/// A cheaply cloneable, bounded, filterable recorder of [`TraceEvent`]s.
+///
+/// Clones share state (`Rc`), so a bench can hand one clone to the
+/// simulation and keep another to export from afterwards. When the ring is
+/// full the oldest event is evicted ([`TraceSink::dropped`] counts
+/// evictions); the attribution aggregates are *not* ring-bounded — every
+/// recorded span still feeds the per-op sums.
+///
+/// Overhead policy: every record call first checks `enabled` and the
+/// category mask (two `Cell` reads); a disabled sink therefore costs a few
+/// branches per call and allocates nothing, which is what keeps the
+/// instrumentation compiled into the hot paths at all times. Recording
+/// never advances simulated time, so enabling tracing cannot change any
+/// measured throughput or latency.
+#[derive(Clone, Debug)]
+pub struct TraceSink {
+    inner: Rc<SinkInner>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+impl TraceSink {
+    /// Default ring capacity (events), used by [`TraceSink::new`].
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates an enabled sink with [`TraceSink::DEFAULT_CAPACITY`].
+    pub fn new() -> TraceSink {
+        TraceSink::with_capacity(TraceSink::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an enabled sink holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> TraceSink {
+        TraceSink {
+            inner: Rc::new(SinkInner {
+                enabled: Cell::new(true),
+                mask: Cell::new(u32::MAX),
+                capacity: capacity.max(1),
+                events: RefCell::new(VecDeque::with_capacity(capacity.clamp(1, 1 << 12))),
+                dropped: Cell::new(0),
+                attr: RefCell::new(Attribution::default()),
+            }),
+        }
+    }
+
+    /// Creates a sink that starts disabled (for overhead experiments).
+    pub fn disabled() -> TraceSink {
+        let sink = TraceSink::new();
+        sink.set_enabled(false);
+        sink
+    }
+
+    /// Whether the sink currently records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.get()
+    }
+
+    /// Enables or disables all recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.set(enabled);
+    }
+
+    /// Restricts recording to the categories whose bits are set in `mask`
+    /// (build it by OR-ing [`Category::bit`] values). Masked-out spans are
+    /// also excluded from attribution; masking out [`Category::Op`]
+    /// disables attribution entirely.
+    pub fn set_mask(&self, mask: u32) {
+        self.inner.mask.set(mask);
+    }
+
+    /// The current category mask.
+    pub fn mask(&self) -> u32 {
+        self.inner.mask.get()
+    }
+
+    /// True when events of `cat` would currently be recorded.
+    pub fn wants(&self, cat: Category) -> bool {
+        self.inner.enabled.get() && self.inner.mask.get() & cat.bit() != 0
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut events = self.inner.events.borrow_mut();
+        if events.len() == self.inner.capacity {
+            events.pop_front();
+            self.inner.dropped.set(self.inner.dropped.get() + 1);
+        }
+        events.push_back(ev);
+    }
+
+    /// Records a completed interval and, for attributed categories, charges
+    /// it to the actor's open operation.
+    pub fn span(
+        &self,
+        t_ns: u64,
+        dur_ns: u64,
+        actor: Actor,
+        cat: Category,
+        name: &'static str,
+        args: Args,
+    ) {
+        if !self.wants(cat) {
+            return;
+        }
+        self.inner.attr.borrow_mut().add_span(actor, cat, dur_ns);
+        self.push(TraceEvent::Span {
+            t_ns,
+            dur_ns,
+            actor,
+            cat,
+            name,
+            args,
+        });
+    }
+
+    /// Records a point-in-time annotation.
+    pub fn instant(&self, t_ns: u64, actor: Actor, cat: Category, name: &'static str, args: Args) {
+        if !self.wants(cat) {
+            return;
+        }
+        self.push(TraceEvent::Instant {
+            t_ns,
+            actor,
+            cat,
+            name,
+            args,
+        });
+    }
+
+    /// Records a sampled counter value.
+    pub fn counter(&self, t_ns: u64, actor: Actor, cat: Category, name: &'static str, value: u64) {
+        if !self.wants(cat) {
+            return;
+        }
+        self.push(TraceEvent::Counter {
+            t_ns,
+            actor,
+            cat,
+            name,
+            value,
+        });
+    }
+
+    /// Opens an operation scope for `actor`: until the matching
+    /// [`TraceSink::end_op`], attributed spans from the same actor are
+    /// charged to this operation.
+    pub fn begin_op(&self, t_ns: u64, actor: Actor, kind: &'static str) {
+        if !self.wants(Category::Op) {
+            return;
+        }
+        self.inner.attr.borrow_mut().begin_op(actor, kind, t_ns);
+    }
+
+    /// Closes the actor's operation scope, folds it into the attribution
+    /// aggregates and records one `Op` span covering the whole operation.
+    pub fn end_op(&self, t_ns: u64, actor: Actor) {
+        if !self.wants(Category::Op) {
+            return;
+        }
+        let closed = self.inner.attr.borrow_mut().end_op(actor, t_ns);
+        if let Some((kind, start_ns)) = closed {
+            self.push(TraceEvent::Span {
+                t_ns: start_ns,
+                dur_ns: t_ns.saturating_sub(start_ns),
+                actor,
+                cat: Category::Op,
+                name: kind,
+                args: Args::NONE,
+            });
+        }
+    }
+
+    /// Copies the current ring contents, oldest event first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.events.borrow().iter().copied().collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.events.borrow().len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.get()
+    }
+
+    /// Snapshot of the op-latency attribution aggregates.
+    pub fn attribution(&self) -> AttributionReport {
+        self.inner.attr.borrow().snapshot()
+    }
+
+    /// Exports the buffered events as Chrome trace-event JSON (see
+    /// [`crate::chrome_trace_json`]).
+    pub fn chrome_json(&self) -> String {
+        crate::chrome_trace_json(&self.events())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = TraceSink::with_capacity(8);
+        let b = a.clone();
+        a.span(0, 5, Actor::thread(1), Category::DbLock, "x", Args::NONE);
+        assert_eq!(b.len(), 1);
+        b.set_enabled(false);
+        assert!(!a.is_enabled());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let s = TraceSink::with_capacity(2);
+        for i in 0..5u64 {
+            s.instant(i, Actor::thread(0), Category::Cache, "m", Args::NONE);
+        }
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped(), 3);
+        let evs = s.events();
+        assert_eq!(evs[0].t_ns(), 3);
+        assert_eq!(evs[1].t_ns(), 4);
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let s = TraceSink::disabled();
+        s.span(0, 5, Actor::thread(1), Category::DbLock, "x", Args::NONE);
+        s.begin_op(0, Actor::thread(1), "op");
+        s.end_op(10, Actor::thread(1));
+        assert!(s.is_empty());
+        assert!(s.attribution().is_empty());
+    }
+
+    #[test]
+    fn mask_filters_categories_and_attribution() {
+        let s = TraceSink::with_capacity(16);
+        s.set_mask(Category::Op.bit() | Category::Fabric.bit());
+        let actor = Actor::new(1, 0);
+        s.begin_op(0, actor, "ht_get");
+        s.span(1, 10, actor, Category::DbLock, "lock", Args::NONE);
+        s.span(2, 20, actor, Category::Fabric, "wire", Args::NONE);
+        s.end_op(100, actor);
+        let r = s.attribution();
+        let stats = r.kind("ht_get").unwrap();
+        assert_eq!(stats.category_ns(Category::DbLock), 0);
+        assert_eq!(stats.category_ns(Category::Fabric), 20);
+        // Ring holds the fabric span and the closing op span only.
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn end_op_records_an_op_span() {
+        let s = TraceSink::with_capacity(16);
+        let actor = Actor::new(2, 7);
+        s.begin_op(50, actor, "bt_get");
+        s.end_op(80, actor);
+        let evs = s.events();
+        assert_eq!(evs.len(), 1);
+        match evs[0] {
+            TraceEvent::Span {
+                t_ns,
+                dur_ns,
+                cat,
+                name,
+                ..
+            } => {
+                assert_eq!((t_ns, dur_ns), (50, 30));
+                assert_eq!(cat, Category::Op);
+                assert_eq!(name, "bt_get");
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+}

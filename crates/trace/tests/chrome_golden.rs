@@ -1,0 +1,57 @@
+//! Golden-file test for the Chrome trace-event exporter: a small scripted
+//! scenario must serialize to exactly the bytes checked in under
+//! `tests/golden/`. Regenerate with
+//! `cargo test -p smart-trace --test chrome_golden -- --nocapture` after an
+//! intentional format change and paste the printed JSON.
+
+use smart_trace::{Actor, Args, Category, TraceSink};
+
+fn scripted_sink() -> TraceSink {
+    let sink = TraceSink::with_capacity(16);
+    // Node 0 / thread 0 runs one traced ht_get...
+    let t0 = Actor::new(0, 0);
+    // ...while node 1 / thread 2 / coroutine 1 waits for a credit and a
+    // background tuner samples a counter.
+    let t1 = Actor::new((1 << 32) | 2, 1);
+    sink.begin_op(1_000, t0, "ht_get");
+    sink.span(
+        1_200,
+        300,
+        t0,
+        Category::DbLock,
+        "qp_lock",
+        Args::two("wait_ns", 100, "waiters", 1),
+    );
+    sink.instant(1_600, t0, Category::Cache, "wqe_miss", Args::NONE);
+    sink.span(1_700, 2_000, t0, Category::Fabric, "net_req", Args::NONE);
+    sink.end_op(4_000, t0);
+    sink.span(
+        2_000,
+        500,
+        t1,
+        Category::Credit,
+        "credit_wait",
+        Args::one("permits", 1),
+    );
+    sink.counter(5_000, Actor::SYSTEM, Category::Tune, "c_max", 16);
+    sink
+}
+
+#[test]
+fn chrome_export_matches_golden_file() {
+    let json = scripted_sink().chrome_json();
+    let golden = include_str!("golden/scripted.trace.json");
+    if json != golden.trim_end() {
+        println!("{json}");
+    }
+    assert_eq!(
+        json,
+        golden.trim_end(),
+        "exporter output drifted from golden file"
+    );
+}
+
+#[test]
+fn export_is_reproducible() {
+    assert_eq!(scripted_sink().chrome_json(), scripted_sink().chrome_json());
+}

@@ -7,4 +7,5 @@ pub use smart_race;
 pub use smart_rnic;
 pub use smart_rt;
 pub use smart_sherman;
+pub use smart_trace;
 pub use smart_workloads;

@@ -1,0 +1,42 @@
+//! Overhead guard: trace hooks never advance simulated time or touch the
+//! RNG, so a run with tracing enabled, disabled or absent must execute
+//! the *same* simulated schedule. We assert exact op-count equality —
+//! strictly stronger than the "within 2 %" acceptance criterion.
+
+use smart_lab::smart::{run_microbench, MicroOp, MicrobenchSpec, QpPolicy, SmartConfig};
+use smart_lab::smart_rt::Duration;
+use smart_lab::smart_trace::TraceSink;
+
+fn spec(trace: Option<TraceSink>) -> MicrobenchSpec {
+    let mut spec = MicrobenchSpec::new(
+        SmartConfig::baseline(QpPolicy::ThreadAwareDoorbell, 16),
+        16,
+        8,
+    );
+    spec.op = MicroOp::Read(8);
+    spec.warmup = Duration::from_micros(500);
+    spec.measure = Duration::from_millis(2);
+    spec.trace = trace;
+    spec
+}
+
+#[test]
+fn tracing_has_zero_simulated_time_overhead() {
+    let baseline = run_microbench(&spec(None));
+    let disabled = run_microbench(&spec(Some(TraceSink::disabled())));
+    let enabled_sink = TraceSink::new();
+    let enabled = run_microbench(&spec(Some(enabled_sink.clone())));
+
+    assert_eq!(
+        baseline.ops, disabled.ops,
+        "a disabled sink changed the simulated schedule"
+    );
+    assert_eq!(
+        baseline.ops, enabled.ops,
+        "an enabled sink changed the simulated schedule"
+    );
+    assert!(
+        !enabled_sink.is_empty(),
+        "enabled sink recorded nothing — the guard would be vacuous"
+    );
+}
