@@ -1,0 +1,229 @@
+//! Await-point atomicity: lost-update detection over shared cells.
+//!
+//! On the cooperative executor every run is a total order of probe
+//! events — degenerate vector clocks where "happens-before" is simply
+//! stream order. A read of a shared cell opens a read-modify-write
+//! window for its actor; the actor's next write to the same cell closes
+//! it. If a *different* actor wrote the cell inside the window, the
+//! closing write clobbers state the opener never saw — unless both sides
+//! held a common exclusive lock, or the window is closed by a CAS (which
+//! revalidates the read atomically; RACE's rd→CAS retry protocol is the
+//! canonical clean example).
+//!
+//! Locks that ever have more than one concurrent holder (counting
+//! semaphores such as the coroutine-slot pool) are classified *shared*
+//! in a pre-pass and never count as protection. Blind writes (posting to
+//! a QP send queue, the tuner bumping its epoch) open no window and are
+//! never flagged on their own.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use smart_trace::{Actor, SyncOp};
+
+use crate::probe::{actor_label, ProbeEvent};
+use crate::report::Finding;
+
+#[derive(Clone, Debug)]
+struct OpenWindow {
+    opened_ns: u64,
+    /// Exclusive locks held at the read.
+    lockset: BTreeSet<u64>,
+    /// Foreign writers seen inside the window, with their locksets.
+    interference: Vec<(Actor, u64, BTreeSet<u64>)>,
+}
+
+/// Lock identities that never had two concurrent holders: only these can
+/// protect a read-modify-write.
+fn exclusive_locks(probes: &[ProbeEvent]) -> BTreeSet<u64> {
+    let mut holders: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut shared: BTreeSet<u64> = BTreeSet::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    for p in probes {
+        match p.op {
+            SyncOp::Acquire => {
+                seen.insert(p.id);
+                let n = holders.entry(p.id).or_insert(0);
+                *n += 1;
+                if *n > 1 {
+                    shared.insert(p.id);
+                }
+            }
+            SyncOp::Release => {
+                if let Some(n) = holders.get_mut(&p.id) {
+                    *n = n.saturating_sub(1);
+                }
+            }
+            _ => {}
+        }
+    }
+    seen.difference(&shared).copied().collect()
+}
+
+/// Scans a probe stream for lost updates across suspension points.
+pub fn atomicity_findings(probes: &[ProbeEvent]) -> Vec<Finding> {
+    let exclusive = exclusive_locks(probes);
+    let mut held: BTreeMap<Actor, Vec<u64>> = BTreeMap::new();
+    let mut open: BTreeMap<(Actor, u64), OpenWindow> = BTreeMap::new();
+    let mut findings = Vec::new();
+
+    for p in probes {
+        match p.op {
+            SyncOp::Acquire if exclusive.contains(&p.id) => {
+                held.entry(p.actor).or_default().push(p.id);
+            }
+            SyncOp::Release if exclusive.contains(&p.id) => {
+                if let Some(stack) = held.get_mut(&p.actor) {
+                    if let Some(pos) = stack.iter().rposition(|&h| h == p.id) {
+                        stack.remove(pos);
+                    }
+                }
+            }
+            SyncOp::Acquire | SyncOp::Release => {}
+            SyncOp::Read => {
+                let lockset: BTreeSet<u64> = held
+                    .get(&p.actor)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                open.insert(
+                    (p.actor, p.id),
+                    OpenWindow {
+                        opened_ns: p.t_ns,
+                        lockset,
+                        interference: Vec::new(),
+                    },
+                );
+            }
+            SyncOp::Write | SyncOp::Cas => {
+                let writer_lockset: BTreeSet<u64> = held
+                    .get(&p.actor)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                // Register interference into every other actor's open
+                // window on this cell before closing our own.
+                for ((owner, cell), w) in open.iter_mut() {
+                    if *cell == p.id && *owner != p.actor {
+                        w.interference
+                            .push((p.actor, p.t_ns, writer_lockset.clone()));
+                    }
+                }
+                if let Some(w) = open.remove(&(p.actor, p.id)) {
+                    if p.op == SyncOp::Write {
+                        for (writer, t_wr, wl) in &w.interference {
+                            if w.lockset.intersection(wl).next().is_none() {
+                                findings.push(Finding {
+                                    detector: "atomicity",
+                                    message: format!(
+                                        "lost update on {}: {} read at {}ns and wrote at {}ns, \
+                                         but {} wrote at {}ns inside the window with no common lock",
+                                        p.object(),
+                                        actor_label(p.actor),
+                                        w.opened_ns,
+                                        p.t_ns,
+                                        actor_label(*writer),
+                                        t_wr
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    // A CAS revalidates the read atomically: window
+                    // closes clean regardless of interference.
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, tid: u64, op: SyncOp, id: u64) -> ProbeEvent {
+        ProbeEvent {
+            t_ns: t,
+            actor: Actor::new(tid, 0),
+            name: "cell",
+            op,
+            id,
+        }
+    }
+
+    #[test]
+    fn interleaved_write_without_lock_is_a_lost_update() {
+        let probes = vec![
+            ev(0, 1, SyncOp::Read, 9),
+            ev(5, 2, SyncOp::Write, 9),
+            ev(10, 1, SyncOp::Write, 9),
+        ];
+        let f = atomicity_findings(&probes);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("lost update"));
+        assert!(f[0].message.contains("t2c0 wrote at 5ns"));
+    }
+
+    #[test]
+    fn cas_close_is_exempt() {
+        // The RACE retry shape: read, foreign write, CAS (which would
+        // fail and retry in the real protocol).
+        let probes = vec![
+            ev(0, 1, SyncOp::Read, 9),
+            ev(5, 2, SyncOp::Cas, 9),
+            ev(10, 1, SyncOp::Cas, 9),
+        ];
+        assert!(atomicity_findings(&probes).is_empty());
+    }
+
+    #[test]
+    fn common_exclusive_lock_protects_the_window() {
+        let lock = 77;
+        let probes = vec![
+            ev(0, 1, SyncOp::Acquire, lock),
+            ev(1, 1, SyncOp::Read, 9),
+            ev(2, 1, SyncOp::Write, 9),
+            ev(3, 1, SyncOp::Release, lock),
+            ev(4, 2, SyncOp::Acquire, lock),
+            ev(5, 2, SyncOp::Read, 9),
+            ev(6, 2, SyncOp::Write, 9),
+            ev(7, 2, SyncOp::Release, lock),
+        ];
+        assert!(atomicity_findings(&probes).is_empty());
+    }
+
+    #[test]
+    fn shared_semaphore_is_not_protection() {
+        let sem = 42;
+        let probes = vec![
+            // Two concurrent holders: sem is classified shared.
+            ev(0, 1, SyncOp::Acquire, sem),
+            ev(1, 2, SyncOp::Acquire, sem),
+            ev(2, 1, SyncOp::Read, 9),
+            ev(3, 2, SyncOp::Write, 9),
+            ev(4, 1, SyncOp::Write, 9),
+            ev(5, 1, SyncOp::Release, sem),
+            ev(6, 2, SyncOp::Release, sem),
+        ];
+        let f = atomicity_findings(&probes);
+        assert_eq!(f.len(), 1, "a shared semaphore must not suppress the race");
+    }
+
+    #[test]
+    fn blind_writes_never_flag() {
+        let probes = vec![
+            ev(0, 1, SyncOp::Write, 9),
+            ev(1, 2, SyncOp::Write, 9),
+            ev(2, 1, SyncOp::Write, 9),
+        ];
+        assert!(atomicity_findings(&probes).is_empty());
+    }
+
+    #[test]
+    fn foreign_reads_do_not_interfere() {
+        let probes = vec![
+            ev(0, 1, SyncOp::Read, 9),
+            ev(5, 2, SyncOp::Read, 9),
+            ev(10, 1, SyncOp::Write, 9),
+        ];
+        assert!(atomicity_findings(&probes).is_empty());
+    }
+}

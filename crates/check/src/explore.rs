@@ -1,0 +1,139 @@
+//! Seeded schedule exploration: run a workload once per schedule salt
+//! and aggregate the findings deterministically.
+
+use smart_rt::SchedulePolicy;
+
+use crate::report::RunReport;
+
+/// Runs `run` once per salt in `0..n_seeds` and collects the reports.
+///
+/// Salt 0 always executes the unperturbed [`SchedulePolicy::Fifo`]
+/// schedule (the one every bench and golden test uses); salts `1..n`
+/// execute [`SchedulePolicy::SeededTieBreak`] perturbations. The closure
+/// receives both the policy to build its [`Simulation`] with and the
+/// salt for labeling.
+///
+/// [`Simulation`]: smart_rt::Simulation
+pub fn explore(
+    n_seeds: u64,
+    mut run: impl FnMut(SchedulePolicy, u64) -> RunReport,
+) -> ExploreReport {
+    let mut runs = Vec::new();
+    for salt in 0..n_seeds.max(1) {
+        let policy = if salt == 0 {
+            SchedulePolicy::Fifo
+        } else {
+            SchedulePolicy::SeededTieBreak(salt)
+        };
+        runs.push(run(policy, salt));
+    }
+    ExploreReport { runs }
+}
+
+/// The aggregated outcome of an exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// One report per salt, in salt order.
+    pub runs: Vec<RunReport>,
+}
+
+impl ExploreReport {
+    /// Total findings across all runs (stuck tasks not included).
+    pub fn total_findings(&self) -> usize {
+        self.runs.iter().map(|r| r.findings.len()).sum()
+    }
+
+    /// Whether every run was clean (no findings, no stuck tasks).
+    pub fn is_clean(&self) -> bool {
+        self.runs.iter().all(|r| r.is_clean())
+    }
+
+    /// Salts whose runs produced findings or stuck tasks.
+    pub fn dirty_salts(&self) -> Vec<u64> {
+        self.runs
+            .iter()
+            .filter(|r| !r.is_clean())
+            .map(|r| r.salt)
+            .collect()
+    }
+
+    /// Deterministic plain-text report: same exploration, same bytes.
+    /// The byte-for-byte stability across repeated same-seed runs is the
+    /// reproducibility contract `tests/check.rs` pins.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "schedule exploration: {} runs, {} findings, {} dirty\n",
+            self.runs.len(),
+            self.total_findings(),
+            self.dirty_salts().len()
+        ));
+        for r in &self.runs {
+            out.push_str(&format!(
+                "  salt {:3} [{:8}] probes={} stuck={} findings={}\n",
+                r.salt,
+                r.policy_label(),
+                r.probes,
+                r.stuck_tasks,
+                r.findings.len()
+            ));
+            for f in &r.findings {
+                out.push_str(&format!("    {f}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Finding;
+
+    #[test]
+    fn salt_zero_is_fifo_and_reports_aggregate() {
+        let report = explore(3, |policy, salt| {
+            if salt == 0 {
+                assert_eq!(policy, SchedulePolicy::Fifo);
+            } else {
+                assert_eq!(policy, SchedulePolicy::SeededTieBreak(salt));
+            }
+            RunReport {
+                salt,
+                policy,
+                probes: 10,
+                stuck_tasks: 0,
+                findings: if salt == 2 {
+                    vec![Finding {
+                        detector: "atomicity",
+                        message: "boom".to_string(),
+                    }]
+                } else {
+                    Vec::new()
+                },
+            }
+        });
+        assert_eq!(report.runs.len(), 3);
+        assert_eq!(report.total_findings(), 1);
+        assert_eq!(report.dirty_salts(), vec![2]);
+        assert!(!report.is_clean());
+        let rendered = report.render();
+        assert!(rendered.contains("3 runs, 1 findings, 1 dirty"));
+        assert!(rendered.contains("[atomicity] boom"));
+    }
+
+    #[test]
+    fn render_is_reproducible() {
+        let mk = || {
+            explore(2, |policy, salt| RunReport {
+                salt,
+                policy,
+                probes: 5,
+                stuck_tasks: 0,
+                findings: Vec::new(),
+            })
+            .render()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

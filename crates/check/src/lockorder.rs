@@ -1,0 +1,269 @@
+//! Lock-order graph construction and deadlock-cycle detection.
+//!
+//! Every [`SyncOp::Acquire`] issued while the same actor already holds
+//! other probed locks adds `held → acquired` edges to a directed graph.
+//! The simulation is cooperatively scheduled, so one observed run walks
+//! every acquisition path the workload takes; a cycle in the graph means
+//! some legal schedule interleaves the acquisitions into a deadlock even
+//! if this particular run completed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use smart_trace::{Actor, SyncOp};
+
+use crate::probe::{actor_label, ProbeEvent};
+use crate::report::Finding;
+
+/// The first acquisition that created an edge — who acquired what, when,
+/// while holding what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeWitness {
+    /// Name of the lock already held.
+    pub from_name: &'static str,
+    /// Name of the lock being acquired.
+    pub to_name: &'static str,
+    /// Who performed the nested acquisition.
+    pub actor: Actor,
+    /// When, in simulated nanoseconds.
+    pub t_ns: u64,
+}
+
+/// The acquisition-order graph over probed lock identities.
+#[derive(Clone, Debug, Default)]
+pub struct LockOrderGraph {
+    edges: BTreeMap<(u64, u64), EdgeWitness>,
+}
+
+impl LockOrderGraph {
+    /// Builds the graph from a probe stream. Only strictly nested
+    /// acquire/release pairs contribute; read/write/CAS probes are the
+    /// atomicity checker's input and are ignored here.
+    pub fn build(probes: &[ProbeEvent]) -> Self {
+        let mut held: BTreeMap<Actor, Vec<(u64, &'static str)>> = BTreeMap::new();
+        let mut edges = BTreeMap::new();
+        for p in probes {
+            match p.op {
+                SyncOp::Acquire => {
+                    let stack = held.entry(p.actor).or_default();
+                    for &(h, h_name) in stack.iter() {
+                        if h != p.id {
+                            edges.entry((h, p.id)).or_insert(EdgeWitness {
+                                from_name: h_name,
+                                to_name: p.name,
+                                actor: p.actor,
+                                t_ns: p.t_ns,
+                            });
+                        }
+                    }
+                    stack.push((p.id, p.name));
+                }
+                SyncOp::Release => {
+                    if let Some(stack) = held.get_mut(&p.actor) {
+                        if let Some(pos) = stack.iter().rposition(|&(h, _)| h == p.id) {
+                            stack.remove(pos);
+                        }
+                    }
+                }
+                SyncOp::Read | SyncOp::Write | SyncOp::Cas => {}
+            }
+        }
+        LockOrderGraph { edges }
+    }
+
+    /// The edges with their first witnesses, keyed `(held, acquired)`.
+    pub fn edges(&self) -> &BTreeMap<(u64, u64), EdgeWitness> {
+        &self.edges
+    }
+
+    /// All distinct elementary cycles reachable from some DFS root, each
+    /// normalized to start at its smallest lock id. Deterministic: nodes
+    /// and successors are visited in sorted order.
+    pub fn cycles(&self) -> Vec<Vec<u64>> {
+        let mut adj: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for &(from, to) in self.edges.keys() {
+            adj.entry(from).or_default().push(to);
+            adj.entry(to).or_default();
+        }
+        let mut found: BTreeSet<Vec<u64>> = BTreeSet::new();
+        for &root in adj.keys() {
+            let mut color: BTreeMap<u64, u8> = BTreeMap::new();
+            let mut path = Vec::new();
+            dfs(root, &adj, &mut color, &mut path, &mut found);
+        }
+        found.into_iter().collect()
+    }
+
+    /// One finding per cycle, with each edge's acquisition witness.
+    pub fn findings(&self) -> Vec<Finding> {
+        self.cycles()
+            .iter()
+            .map(|cycle| {
+                let mut parts = Vec::new();
+                for i in 0..cycle.len() {
+                    let (from, to) = (cycle[i], cycle[(i + 1) % cycle.len()]);
+                    let w = &self.edges[&(from, to)];
+                    parts.push(format!(
+                        "{}#{} -> {}#{} ({} at {}ns)",
+                        w.from_name,
+                        from,
+                        w.to_name,
+                        to,
+                        actor_label(w.actor),
+                        w.t_ns
+                    ));
+                }
+                Finding {
+                    detector: "lock-order",
+                    message: format!("acquisition cycle: {}", parts.join(", ")),
+                }
+            })
+            .collect()
+    }
+}
+
+fn dfs(
+    u: u64,
+    adj: &BTreeMap<u64, Vec<u64>>,
+    color: &mut BTreeMap<u64, u8>,
+    path: &mut Vec<u64>,
+    found: &mut BTreeSet<Vec<u64>>,
+) {
+    color.insert(u, 1);
+    path.push(u);
+    for &v in &adj[&u] {
+        match color.get(&v).copied().unwrap_or(0) {
+            0 => dfs(v, adj, color, path, found),
+            1 => {
+                let pos = path.iter().position(|&x| x == v).expect("on path");
+                found.insert(normalize(&path[pos..]));
+            }
+            _ => {}
+        }
+    }
+    path.pop();
+    color.insert(u, 2);
+}
+
+/// Rotates a cycle so its smallest id comes first (dedup key).
+fn normalize(cycle: &[u64]) -> Vec<u64> {
+    let min = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, v)| v)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend_from_slice(&cycle[min..]);
+    out.extend_from_slice(&cycle[..min]);
+    out
+}
+
+/// Builds the graph and reports every acquisition cycle.
+pub fn lock_order_findings(probes: &[ProbeEvent]) -> Vec<Finding> {
+    LockOrderGraph::build(probes).findings()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acq(t: u64, tid: u64, name: &'static str, id: u64) -> ProbeEvent {
+        ProbeEvent {
+            t_ns: t,
+            actor: Actor::thread(tid),
+            name,
+            op: SyncOp::Acquire,
+            id,
+        }
+    }
+
+    fn rel(t: u64, tid: u64, name: &'static str, id: u64) -> ProbeEvent {
+        ProbeEvent {
+            t_ns: t,
+            actor: Actor::thread(tid),
+            name,
+            op: SyncOp::Release,
+            id,
+        }
+    }
+
+    #[test]
+    fn nested_acquisitions_create_edges() {
+        let probes = vec![
+            acq(0, 1, "a", 1),
+            acq(1, 1, "b", 2),
+            rel(2, 1, "b", 2),
+            rel(3, 1, "a", 1),
+        ];
+        let g = LockOrderGraph::build(&probes);
+        assert_eq!(g.edges().len(), 1);
+        assert!(g.edges().contains_key(&(1, 2)));
+        assert!(g.findings().is_empty());
+    }
+
+    #[test]
+    fn opposite_orders_form_a_cycle() {
+        let probes = vec![
+            acq(0, 1, "a", 1),
+            acq(1, 1, "b", 2),
+            rel(2, 1, "b", 2),
+            rel(3, 1, "a", 1),
+            acq(4, 2, "b", 2),
+            acq(5, 2, "a", 1),
+            rel(6, 2, "a", 1),
+            rel(7, 2, "b", 2),
+        ];
+        let findings = lock_order_findings(&probes);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("a#1 -> b#2"));
+        assert!(findings[0].message.contains("b#2 -> a#1"));
+    }
+
+    #[test]
+    fn release_order_does_not_matter() {
+        // a/b released out of LIFO order: still just the one edge.
+        let probes = vec![
+            acq(0, 1, "a", 1),
+            acq(1, 1, "b", 2),
+            rel(2, 1, "a", 1),
+            acq(3, 1, "c", 3),
+            rel(4, 1, "c", 3),
+            rel(5, 1, "b", 2),
+        ];
+        let g = LockOrderGraph::build(&probes);
+        assert_eq!(
+            g.edges().keys().copied().collect::<Vec<_>>(),
+            vec![(1, 2), (2, 3)]
+        );
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn three_lock_cycle_reported_once() {
+        let probes = vec![
+            acq(0, 1, "a", 1),
+            acq(1, 1, "b", 2),
+            rel(2, 1, "b", 2),
+            rel(3, 1, "a", 1),
+            acq(4, 2, "b", 2),
+            acq(5, 2, "c", 3),
+            rel(6, 2, "c", 3),
+            rel(7, 2, "b", 2),
+            acq(8, 3, "c", 3),
+            acq(9, 3, "a", 1),
+            rel(10, 3, "a", 1),
+            rel(11, 3, "c", 3),
+        ];
+        let cycles = LockOrderGraph::build(&probes).cycles();
+        assert_eq!(cycles, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn reacquiring_the_same_id_is_not_an_edge() {
+        // A counting semaphore acquired twice by one actor must not form
+        // a self-loop.
+        let probes = vec![acq(0, 1, "sem", 5), acq(1, 1, "sem", 5)];
+        let g = LockOrderGraph::build(&probes);
+        assert!(g.edges().is_empty());
+    }
+}

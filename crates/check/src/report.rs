@@ -1,0 +1,49 @@
+//! Finding and run-report types shared by the detectors.
+
+use smart_rt::SchedulePolicy;
+
+/// One sanitizer finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Which detector produced it (`"lock-order"`, `"atomicity"`,
+    /// `"liveness"`, `"invariant"`, `"probe-stream"`).
+    pub detector: &'static str,
+    /// Human-readable description with witnesses.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.detector, self.message)
+    }
+}
+
+/// The outcome of one workload run under one schedule.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The schedule salt (0 is always the unperturbed FIFO schedule).
+    pub salt: u64,
+    /// The schedule policy the run executed under.
+    pub policy: SchedulePolicy,
+    /// Sync probes analyzed.
+    pub probes: usize,
+    /// Tasks still alive after the run quiesced (lost wakeups /
+    /// deadlocks leave parked tasks behind).
+    pub stuck_tasks: usize,
+    /// Detector findings plus workload invariant violations.
+    pub findings: Vec<Finding>,
+}
+
+impl RunReport {
+    /// Whether the run produced no findings and left no task stuck.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stuck_tasks == 0
+    }
+
+    pub(crate) fn policy_label(&self) -> &'static str {
+        match self.policy {
+            SchedulePolicy::Fifo => "fifo",
+            SchedulePolicy::SeededTieBreak(_) => "tiebreak",
+        }
+    }
+}

@@ -121,12 +121,14 @@ impl ConflictControl {
 
     /// [`Self::acquire_slot`] with tracing: time blocked on the `c_max`
     /// slot semaphore is recorded as a `credit` span (`"coro_slot"`)
-    /// attributed to `actor`.
+    /// attributed to `actor`, and a `smart-check` acquire probe is emitted
+    /// when a probe identity is installed.
     pub async fn acquire_slot_as(&self, handle: &SimHandle, actor: Actor) {
         if self.coro_throttle {
             self.slots
                 .acquire_traced(1, handle, actor, "coro_slot")
                 .await;
+            self.slots.mark_acquired(handle, actor);
         }
     }
 
@@ -134,6 +136,22 @@ impl ConflictControl {
     pub fn release_slot(&self) {
         if self.coro_throttle {
             self.slots.release(1);
+        }
+    }
+
+    /// [`Self::release_slot`] emitting the release probe paired with
+    /// [`Self::acquire_slot_as`].
+    pub fn release_slot_as(&self, handle: &SimHandle, actor: Actor) {
+        if self.coro_throttle {
+            self.slots.release_probed(1, handle, actor);
+        }
+    }
+
+    /// Installs a `smart-check` probe identity on the slot semaphore so
+    /// slot acquisitions show up in the lock-order graph. Idempotent.
+    pub fn install_probe(&self, handle: &SimHandle) {
+        if self.slots.probe_id() == 0 {
+            self.slots.set_probe(handle.fresh_probe_id(), "coro_slot");
         }
     }
 

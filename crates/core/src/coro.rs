@@ -125,7 +125,7 @@ impl SmartCoro {
         self.thread.conflict.record(!self.op_conflicted.get());
         self.op_conflicted.set(false);
         if self.holds_slot.get() {
-            self.thread.conflict.release_slot();
+            self.thread.conflict.release_slot_as(h, self.actor);
             self.holds_slot.set(false);
         }
     }
@@ -263,7 +263,9 @@ impl SmartCoro {
         };
         // Inside an op_scope the slot is held until the guard drops.
         if self.holds_slot.get() && !self.in_op.get() {
-            self.thread.conflict.release_slot();
+            self.thread
+                .conflict
+                .release_slot_as(self.thread.handle(), self.actor);
             self.holds_slot.set(false);
         }
         cqes
@@ -288,9 +290,17 @@ impl SmartCoro {
     }
 
     /// CAS + `post_send` + `sync`, returning the old value.
+    ///
+    /// Emits a `smart-check` CAS probe on the target cell: in the
+    /// sanitizer's model an atomic compare-and-swap *closes* any open
+    /// read-modify-write on the cell, because the comparison re-validates
+    /// the value read before any suspension (the RACE/Sherman optimistic
+    /// retry protocol).
     pub async fn cas_sync(&self, addr: RemoteAddr, expect: u64, swap: u64) -> u64 {
         let id = self.cas(addr, expect, swap);
-        self.roundtrip(id).await.atomic_old()
+        let old = self.roundtrip(id).await.atomic_old();
+        self.probe_cell(addr, "cas_cell", smart_trace::SyncOp::Cas);
+        old
     }
 
     /// FAA + `post_send` + `sync`, returning the old value.
@@ -355,5 +365,16 @@ impl SmartCoro {
     /// The consecutive-failure count driving the exponential backoff.
     pub fn backoff_attempt(&self) -> u32 {
         self.backoff_attempt.get()
+    }
+
+    /// Emits a `smart-check` probe recording that this coroutine performed
+    /// `op` on the shared cell at `addr` (identified by
+    /// [`RemoteAddr::cell_id`]). Data structures call this where they
+    /// *observe* a slot/cell they will later CAS or overwrite, so the
+    /// await-point atomicity sanitizer can track the read→modify window.
+    pub fn probe_cell(&self, addr: RemoteAddr, name: &'static str, op: smart_trace::SyncOp) {
+        self.thread
+            .handle()
+            .probe_sync(self.actor, name, op, addr.cell_id());
     }
 }

@@ -14,7 +14,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use smart_rnic::{Cluster, ClusterConfig, RemoteAddr, RnicConfig};
-use smart_rt::Simulation;
+use smart_rt::{SchedulePolicy, Simulation};
 
 use crate::config::SmartConfig;
 use crate::context::SmartContext;
@@ -71,6 +71,9 @@ pub struct MicrobenchSpec {
     /// Optional trace sink installed into the simulation: every batch is
     /// recorded as a `"micro"` op with per-category latency attribution.
     pub trace: Option<smart_trace::TraceSink>,
+    /// Executor schedule policy: `Fifo` (the default) or a seeded
+    /// tie-break perturbation for `smart-check` schedule exploration.
+    pub schedule: SchedulePolicy,
 }
 
 impl MicrobenchSpec {
@@ -90,6 +93,7 @@ impl MicrobenchSpec {
             dynamic: None,
             rnic: RnicConfig::default(),
             trace: None,
+            schedule: SchedulePolicy::Fifo,
         }
     }
 }
@@ -126,7 +130,7 @@ pub struct MicrobenchReport {
 /// assert!(report.mops > 1.0);
 /// ```
 pub fn run_microbench(spec: &MicrobenchSpec) -> MicrobenchReport {
-    let mut sim = Simulation::new(spec.seed);
+    let mut sim = Simulation::with_policy(spec.seed, spec.schedule);
     if let Some(sink) = &spec.trace {
         sim.handle().install_tracer(sink.clone());
     }

@@ -60,6 +60,8 @@ impl SmartThread {
         stats: ThreadStats,
     ) -> Rc<Self> {
         let tag = ((ctx.node().id().0 as u64) << 32) | idx as u64;
+        conflict.install_probe(ctx.handle());
+        throttle.install_probe(ctx.handle());
         Rc::new(SmartThread {
             ctx,
             idx,

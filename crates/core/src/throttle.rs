@@ -13,7 +13,7 @@ use std::rc::Rc;
 use smart_rt::metrics::Counter;
 use smart_rt::sync::Semaphore;
 use smart_rt::SimHandle;
-use smart_trace::{Actor, Category};
+use smart_trace::{Actor, Category, SyncOp};
 
 use crate::config::SmartConfig;
 
@@ -23,6 +23,7 @@ pub struct WrThrottle {
     credits: Semaphore,
     c_max: Cell<i64>,
     stalls: Counter,
+    probe: Cell<u64>,
 }
 
 impl std::fmt::Debug for WrThrottle {
@@ -44,7 +45,41 @@ impl WrThrottle {
             credits: Semaphore::new(initial),
             c_max: Cell::new(initial),
             stalls: Counter::new(),
+            probe: Cell::new(0),
         })
+    }
+
+    /// Installs a `smart-check` probe identity for the `C_max` epoch cell:
+    /// the tuner's `UPDATECMAX` decisions become writes and posting
+    /// threads' `chunk_limit` observations become reads on that cell.
+    /// Idempotent (throttles can be shared between threads).
+    pub fn install_probe(&self, handle: &SimHandle) {
+        if self.probe.get() == 0 {
+            self.probe.set(handle.fresh_probe_id());
+        }
+    }
+
+    /// The epoch-cell probe identity (0 when unprobed).
+    pub fn probe_id(&self) -> u64 {
+        self.probe.get()
+    }
+
+    /// Credit-conservation invariant at quiescence: once every posted WR
+    /// has completed and been polled, all consumed credits are back, so
+    /// the balance must equal `C_max`. Returns violations (empty when
+    /// conserved); only meaningful when nothing is in flight.
+    pub fn conservation_violations(&self) -> Vec<String> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let (avail, cmax) = (self.credits.available(), self.c_max.get());
+        if avail == cmax {
+            Vec::new()
+        } else {
+            vec![format!(
+                "credit balance {avail} != C_max {cmax} at quiescence"
+            )]
+        }
     }
 
     /// Whether throttling is active.
@@ -115,6 +150,10 @@ impl WrThrottle {
         if !self.enabled {
             return want;
         }
+        if self.probe.get() != 0 {
+            // The chunk size observes the tuner's epoch cell.
+            handle.probe_sync(actor, "c_max_epoch", SyncOp::Read, self.probe.get());
+        }
         if !self.credits.try_acquire(1) {
             self.stalls.incr();
             self.credits
@@ -163,6 +202,14 @@ pub async fn run_c_max_tuner(
             }
         }
         throttle.update_c_max(best_target);
+        if throttle.probe_id() != 0 {
+            handle.probe_sync(
+                Actor::SYSTEM,
+                "c_max_epoch",
+                SyncOp::Write,
+                throttle.probe_id(),
+            );
+        }
         // Record the epoch decision; the tuner is a background task, so
         // the sample lands on the system track.
         handle.with_tracer(|t| {

@@ -186,6 +186,33 @@ impl SmallBank {
         }
     }
 
+    /// `smart-check` conservation invariant: at quiescence the bank-wide
+    /// sum must equal `expected_total` and no record lock may remain held.
+    /// Panics inside [`Self::total_money`] (a leaked lock) are converted
+    /// into findings so schedule exploration can report them instead of
+    /// aborting.
+    pub fn conservation_violations(&self, expected_total: i64) -> Vec<String> {
+        let total =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.total_money())) {
+                Ok(total) => total,
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "balance scan panicked".to_string());
+                    return vec![format!("bank state unreadable at rest: {msg}")];
+                }
+            };
+        if total == expected_total {
+            Vec::new()
+        } else {
+            vec![format!(
+                "total money {total} != expected {expected_total} at quiescence"
+            )]
+        }
+    }
+
     /// Host-side sum of every balance (invariant checking).
     pub fn total_money(&self) -> i64 {
         let mut sum = 0i64;

@@ -12,6 +12,8 @@
 //! | `os-concurrency` | no OS threads / blocking sync in sim crates |
 //! | `unordered-iter` | no `HashMap`/`HashSet` in non-test sim code |
 //! | `unseeded-rng` | no `thread_rng`/`from_entropy`/`OsRng` anywhere |
+//! | `await-holding-guard` | no `.await` while a probed lock guard is bound in sim crates |
+//! | `rc-identity` | no `Rc::as_ptr`/`Rc::ptr_eq` identity keys in sim crates |
 //! | `calibration-drift` | DESIGN.md §4 constants match config defaults |
 //! | `bench-index-drift` | DESIGN.md §3 bench targets exist on disk |
 //!
@@ -88,6 +90,8 @@ pub fn run_lint(root: &Path) -> Vec<Diagnostic> {
         rules::os_concurrency(&file, &mut out);
         rules::unordered_iter(&file, &mut out);
         rules::unseeded_rng(&file, &mut out);
+        rules::await_holding_guard(&file, &mut out);
+        rules::rc_identity(&file, &mut out);
     }
 
     let design_rel = Path::new("DESIGN.md");

@@ -1,4 +1,4 @@
-//! The six lint rules.
+//! The eight lint rules.
 //!
 //! Every rule is a pure function from scrubbed sources to diagnostics;
 //! the driver in [`crate::run_lint`] handles file discovery, scrubbing
@@ -24,6 +24,7 @@ pub const SIM_CRATES: &[&str] = &[
     "ford",
     "sherman",
     "workloads",
+    "check",
 ];
 
 /// One lint finding.
@@ -219,6 +220,105 @@ pub fn unseeded_rng(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                     line,
                     "unseeded-rng",
                     format!("`{pat}` draws OS entropy; use the seeded smart_rt::rng::SimRng"),
+                    out,
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Extracts the binding name from a condensed `let NAME = …` line, or
+/// `None` for patterns, `_`-discards and plain expression statements
+/// (whose temporaries drop at the end of the statement anyway).
+fn let_binding(l: &str) -> Option<String> {
+    let rest = l.strip_prefix("let")?;
+    let rest = rest.strip_prefix("mut").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name == "_" || !rest[name.len()..].starts_with(['=', ':']) {
+        return None;
+    }
+    Some(name)
+}
+
+/// Rule 7 — `await-holding-guard`: a probed lock guard
+/// (`Semaphore::acquire_guard` / `ContendedLock::enter_as`) bound across
+/// an `.await` keeps its lock held through a suspension point — the
+/// exact window the `smart-check` atomicity sanitizer hunts. Sim code
+/// must release the guard before suspending or justify the hold with a
+/// pragma.
+pub fn await_holding_guard(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    struct LiveGuard {
+        name: String,
+        depth: i32,
+        line: usize,
+    }
+    let mut depth: i32 = 0;
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    for (line, l) in file.condensed_lines() {
+        let depth_after = depth + l.matches('{').count() as i32 - l.matches('}').count() as i32;
+        // Explicit release ends the hold.
+        guards.retain(|g| {
+            !(l.contains(&format!("drop({})", g.name))
+                || l.contains(&format!("{}.release(", g.name)))
+        });
+        let acquires = l.contains(".acquire_guard(") || l.contains(".enter_as(");
+        if acquires {
+            // The acquiring line's own `.await` is the acquisition
+            // itself, never a held-across suspension.
+            if let Some(name) = let_binding(&l) {
+                guards.push(LiveGuard {
+                    name,
+                    depth: depth_after,
+                    line,
+                });
+            }
+        } else if l.contains(".await") {
+            if let Some(g) = guards.last() {
+                diag(
+                    file,
+                    line,
+                    "await-holding-guard",
+                    format!(
+                        "`.await` while guard `{}` (line {}) holds its lock; release before \
+                         suspending or justify with lint:allow(await-holding-guard)",
+                        g.name, g.line
+                    ),
+                    out,
+                );
+            }
+        }
+        depth = depth_after;
+        // Scope exit drops whatever is still bound inside it.
+        guards.retain(|g| g.depth <= depth);
+    }
+}
+
+/// Rule 8 — `rc-identity`: `Rc::as_ptr` / `Rc::ptr_eq` expose heap
+/// addresses, which vary across runs even with one seed. Ordering,
+/// hashing or keying on them silently breaks replay; uses that only
+/// compare or count (never order) carry a pragma with the argument.
+pub fn rc_identity(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    for (line, l) in file.condensed_lines() {
+        for pat in ["Rc::as_ptr", "Rc::ptr_eq"] {
+            if l.contains(pat) {
+                diag(
+                    file,
+                    line,
+                    "rc-identity",
+                    format!(
+                        "`{pat}` exposes a heap address, which is not seed-stable; key on a \
+                         stable id instead or justify with lint:allow(rc-identity)"
+                    ),
                     out,
                 );
                 break;
@@ -556,6 +656,71 @@ mod tests {
         };
         let mut out = Vec::new();
         wall_clock(&file, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn await_holding_guard_flags_only_held_awaits() {
+        let src = "\
+async fn f(sem: &Semaphore) {
+    let g = sem.acquire_guard(1, &h, actor, \"slot\").await;
+    other_work().await;
+    g.release();
+    late_work().await;
+}
+";
+        let mut out = Vec::new();
+        await_holding_guard(&sim_file(src), &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("guard `g`"));
+    }
+
+    #[test]
+    fn await_holding_guard_scope_exit_ends_the_hold() {
+        let src = "\
+async fn f(lock: &ContendedLock) {
+    {
+        let section = lock.enter_as(hold, actor, \"qp_lock\").await;
+        drop(section);
+    }
+    fine().await;
+}
+";
+        let mut out = Vec::new();
+        await_holding_guard(&sim_file(src), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn await_holding_guard_pragma_suppresses() {
+        let src = "\
+async fn f(sem: &Semaphore) {
+    let g = sem.acquire_guard(1, &h, actor, \"slot\").await;
+    // intentional: measured hold. lint:allow(await-holding-guard)
+    other_work().await;
+    g.release();
+}
+";
+        let mut out = Vec::new();
+        await_holding_guard(&sim_file(src), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn rc_identity_flags_and_pragma_suppresses() {
+        let mut out = Vec::new();
+        rc_identity(
+            &sim_file("v.sort_by_key(|r| Rc::as_ptr(r) as usize);"),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("Rc::as_ptr"));
+        out.clear();
+        rc_identity(
+            &sim_file("// equality only. lint:allow(rc-identity)\nif Rc::ptr_eq(&a, &b) {}"),
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 

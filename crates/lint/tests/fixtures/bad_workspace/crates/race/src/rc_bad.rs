@@ -1,0 +1,8 @@
+//! Fixture: heap addresses used as ordering keys.
+
+pub fn naughty_order(dir: &mut Vec<Rc<Subtable>>) {
+    dir.sort_by_key(|st| Rc::as_ptr(st) as usize);
+    if Rc::ptr_eq(&dir[0], &dir[1]) {
+        dir.pop();
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: a probed lock guard held across an `.await`.
+
+pub async fn naughty_hold(sem: &Semaphore, lock: &ContendedLock) {
+    let g = sem.acquire_guard(1, &handle, actor, "slot").await;
+    do_network_roundtrip().await;
+    g.release();
+    let s = lock.enter_as(hold, actor, "qp_lock").await;
+    another_roundtrip().await;
+    drop(s);
+}

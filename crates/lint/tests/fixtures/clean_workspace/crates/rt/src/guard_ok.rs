@@ -1,0 +1,19 @@
+//! Fixture: guard usage that stays inside the rules — released before
+//! suspending, or held deliberately with a justified pragma.
+
+pub async fn fine_hold(sem: &Semaphore, lock: &ContendedLock) {
+    let g = sem.acquire_guard(1, &handle, actor, "slot").await;
+    g.release();
+    do_network_roundtrip().await;
+    {
+        let s = lock.enter_as(hold, actor, "qp_lock").await;
+        drop(s);
+    }
+    another_roundtrip().await;
+    let held = sem.acquire_guard(1, &handle, actor, "slot").await;
+    // Measures the contended-hold window on purpose. lint:allow(await-holding-guard)
+    timed_roundtrip().await;
+    held.release();
+    // Pure equality, never ordered or hashed. lint:allow(rc-identity)
+    let _same = Rc::ptr_eq(&a, &b);
+}

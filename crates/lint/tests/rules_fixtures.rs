@@ -22,6 +22,8 @@ fn bad_workspace_trips_every_rule() {
         "os-concurrency",
         "unordered-iter",
         "unseeded-rng",
+        "await-holding-guard",
+        "rc-identity",
         "calibration-drift",
         "bench-index-drift",
     ] {
@@ -53,7 +55,24 @@ fn bad_workspace_diagnostics_point_at_the_right_files() {
         .all(|p| p.ends_with("threads.rs")));
     assert!(at("unordered-iter").iter().all(|p| p.ends_with("maps.rs")));
     assert!(at("unseeded-rng").iter().all(|p| p.ends_with("rng_bad.rs")));
+    assert!(at("await-holding-guard")
+        .iter()
+        .all(|p| p.ends_with("guard_bad.rs")));
+    assert!(at("rc-identity").iter().all(|p| p.ends_with("rc_bad.rs")));
     assert!(at("bench-index-drift").iter().all(|p| p == "DESIGN.md"));
+}
+
+#[test]
+fn guard_fixture_flags_both_guard_kinds() {
+    let diags = rules_hit("bad_workspace");
+    let lines: Vec<usize> = diags
+        .iter()
+        .filter(|d| d.rule == "await-holding-guard")
+        .map(|d| d.line)
+        .collect();
+    // One finding per held-across await: the SemGuard one and the
+    // LockSection one.
+    assert_eq!(lines, vec![5, 8], "{diags:#?}");
 }
 
 #[test]

@@ -27,6 +27,7 @@ use std::rc::Rc;
 
 use smart::SmartCoro;
 use smart_rnic::{MemoryBlade, RemoteAddr};
+use smart_rt::trace::SyncOp;
 
 use crate::layout::{
     decode_block, decode_bucket, encode_block, hash_key, KeyHash, Slot, BUCKET_BYTES,
@@ -156,6 +157,8 @@ impl RaceHashTable {
     /// Current number of subtables.
     pub fn subtable_count(&self) -> usize {
         let dir = self.dir.borrow();
+        // Count-only dedup: pointers are never ordered across runs, only
+        // counted, so the result is seed-stable. lint:allow(rc-identity)
         let mut seen: Vec<*const Subtable> = dir.iter().map(Rc::as_ptr).collect();
         seen.sort_unstable();
         seen.dedup();
@@ -273,6 +276,29 @@ impl RaceHashTable {
         None
     }
 
+    /// Linearizability-lite witness check for `smart-check` schedule
+    /// exploration: after a run quiesces, each key's final value must be
+    /// one the workload actually wrote for it (its witness candidates).
+    /// Returns human-readable violations, empty when the history is
+    /// explainable.
+    pub fn check_witnesses(&self, witnesses: &[(Vec<u8>, Vec<Vec<u8>>)]) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (key, candidates) in witnesses {
+            match self.get_direct(key) {
+                Some(v) if candidates.contains(&v) => {}
+                Some(v) => violations.push(format!(
+                    "key {:?}: final value {v:?} was never written by any client",
+                    String::from_utf8_lossy(key)
+                )),
+                None => violations.push(format!(
+                    "key {:?}: missing after all operations completed",
+                    String::from_utf8_lossy(key)
+                )),
+            }
+        }
+        violations
+    }
+
     fn write_block_direct(&self, blade_idx: usize, key: &[u8], value: &[u8]) -> Slot {
         let block = encode_block(key, value);
         let off = self.alloc_block(blade_idx, block.len() as u64);
@@ -309,6 +335,8 @@ impl RaceHashTable {
         {
             let mut dir = self.dir.borrow_mut();
             for (i, entry) in dir.iter_mut().enumerate() {
+                // Pure equality against one pinned Rc — no ordering or
+                // hashing on the address. lint:allow(rc-identity)
                 if Rc::ptr_eq(entry, &old) && (i as u64) & old_mask_bit != 0 {
                     *entry = Rc::clone(&new);
                 }
@@ -404,6 +432,10 @@ impl RaceHashTable {
                         .await;
                     if let Some((k, v)) = decode_block(&data) {
                         if k == key {
+                            // The caller will CAS against this observed
+                            // slot value: record the read that opens the
+                            // read-modify-write for `smart-check`.
+                            coro.probe_cell(self.slot_addr(st, b, i), "race_slot", SyncOp::Read);
                             return Some((b, i, *slot, v.to_vec()));
                         }
                     }
@@ -500,6 +532,9 @@ impl RaceHashTable {
                     self.split(&kh);
                     continue 'restart;
                 };
+                // The empty-slot observation opens the claim RMW that the
+                // CAS below closes.
+                coro.probe_cell(self.slot_addr(&st, b, i), "race_slot", SyncOp::Read);
                 let new = self.publish_block(coro, &st, key, value).await;
                 let addr = self.slot_addr(&st, b, i);
                 let old = coro.backoff_cas_sync(addr, 0, new.0).await;

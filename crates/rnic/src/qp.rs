@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use smart_rt::sync::{ContendedLock, Notify};
-use smart_trace::Actor;
+use smart_trace::{Actor, SyncOp};
 
 use crate::blade::MemoryBlade;
 use crate::device::DeviceContext;
@@ -99,6 +99,7 @@ pub struct Qp {
     shared: bool,
     outstanding: Cell<u32>,
     posted: Cell<u64>,
+    probe: u64,
 }
 
 impl std::fmt::Debug for Qp {
@@ -128,6 +129,7 @@ impl Qp {
             cfg.qp_lock_handoff,
             cfg.db_penalty_cap,
         );
+        let probe = ctx.node().handle.fresh_probe_id();
         Rc::new(Qp {
             ctx,
             index,
@@ -138,6 +140,7 @@ impl Qp {
             shared,
             outstanding: Cell::new(0),
             posted: Cell::new(0),
+            probe,
         })
     }
 
@@ -235,6 +238,10 @@ impl Qp {
         let n = wrs.len() as u32;
         self.posted.set(self.posted.get() + wrs.len() as u64);
         self.outstanding.set(self.outstanding.get() + n);
+        // Appending to the send queue is a blind write on the QP's queue
+        // cell for the `smart-check` atomicity sanitizer.
+        node.handle
+            .probe_sync(actor, "qp_sq", SyncOp::Write, self.probe);
 
         let _ = cfg;
         self.lock_for_post(n, actor).await;

@@ -43,6 +43,15 @@ impl RemoteAddr {
             offset_bytes: self.offset_bytes + delta,
         }
     }
+
+    /// Stable shared-cell identity for `smart-check` probes: the top bit
+    /// marks a remote cell (so these never collide with the small
+    /// counter-allocated `SimHandle::fresh_probe_id` ids), the blade id
+    /// sits in bits 48–62 and the byte offset below (regions are far
+    /// smaller than 2^48 bytes, so the packing is collision-free).
+    pub fn cell_id(self) -> u64 {
+        (1 << 63) | ((self.blade.0 as u64) << 48) | self.offset_bytes
+    }
 }
 
 impl fmt::Display for RemoteAddr {

@@ -44,8 +44,48 @@ impl Wake for TaskWaker {
     }
 }
 
+/// How the executor breaks ties among timers that fire at the same virtual
+/// time.
+///
+/// The default [`SchedulePolicy::Fifo`] fires same-deadline timers in
+/// registration order — the schedule every bench and test relies on.
+/// [`SchedulePolicy::SeededTieBreak`] permutes *only* those ties with a
+/// deterministic per-salt hash, which is the schedule-exploration hook used
+/// by `smart-check`: every perturbed schedule is still a legal total order
+/// of the same event set (events never fire early or late, only same-time
+/// peers swap), so any invariant violation it exposes is a real bug in the
+/// simulated protocol, not a simulator artifact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Same-deadline timers fire in registration order.
+    #[default]
+    Fifo,
+    /// Same-deadline timers fire in `splitmix64(seq ^ salt)` order; each
+    /// salt selects one reproducible alternative schedule.
+    SeededTieBreak(u64),
+}
+
+impl SchedulePolicy {
+    fn tie_key(self, seq: u64) -> u64 {
+        match self {
+            SchedulePolicy::Fifo => seq,
+            SchedulePolicy::SeededTieBreak(salt) => mix64(seq ^ salt),
+        }
+    }
+}
+
+/// SplitMix64 finalizer (same constants as the `SimRng` seeder); bijective,
+/// so two timers never collide on a tie key.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
 struct TimerEntry {
     at: SimTime,
+    key: u64,
     seq: u64,
     waker: Waker,
 }
@@ -63,13 +103,15 @@ impl PartialOrd for TimerEntry {
 }
 impl Ord for TimerEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.key, self.seq).cmp(&(other.at, other.key, other.seq))
     }
 }
 
 pub(crate) struct Inner {
     now: Cell<SimTime>,
     seq: Cell<u64>,
+    policy: Cell<SchedulePolicy>,
+    probe_seq: Cell<u64>,
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
     ready: Arc<Mutex<VecDeque<TaskId>>>,
     tasks: RefCell<Vec<Option<Task>>>,
@@ -164,10 +206,43 @@ impl SimHandle {
     pub fn wake_at(&self, at: SimTime, waker: Waker) {
         let seq = self.inner.seq.get();
         self.inner.seq.set(seq + 1);
-        self.inner
-            .timers
-            .borrow_mut()
-            .push(Reverse(TimerEntry { at, seq, waker }));
+        let key = self.inner.policy.get().tie_key(seq);
+        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
+            at,
+            key,
+            seq,
+            waker,
+        }));
+    }
+
+    /// The active tie-breaking policy (see [`SchedulePolicy`]).
+    pub fn schedule_policy(&self) -> SchedulePolicy {
+        self.inner.policy.get()
+    }
+
+    /// Allocates a fresh probe identity for a sync primitive or shared
+    /// cell, for use in [`SimHandle::probe_sync`] events. Ids are handed
+    /// out in deterministic creation order starting at 1 (0 is reserved
+    /// for "unprobed").
+    pub fn fresh_probe_id(&self) -> u64 {
+        let id = self.inner.probe_seq.get() + 1;
+        self.inner.probe_seq.set(id);
+        id
+    }
+
+    /// Emits a [`smart_trace::Category::Sync`] probe at the current virtual
+    /// time: `actor` performed `op` on the lock/cell `id` named `name`.
+    /// Costs a couple of branches unless a tracer is installed with Sync
+    /// events unmasked.
+    pub fn probe_sync(
+        &self,
+        actor: smart_trace::Actor,
+        name: &'static str,
+        op: smart_trace::SyncOp,
+        id: u64,
+    ) {
+        let t_ns = self.now().as_nanos();
+        self.with_tracer(|t| t.sync_probe(t_ns, actor, name, op, id));
     }
 
     /// Returns a future that completes once virtual time reaches
@@ -289,13 +364,25 @@ impl std::fmt::Debug for Simulation {
 }
 
 impl Simulation {
-    /// Creates an empty simulation whose PRNG is seeded with `seed`.
+    /// Creates an empty simulation whose PRNG is seeded with `seed`, using
+    /// the default [`SchedulePolicy::Fifo`] tie-breaking.
     pub fn new(seed: u64) -> Self {
+        Simulation::with_policy(seed, SchedulePolicy::Fifo)
+    }
+
+    /// Creates an empty simulation with an explicit tie-breaking policy.
+    ///
+    /// The policy applies to timers registered after construction, i.e. to
+    /// everything — set it up front rather than mid-run so every tie in
+    /// the run is broken the same way.
+    pub fn with_policy(seed: u64, policy: SchedulePolicy) -> Self {
         Simulation {
             handle: SimHandle {
                 inner: Rc::new(Inner {
                     now: Cell::new(SimTime::ZERO),
                     seq: Cell::new(0),
+                    policy: Cell::new(policy),
+                    probe_seq: Cell::new(0),
                     timers: RefCell::new(BinaryHeap::new()),
                     ready: Arc::new(Mutex::new(VecDeque::new())),
                     tasks: RefCell::new(Vec::new()),
@@ -305,6 +392,20 @@ impl Simulation {
                 }),
             },
         }
+    }
+
+    /// Number of live (spawned, not yet completed) tasks. After
+    /// [`Self::run`] drains every event, a nonzero count means some task is
+    /// parked forever with nothing left to wake it — the lost-wakeup /
+    /// stuck-task signal consumed by `smart-check`.
+    pub fn live_tasks(&self) -> usize {
+        self.handle
+            .inner
+            .tasks
+            .borrow()
+            .iter()
+            .filter(|t| t.is_some())
+            .count()
     }
 
     /// Returns a handle usable inside tasks.
@@ -549,6 +650,91 @@ mod tests {
         }
         sim.run();
         assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn seeded_tie_break_permutes_same_deadline_ties_reproducibly() {
+        fn run_once(policy: SchedulePolicy) -> Vec<u32> {
+            let mut sim = Simulation::with_policy(0, policy);
+            let h = sim.handle();
+            let order = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..8u32 {
+                let h2 = h.clone();
+                let order = Rc::clone(&order);
+                sim.spawn(async move {
+                    h2.sleep(Duration::from_nanos(7)).await;
+                    order.borrow_mut().push(i);
+                });
+            }
+            sim.run();
+            let v = order.borrow().clone();
+            v
+        }
+        assert_eq!(run_once(SchedulePolicy::Fifo), (0..8).collect::<Vec<_>>());
+        // Some salt among the first few must permute an 8-way tie.
+        let perturbed: Vec<Vec<u32>> = (1..=4)
+            .map(|s| run_once(SchedulePolicy::SeededTieBreak(s)))
+            .collect();
+        assert!(
+            perturbed.iter().any(|o| *o != (0..8).collect::<Vec<_>>()),
+            "no salt permuted the tie: {perturbed:?}"
+        );
+        for (i, o) in perturbed.iter().enumerate() {
+            let mut sorted = o.clone();
+            sorted.sort_unstable();
+            assert_eq!(
+                sorted,
+                (0..8).collect::<Vec<_>>(),
+                "salt {} lost events",
+                i + 1
+            );
+            assert_eq!(
+                *o,
+                run_once(SchedulePolicy::SeededTieBreak(i as u64 + 1)),
+                "same salt must reproduce the same schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn tie_break_never_reorders_distinct_deadlines() {
+        let mut sim = Simulation::with_policy(0, SchedulePolicy::SeededTieBreak(3));
+        let h = sim.handle();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, delay) in [(0u32, 30u64), (1, 10), (2, 20)] {
+            let h2 = h.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                h2.sleep(Duration::from_nanos(delay)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn live_tasks_counts_parked_tasks() {
+        let mut sim = Simulation::new(0);
+        assert_eq!(sim.live_tasks(), 0);
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.sleep(Duration::from_nanos(5)).await;
+        });
+        sim.spawn(async move {
+            std::future::pending::<()>().await;
+        });
+        sim.run();
+        assert_eq!(sim.live_tasks(), 1, "the pending task is stuck");
+    }
+
+    #[test]
+    fn probe_ids_are_fresh_and_deterministic() {
+        let sim = Simulation::new(0);
+        let h = sim.handle();
+        assert_eq!(h.fresh_probe_id(), 1);
+        assert_eq!(h.fresh_probe_id(), 2);
+        assert_eq!(sim.handle().fresh_probe_id(), 3);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod rng;
 pub mod sync;
 mod time;
 
-pub use executor::{SimHandle, Simulation};
+pub use executor::{SchedulePolicy, SimHandle, Simulation};
 pub use join::JoinHandle;
 pub use time::SimTime;
 

@@ -21,7 +21,7 @@ use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
-use smart_trace::{Actor, Args, Category};
+use smart_trace::{Actor, Args, Category, SyncOp};
 
 use crate::executor::{SimHandle, Sleep};
 use crate::time::SimTime;
@@ -149,6 +149,8 @@ enum WaitState {
 struct SemInner {
     permits: Cell<i64>,
     waiters: RefCell<VecDeque<SemWaiter>>,
+    probe: Cell<u64>,
+    probe_name: Cell<Option<&'static str>>,
 }
 
 impl SemInner {
@@ -302,6 +304,97 @@ impl Semaphore {
         if delta > 0 {
             self.inner.grant_ready();
         }
+    }
+
+    /// Gives the semaphore a probe identity for `smart-check`: acquisition
+    /// probes ([`Semaphore::acquire_guard`]) are emitted as
+    /// [`smart_trace::Category::Sync`] instants carrying `id` under `name`.
+    /// The semaphore itself holds no [`SimHandle`], so callers allocate the
+    /// id with [`SimHandle::fresh_probe_id`].
+    pub fn set_probe(&self, id: u64, name: &'static str) {
+        self.inner.probe.set(id);
+        self.inner.probe_name.set(Some(name));
+    }
+
+    /// The probe identity installed by [`Semaphore::set_probe`] (0 when
+    /// unprobed).
+    pub fn probe_id(&self) -> u64 {
+        self.inner.probe.get()
+    }
+
+    fn emit_probe(&self, handle: &SimHandle, actor: Actor, op: SyncOp) {
+        let id = self.inner.probe.get();
+        if id != 0 {
+            let name = self.inner.probe_name.get().unwrap_or("sem");
+            handle.probe_sync(actor, name, op, id);
+        }
+    }
+
+    /// Like [`Self::acquire_traced`], additionally emitting an acquire
+    /// probe (if [`Semaphore::set_probe`] was called) and returning a
+    /// [`SemGuard`] that releases the permits — and emits the matching
+    /// release probe — when dropped.
+    ///
+    /// Guards exist so `smart-check` can pair acquisitions with releases;
+    /// holding one across an `.await` is the pattern `smart-lint`'s
+    /// `await-holding-guard` rule flags, because any state read before the
+    /// suspension may be stale after it even though the permits are still
+    /// held.
+    pub async fn acquire_guard(
+        &self,
+        n: u64,
+        handle: &SimHandle,
+        actor: Actor,
+        name: &'static str,
+    ) -> SemGuard {
+        self.acquire_traced(n, handle, actor, name).await;
+        self.emit_probe(handle, actor, SyncOp::Acquire);
+        SemGuard {
+            sem: self.clone(),
+            n,
+            handle: handle.clone(),
+            actor,
+        }
+    }
+
+    /// Releases `n` permits previously taken by an acquire that emitted an
+    /// acquire probe, emitting the matching release probe. Prefer
+    /// [`Semaphore::acquire_guard`] where the release point is lexically
+    /// scoped; this is for acquire/release pairs split across call sites
+    /// (e.g. a coroutine slot taken at op start and returned at op end).
+    pub fn release_probed(&self, n: u64, handle: &SimHandle, actor: Actor) {
+        self.emit_probe(handle, actor, SyncOp::Release);
+        self.release(n);
+    }
+
+    /// Emits the acquire probe for permits already taken via
+    /// [`Self::acquire`]/[`Self::acquire_traced`]; pair with
+    /// [`Semaphore::release_probed`].
+    pub fn mark_acquired(&self, handle: &SimHandle, actor: Actor) {
+        self.emit_probe(handle, actor, SyncOp::Acquire);
+    }
+}
+
+/// Guard returned by [`Semaphore::acquire_guard`]; dropping it releases the
+/// permits and emits the release probe.
+#[must_use = "dropping the guard immediately releases the permits"]
+pub struct SemGuard {
+    sem: Semaphore,
+    n: u64,
+    handle: SimHandle,
+    actor: Actor,
+}
+
+impl SemGuard {
+    /// Releases the permits now (equivalent to dropping the guard).
+    pub fn release(self) {}
+}
+
+impl Drop for SemGuard {
+    fn drop(&mut self) {
+        self.sem
+            .emit_probe(&self.handle, self.actor, SyncOp::Release);
+        self.sem.release(self.n);
     }
 }
 
@@ -506,6 +599,7 @@ impl FifoResource {
 
 struct LockInner {
     handle: SimHandle,
+    probe: u64,
     busy_until: Cell<SimTime>,
     queued: Cell<u32>,
     queued_by_tag: RefCell<BTreeMap<u64, u32>>,
@@ -558,9 +652,11 @@ impl ContendedLock {
     /// Creates a lock with the given per-waiter handoff penalty; the penalty
     /// saturates at `max_penalty_waiters` waiters.
     pub fn new(handle: SimHandle, handoff: Duration, max_penalty_waiters: u32) -> Self {
+        let probe = handle.fresh_probe_id();
         ContendedLock {
             inner: Rc::new(LockInner {
                 handle,
+                probe,
                 busy_until: Cell::new(SimTime::ZERO),
                 queued: Cell::new(0),
                 queued_by_tag: RefCell::new(BTreeMap::new()),
@@ -602,6 +698,32 @@ impl ContendedLock {
     /// to contention and the number of cross-owner waiters seen at entry.
     pub async fn exec_as(&self, hold: Duration, actor: Actor, name: &'static str) {
         self.exec_inner(hold, actor.tid, Some((actor, name))).await;
+        self.inner
+            .handle
+            .probe_sync(actor, name, SyncOp::Release, self.inner.probe);
+    }
+
+    /// Like [`Self::exec_as`], but the critical section stays *marked* as
+    /// held until the returned [`LockSection`] is dropped, so `smart-check`
+    /// sees any further acquisitions as nested inside it.
+    ///
+    /// The lock's full cost (hold + handoff penalty) is still charged by
+    /// this call — holding the guard longer does not extend the modeled
+    /// section, it only documents the nesting. That gap is exactly why
+    /// awaiting with a guard alive is flagged by `smart-lint`.
+    pub async fn enter_as(&self, hold: Duration, actor: Actor, name: &'static str) -> LockSection {
+        self.exec_inner(hold, actor.tid, Some((actor, name))).await;
+        LockSection {
+            handle: self.inner.handle.clone(),
+            actor,
+            name,
+            probe: self.inner.probe,
+        }
+    }
+
+    /// The lock's `smart-check` probe identity (assigned at construction).
+    pub fn probe_id(&self) -> u64 {
+        self.inner.probe
     }
 
     async fn exec_inner(&self, hold: Duration, tag: u64, trace: Option<(Actor, &'static str)>) {
@@ -637,6 +759,9 @@ impl ContendedLock {
                     Args::two("wait_ns", contention, "waiters", other_waiters as u64),
                 );
             });
+            inner
+                .handle
+                .probe_sync(actor, name, SyncOp::Acquire, inner.probe);
         }
         let sleep = inner.handle.sleep_until(done);
         sleep.await;
@@ -668,6 +793,28 @@ impl ContendedLock {
     /// overhead" that SMART's profiling attributes to doorbell sharing.
     pub fn contention_time(&self) -> Duration {
         Duration::from_nanos(self.inner.contention_ns.get())
+    }
+}
+
+/// Marker guard returned by [`ContendedLock::enter_as`]; dropping it emits
+/// the release probe closing the lock section for `smart-check`.
+#[must_use = "dropping the section guard ends the marked critical section"]
+pub struct LockSection {
+    handle: SimHandle,
+    actor: Actor,
+    name: &'static str,
+    probe: u64,
+}
+
+impl LockSection {
+    /// Ends the marked section now (equivalent to dropping the guard).
+    pub fn release(self) {}
+}
+
+impl Drop for LockSection {
+    fn drop(&mut self) {
+        self.handle
+            .probe_sync(self.actor, self.name, SyncOp::Release, self.probe);
     }
 }
 
@@ -912,6 +1059,57 @@ mod tests {
         let s2 = sem.clone();
         let mut sim2 = sim; // continue on same sim
         sim2.block_on(async move { s2.acquire(1).await });
+    }
+
+    #[test]
+    fn guard_and_lock_probes_pair_up() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let sink = smart_trace::TraceSink::new();
+        sink.set_mask(smart_trace::TraceSink::DEFAULT_MASK | Category::Sync.bit());
+        h.install_tracer(sink.clone());
+
+        let sem = Semaphore::new(1);
+        sem.set_probe(h.fresh_probe_id(), "slot");
+        let lock = ContendedLock::new(h.clone(), Duration::from_nanos(5), 4);
+        let sem_id = sem.probe_id();
+        let lock_id = lock.probe_id();
+        let actor = Actor::new(1, 0);
+        let h2 = h.clone();
+        sim.block_on(async move {
+            let g = sem.acquire_guard(1, &h2, actor, "slot").await;
+            lock.exec_as(Duration::from_nanos(10), actor, "qp_lock")
+                .await;
+            let s = lock
+                .enter_as(Duration::from_nanos(10), actor, "qp_lock")
+                .await;
+            s.release();
+            g.release();
+        });
+        let probes: Vec<(&str, u64, u64)> = sink
+            .events()
+            .iter()
+            .filter(|e| e.category() == Category::Sync)
+            .map(|e| match *e {
+                smart_trace::TraceEvent::Instant { name, args, .. } => {
+                    (name, args.0[0].unwrap().1, args.0[1].unwrap().1)
+                }
+                _ => panic!("sync probes are instants"),
+            })
+            .collect();
+        let acq = SyncOp::Acquire.code();
+        let rel = SyncOp::Release.code();
+        assert_eq!(
+            probes,
+            vec![
+                ("slot", acq, sem_id),
+                ("qp_lock", acq, lock_id),
+                ("qp_lock", rel, lock_id),
+                ("qp_lock", acq, lock_id),
+                ("qp_lock", rel, lock_id),
+                ("slot", rel, sem_id),
+            ]
+        );
     }
 
     #[test]

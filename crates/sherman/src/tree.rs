@@ -781,4 +781,38 @@ impl ShermanTree {
         }
         out
     }
+
+    /// `smart-check` invariant wrapper around [`Self::check_consistency`]:
+    /// the leaf chain must be structurally sound and hold exactly
+    /// `expected` (sorted by key). Structural panics are converted into
+    /// findings so schedule exploration can report them instead of
+    /// aborting.
+    pub fn consistency_violations(&self, expected: &[(u64, u64)]) -> Vec<String> {
+        let got = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.check_consistency()
+        })) {
+            Ok(got) => got,
+            Err(e) => {
+                let msg = e
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "structure check panicked".to_string());
+                return vec![format!("tree inconsistent: {msg}")];
+            }
+        };
+        if got.as_slice() == expected {
+            return Vec::new();
+        }
+        let first_diff = got
+            .iter()
+            .zip(expected)
+            .position(|(a, b)| a != b)
+            .unwrap_or(got.len().min(expected.len()));
+        vec![format!(
+            "leaf chain holds {} pairs, expected {} (first divergence at index {first_diff})",
+            got.len(),
+            expected.len()
+        )]
+    }
 }

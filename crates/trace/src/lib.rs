@@ -104,6 +104,11 @@ pub enum Category {
     Tune = 6,
     /// Operation scopes themselves (one span per `begin_op`/`end_op` pair).
     Op = 7,
+    /// Synchronization probes (lock acquire/release, shared-cell
+    /// read/write/CAS) consumed by the `smart-check` sanitizers. Masked out
+    /// by [`TraceSink::DEFAULT_MASK`]; checkers opt in with
+    /// [`TraceSink::set_mask`].
+    Sync = 8,
 }
 
 /// Number of categories that participate in latency attribution.
@@ -111,7 +116,7 @@ pub const ATTR_CATEGORIES: usize = 5;
 
 impl Category {
     /// All categories, in declaration order.
-    pub const ALL: [Category; 8] = [
+    pub const ALL: [Category; 9] = [
         Category::DbLock,
         Category::Credit,
         Category::Pipeline,
@@ -120,10 +125,11 @@ impl Category {
         Category::Cache,
         Category::Tune,
         Category::Op,
+        Category::Sync,
     ];
 
     /// The bit this category occupies in a filter mask.
-    pub fn bit(self) -> u32 {
+    pub const fn bit(self) -> u32 {
         1 << (self as u8)
     }
 
@@ -156,6 +162,63 @@ impl Category {
             Category::Cache => "cache",
             Category::Tune => "tune",
             Category::Op => "op",
+            Category::Sync => "sync",
+        }
+    }
+}
+
+/// What a [`Category::Sync`] probe event observed.
+///
+/// Probes travel as instants whose [`Args`] carry `("sync", op.code())` and
+/// `("id", cell_or_lock_id)`; the event name is the semantic object name
+/// (`"qp_lock"`, `"race_slot"`, `"c_max_epoch"`, …). `Acquire`/`Release`
+/// describe lock-like objects; `Read`/`Write`/`Cas` describe shared cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SyncOp {
+    /// Observed (read) a shared cell.
+    Read,
+    /// Blind write to a shared cell.
+    Write,
+    /// Atomic compare-and-swap on a shared cell.
+    Cas,
+    /// Acquired a lock or semaphore permit.
+    Acquire,
+    /// Released a lock or semaphore permit.
+    Release,
+}
+
+impl SyncOp {
+    /// Stable wire code carried in the probe event's [`Args`].
+    pub fn code(self) -> u64 {
+        match self {
+            SyncOp::Read => 0,
+            SyncOp::Write => 1,
+            SyncOp::Cas => 2,
+            SyncOp::Acquire => 3,
+            SyncOp::Release => 4,
+        }
+    }
+
+    /// Inverse of [`SyncOp::code`].
+    pub fn from_code(code: u64) -> Option<SyncOp> {
+        match code {
+            0 => Some(SyncOp::Read),
+            1 => Some(SyncOp::Write),
+            2 => Some(SyncOp::Cas),
+            3 => Some(SyncOp::Acquire),
+            4 => Some(SyncOp::Release),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable label used in findings reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SyncOp::Read => "rd",
+            SyncOp::Write => "wr",
+            SyncOp::Cas => "cas",
+            SyncOp::Acquire => "acq",
+            SyncOp::Release => "rel",
         }
     }
 }
@@ -302,6 +365,22 @@ mod tests {
         assert_eq!(Category::Pipeline.label(), "pipeline");
         assert_eq!(Category::Fabric.label(), "fabric");
         assert_eq!(Category::Backoff.label(), "backoff");
+    }
+
+    #[test]
+    fn sync_op_codes_roundtrip() {
+        for op in [
+            SyncOp::Read,
+            SyncOp::Write,
+            SyncOp::Cas,
+            SyncOp::Acquire,
+            SyncOp::Release,
+        ] {
+            assert_eq!(SyncOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(SyncOp::from_code(99), None);
+        assert_eq!(Category::Sync.label(), "sync");
+        assert_eq!(Category::Sync.attr_index(), None);
     }
 
     #[test]

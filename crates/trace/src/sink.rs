@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use crate::attr::{Attribution, AttributionReport};
-use crate::{Actor, Args, Category, TraceEvent};
+use crate::{Actor, Args, Category, SyncOp, TraceEvent};
 
 #[derive(Debug)]
 struct SinkInner {
@@ -46,6 +46,13 @@ impl TraceSink {
     /// Default ring capacity (events), used by [`TraceSink::new`].
     pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
+    /// Default category mask: everything except [`Category::Sync`]. Sync
+    /// probes exist for the `smart-check` sanitizers and would otherwise
+    /// flood the ring (and the Chrome export) of every traced bench run;
+    /// checkers enable them with
+    /// `set_mask(DEFAULT_MASK | Category::Sync.bit())`.
+    pub const DEFAULT_MASK: u32 = !Category::Sync.bit();
+
     /// Creates an enabled sink with [`TraceSink::DEFAULT_CAPACITY`].
     pub fn new() -> TraceSink {
         TraceSink::with_capacity(TraceSink::DEFAULT_CAPACITY)
@@ -56,7 +63,7 @@ impl TraceSink {
         TraceSink {
             inner: Rc::new(SinkInner {
                 enabled: Cell::new(true),
-                mask: Cell::new(u32::MAX),
+                mask: Cell::new(TraceSink::DEFAULT_MASK),
                 capacity: capacity.max(1),
                 events: RefCell::new(VecDeque::with_capacity(capacity.clamp(1, 1 << 12))),
                 dropped: Cell::new(0),
@@ -146,6 +153,19 @@ impl TraceSink {
             name,
             args,
         });
+    }
+
+    /// Records a [`Category::Sync`] probe: `actor` performed `op` on the
+    /// lock or shared cell identified by `id` and named `name`. A no-op
+    /// unless Sync events are unmasked (see [`TraceSink::DEFAULT_MASK`]).
+    pub fn sync_probe(&self, t_ns: u64, actor: Actor, name: &'static str, op: SyncOp, id: u64) {
+        self.instant(
+            t_ns,
+            actor,
+            Category::Sync,
+            name,
+            Args::two("sync", op.code(), "id", id),
+        );
     }
 
     /// Records a sampled counter value.
@@ -275,6 +295,31 @@ mod tests {
         assert_eq!(stats.category_ns(Category::Fabric), 20);
         // Ring holds the fabric span and the closing op span only.
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn sync_probes_are_masked_out_by_default() {
+        let s = TraceSink::with_capacity(16);
+        let actor = Actor::new(1, 2);
+        s.sync_probe(10, actor, "qp_lock", SyncOp::Acquire, 7);
+        assert!(s.is_empty(), "default mask must exclude Sync");
+        s.set_mask(TraceSink::DEFAULT_MASK | Category::Sync.bit());
+        s.sync_probe(20, actor, "qp_lock", SyncOp::Release, 7);
+        let evs = s.events();
+        assert_eq!(evs.len(), 1);
+        match evs[0] {
+            TraceEvent::Instant {
+                t_ns,
+                cat,
+                name,
+                args,
+                ..
+            } => {
+                assert_eq!((t_ns, cat, name), (20, Category::Sync, "qp_lock"));
+                assert_eq!(args, Args::two("sync", SyncOp::Release.code(), "id", 7));
+            }
+            other => panic!("expected instant, got {other:?}"),
+        }
     }
 
     #[test]
