@@ -5,20 +5,22 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use smart::{SmartConfig, SmartContext};
+use smart::{SmartConfig, SmartContext, SmartThread};
+use smart_fault::{FaultInjector, FaultPlan};
 use smart_ford::{backoff_after_abort, SmallBank, Tatp};
 use smart_race::{RaceConfig, RaceHashTable};
 use smart_rnic::{BladeConfig, Cluster, ClusterConfig};
 use smart_rt::metrics::Counter;
 use smart_rt::{Duration, Simulation};
 use smart_sherman::{ShermanConfig, ShermanTree};
+use smart_trace::LogHistogram;
 use smart_workloads::latency::LatencyRecorder;
 use smart_workloads::smallbank::SmallBankGenerator;
 use smart_workloads::tatp::TatpGenerator;
 use smart_workloads::ycsb::{Mix, YcsbGenerator, YcsbOp};
 
 /// Common measurement output.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct RunReport {
     /// Application operations completed in the window.
     pub ops: u64,
@@ -35,12 +37,34 @@ pub struct RunReport {
     pub retry_hist: Vec<u64>,
     /// Abort rate over the window (transaction runs).
     pub abort_rate: f64,
+    /// Fault completions injected by the chaos layer over the whole run,
+    /// warm-up included (0 without a fault plan).
+    pub faults_injected: u64,
+    /// Error completions the recovery layer observed (re-failures of the
+    /// same work request included).
+    pub faults_seen: u64,
+    /// Work requests that failed at least once and later completed
+    /// successfully through the recovery path.
+    pub faults_recovered: u64,
+    /// Median recovery latency (first error completion to eventual
+    /// success).
+    pub recovery_p50: Duration,
+    /// 99th-percentile recovery latency.
+    pub recovery_p99: Duration,
+    /// Full recovery-latency distribution in nanoseconds, merged across
+    /// threads (drives the CDF in `fig_fault_recovery`).
+    pub recovery_hist: LogHistogram,
+    /// Credit-conservation audit findings across all threads. Must stay
+    /// empty: every injected error CQE replenishes exactly one credit,
+    /// so faults never strand or mint throttle budget.
+    pub conservation: Vec<String>,
 }
 
 /// Shared per-run measurement plumbing.
 struct Probe {
     ops: Counter,
     measuring: Rc<Cell<bool>>,
+    stop: Rc<Cell<bool>>,
     latency: Rc<RefCell<LatencyRecorder>>,
 }
 
@@ -49,8 +73,56 @@ impl Probe {
         Probe {
             ops: Counter::new(),
             measuring: Rc::new(Cell::new(false)),
+            stop: Rc::new(Cell::new(false)),
             latency: Rc::new(RefCell::new(LatencyRecorder::new())),
         }
+    }
+}
+
+/// Virtual time granted after the measurement window for workers to
+/// finish their in-flight operation and exit: the run quiesces, so the
+/// credit-conservation audit in [`FaultProbe::fill`] is meaningful (and
+/// generous enough to cover a pending fault-recovery backoff or a blade
+/// crash window from a chaos plan).
+const DRAIN: Duration = Duration::from_millis(5);
+
+/// Chaos-layer plumbing: installs the injector (when the run has a fault
+/// plan) and tracks every thread so recovery outcomes can be aggregated
+/// into the report after the run.
+struct FaultProbe {
+    injector: Option<Rc<FaultInjector>>,
+    threads: RefCell<Vec<Rc<SmartThread>>>,
+}
+
+impl FaultProbe {
+    fn install(cluster: &Cluster, plan: &Option<FaultPlan>) -> Self {
+        FaultProbe {
+            injector: plan.clone().map(|pl| FaultInjector::install(cluster, pl)),
+            threads: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn track(&self, thread: &Rc<SmartThread>) {
+        self.threads.borrow_mut().push(Rc::clone(thread));
+    }
+
+    fn fill(&self, report: &mut RunReport) {
+        let mut hist = LogHistogram::new();
+        for th in self.threads.borrow().iter() {
+            report.faults_seen += th.stats().faults_seen.get();
+            report.faults_recovered += th.stats().faults_recovered.get();
+            hist.merge(&th.stats().recovery_ns.borrow());
+            report
+                .conservation
+                .extend(th.throttle().conservation_violations());
+        }
+        report.faults_injected = self
+            .injector
+            .as_ref()
+            .map_or(0, |i| i.stats().total_injected());
+        report.recovery_p50 = Duration::from_nanos(hist.percentile(500));
+        report.recovery_p99 = Duration::from_nanos(hist.percentile(990));
+        report.recovery_hist = hist;
     }
 }
 
@@ -115,6 +187,9 @@ pub struct HtParams {
     /// Optional trace sink installed into the simulation (op-level
     /// latency attribution + Perfetto export).
     pub trace: Option<smart_trace::TraceSink>,
+    /// Optional chaos schedule injected into the run (must eventually
+    /// heal; permanent errors would abort the benchmark workers).
+    pub fault: Option<FaultPlan>,
 }
 
 impl HtParams {
@@ -134,6 +209,7 @@ impl HtParams {
             measure: Duration::from_millis(5),
             seed: 42,
             trace: None,
+            fault: None,
         }
     }
 }
@@ -172,6 +248,7 @@ pub fn run_ht(p: &HtParams) -> RunReport {
             ..Default::default()
         },
     );
+    let chaos = FaultProbe::install(&cluster, &p.fault);
     let table = RaceHashTable::create(cluster.blades(), ht_table_config(p.keys));
     for k in 0..p.keys {
         table.load(&k.to_le_bytes(), &k.to_be_bytes());
@@ -187,6 +264,7 @@ pub fn run_ht(p: &HtParams) -> RunReport {
         let ctx = SmartContext::new(cluster.compute(node), cluster.blades(), cfg);
         for t in 0..p.threads {
             let thread = ctx.create_thread();
+            chaos.track(&thread);
             for c in 0..p.depth {
                 let coro = thread.coroutine();
                 let table = Rc::clone(&table);
@@ -194,11 +272,12 @@ pub fn run_ht(p: &HtParams) -> RunReport {
                     base_gen.fork(p.seed ^ ((node as u64) << 40) ^ ((t as u64) << 20) ^ c as u64);
                 let ops = probe.ops.clone();
                 let measuring = Rc::clone(&probe.measuring);
+                let stop = Rc::clone(&probe.stop);
                 let latency = Rc::clone(&probe.latency);
                 let pace = p.pace;
                 let handle = sim.handle();
                 sim.spawn(async move {
-                    loop {
+                    while !stop.get() {
                         if let Some(d) = pace {
                             handle.sleep(d).await;
                         }
@@ -238,8 +317,11 @@ pub fn run_ht(p: &HtParams) -> RunReport {
     let hist: Vec<u64> = hist1.iter().zip(hist0.iter()).map(|(a, b)| a - b).collect();
     let hist_ops: u64 = hist.iter().sum();
     let retries = table.stats().cas_retries.get() - retries0;
+    probe.measuring.set(false);
+    probe.stop.set(true);
+    sim.run_for(DRAIN);
     let lat = probe.latency.borrow();
-    RunReport {
+    let mut report = RunReport {
         ops,
         mops: ops as f64 / p.measure.as_secs_f64() / 1e6,
         median: lat.median(),
@@ -250,8 +332,10 @@ pub fn run_ht(p: &HtParams) -> RunReport {
             retries as f64 / hist_ops as f64
         },
         retry_hist: hist,
-        abort_rate: 0.0,
-    }
+        ..RunReport::default()
+    };
+    chaos.fill(&mut report);
+    report
 }
 
 // ---------------------------------------------------------------------------
@@ -290,6 +374,9 @@ pub struct DtxParams {
     pub seed: u64,
     /// Optional trace sink installed into the simulation.
     pub trace: Option<smart_trace::TraceSink>,
+    /// Optional chaos schedule injected into the run (must eventually
+    /// heal; permanent errors would abort the benchmark workers).
+    pub fault: Option<FaultPlan>,
 }
 
 impl DtxParams {
@@ -306,6 +393,7 @@ impl DtxParams {
             measure: Duration::from_millis(5),
             seed: 7,
             trace: None,
+            fault: None,
         }
     }
 }
@@ -328,6 +416,7 @@ pub fn run_dtx(p: &DtxParams) -> RunReport {
             ..Default::default()
         },
     );
+    let chaos = FaultProbe::install(&cluster, &p.fault);
     enum App {
         Bank(Rc<SmallBank>),
         Tatp(Rc<Tatp>),
@@ -346,11 +435,13 @@ pub fn run_dtx(p: &DtxParams) -> RunReport {
     let ctx = SmartContext::new(cluster.compute(0), cluster.blades(), cfg);
     for t in 0..p.threads {
         let thread = ctx.create_thread();
+        chaos.track(&thread);
         for c in 0..p.depth {
             let coro = thread.coroutine();
             let app = Rc::clone(&app);
             let ops = probe.ops.clone();
             let measuring = Rc::clone(&probe.measuring);
+            let stop = Rc::clone(&probe.stop);
             let latency = Rc::clone(&probe.latency);
             let pace = p.pace;
             let handle = sim.handle();
@@ -362,7 +453,7 @@ pub fn run_dtx(p: &DtxParams) -> RunReport {
                 App::Tatp(t) => t.db().alloc_log_region(),
             };
             sim.spawn(async move {
-                loop {
+                while !stop.get() {
                     if let Some(d) = pace {
                         handle.sleep(d).await;
                     }
@@ -406,20 +497,24 @@ pub fn run_dtx(p: &DtxParams) -> RunReport {
     let ops = probe.ops.get() - ops0;
     let committed = stats.committed.get() - committed0;
     let aborted = stats.aborted.get() - aborted0.get();
+    probe.measuring.set(false);
+    probe.stop.set(true);
+    sim.run_for(DRAIN);
     let lat = probe.latency.borrow();
-    RunReport {
+    let mut report = RunReport {
         ops,
         mops: ops as f64 / p.measure.as_secs_f64() / 1e6,
         median: lat.median(),
         p99: lat.p99(),
-        avg_retries: 0.0,
-        retry_hist: Vec::new(),
         abort_rate: if committed + aborted == 0 {
             0.0
         } else {
             aborted as f64 / (committed + aborted) as f64
         },
-    }
+        ..RunReport::default()
+    };
+    chaos.fill(&mut report);
+    report
 }
 
 // ---------------------------------------------------------------------------
@@ -495,6 +590,9 @@ pub struct BtParams {
     pub seed: u64,
     /// Optional trace sink installed into the simulation.
     pub trace: Option<smart_trace::TraceSink>,
+    /// Optional chaos schedule injected into the run (must eventually
+    /// heal; permanent errors would abort the benchmark workers).
+    pub fault: Option<FaultPlan>,
 }
 
 impl BtParams {
@@ -513,6 +611,7 @@ impl BtParams {
             measure: Duration::from_millis(5),
             seed: 13,
             trace: None,
+            fault: None,
         }
     }
 }
@@ -537,6 +636,7 @@ pub fn run_bt(p: &BtParams) -> RunReport {
             ..Default::default()
         },
     );
+    let chaos = FaultProbe::install(&cluster, &p.fault);
     let (mut tree_cfg, smart_cfg) = p.variant.configs(p.threads);
     if let Some(over) = &p.tree_override {
         tree_cfg = over.clone();
@@ -565,6 +665,7 @@ pub fn run_bt(p: &BtParams) -> RunReport {
         let tree = Rc::clone(node_tree);
         for t in 0..p.threads {
             let thread = ctx.create_thread();
+            chaos.track(&thread);
             for c in 0..p.depth {
                 let coro = thread.coroutine();
                 let tree = Rc::clone(&tree);
@@ -572,10 +673,11 @@ pub fn run_bt(p: &BtParams) -> RunReport {
                     base_gen.fork(p.seed ^ ((node as u64) << 40) ^ ((t as u64) << 20) ^ c as u64);
                 let ops = probe.ops.clone();
                 let measuring = Rc::clone(&probe.measuring);
+                let stop = Rc::clone(&probe.stop);
                 let latency = Rc::clone(&probe.latency);
                 let handle = sim.handle();
                 sim.spawn(async move {
-                    loop {
+                    while !stop.get() {
                         let start = handle.now();
                         match gen.next_op() {
                             YcsbOp::Lookup(k) => {
@@ -600,14 +702,17 @@ pub fn run_bt(p: &BtParams) -> RunReport {
     let ops0 = probe.ops.get();
     sim.run_for(p.measure);
     let ops = probe.ops.get() - ops0;
+    probe.measuring.set(false);
+    probe.stop.set(true);
+    sim.run_for(DRAIN);
     let lat = probe.latency.borrow();
-    RunReport {
+    let mut report = RunReport {
         ops,
         mops: ops as f64 / p.measure.as_secs_f64() / 1e6,
         median: lat.median(),
         p99: lat.p99(),
-        avg_retries: 0.0,
-        retry_hist: Vec::new(),
-        abort_rate: 0.0,
-    }
+        ..RunReport::default()
+    };
+    chaos.fill(&mut report);
+    report
 }

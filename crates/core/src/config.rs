@@ -35,6 +35,58 @@ impl QpPolicy {
     }
 }
 
+/// Recovery policy for failed work requests (DESIGN.md §5.3).
+///
+/// Retriable completion errors (RNR rejections, fabric timeouts, flushes
+/// from an errored QP, stale registrations after a blade restart) are
+/// retried by [`SmartCoro::try_sync`](crate::SmartCoro::try_sync) with the
+/// §4.3 truncated exponential backoff between rounds, until the retry
+/// budget or deadline runs out. Permanent errors (remote access, length)
+/// are never retried. The defaults retry forever — correct for chaos
+/// plans that eventually heal; set a budget when the application would
+/// rather surface the fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retry rounds per `sync` before giving up (`None` =
+    /// unlimited).
+    pub max_retries: Option<u32>,
+    /// Virtual-time budget per `sync` across all retries (`None` =
+    /// unlimited).
+    pub deadline: Option<Duration>,
+    /// Cost of tearing an errored QP back to ready-to-send
+    /// (RESET → INIT → RTR → RTS handshake).
+    pub reconnect_latency: Duration,
+    /// Cost of re-registering memory after a blade restart revokes MRs.
+    pub reregister_latency: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: None,
+            deadline: None,
+            reconnect_latency: Duration::from_micros(10),
+            reregister_latency: Duration::from_micros(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Caps the retry rounds per `sync`.
+    #[must_use]
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = Some(n);
+        self
+    }
+
+    /// Caps the virtual time spent recovering per `sync`.
+    #[must_use]
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
 /// Full framework configuration.
 ///
 /// Use the builder-style `with_*`/`enable_*` methods; the default is the
@@ -105,6 +157,9 @@ pub struct SmartConfig {
     pub cpu_poll: Duration,
     /// CPU cost of handling one polled completion.
     pub cpu_per_cqe: Duration,
+
+    /// Recovery policy for failed work requests (DESIGN.md §5.3).
+    pub retry: RetryPolicy,
 }
 
 impl Default for SmartConfig {
@@ -137,6 +192,8 @@ impl Default for SmartConfig {
             cpu_post_overhead: Duration::from_nanos(150),
             cpu_poll: Duration::from_nanos(80),
             cpu_per_cqe: Duration::from_nanos(30),
+
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -193,6 +250,12 @@ impl SmartConfig {
         self
     }
 
+    /// Sets the fault-recovery retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// `t0` as a duration.
     pub fn t0(&self) -> Duration {
         Duration::from_nanos((self.t0_cycles as f64 / self.cpu_ghz) as u64)
@@ -246,6 +309,18 @@ mod tests {
         assert!(cfg.dynamic_backoff_limit);
         assert!(cfg.coroutine_throttle);
         assert_eq!(cfg.expected_threads, 48);
+    }
+
+    #[test]
+    fn retry_policy_defaults_to_unlimited() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.max_retries, None);
+        assert_eq!(r.deadline, None);
+        let bounded = r
+            .with_max_retries(3)
+            .with_deadline(Duration::from_millis(1));
+        assert_eq!(bounded.max_retries, Some(3));
+        assert_eq!(bounded.deadline, Some(Duration::from_millis(1)));
     }
 
     #[test]

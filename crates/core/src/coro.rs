@@ -6,10 +6,37 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use smart_rnic::{Cqe, OneSidedOp, RemoteAddr, WorkRequest};
+use smart_rnic::{Cqe, CqeError, OneSidedOp, RemoteAddr, WorkRequest};
+use smart_rt::SimTime;
 use smart_trace::{Actor, Args, Category};
 
 use crate::thread::SmartThread;
+
+/// A `sync` gave up on a failed work request: either the completion error
+/// is permanent (not retriable) or the [`RetryPolicy`](crate::RetryPolicy)
+/// budget ran out while it kept failing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultError {
+    /// The work request the recovery layer gave up on.
+    pub wr_id: u64,
+    /// Its final completion error.
+    pub error: CqeError,
+    /// Retry rounds performed before giving up (0 = failed on first
+    /// completion with a permanent error).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wr {} failed with {} after {} retry attempts",
+            self.wr_id, self.error, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for FaultError {}
 
 /// A coroutine handle: the unit through which applications issue verbs.
 ///
@@ -22,6 +49,9 @@ pub struct SmartCoro {
     actor: Actor,
     pending: RefCell<Vec<WorkRequest>>,
     unsynced: RefCell<Vec<u64>>,
+    /// Posted-but-unacknowledged work requests, retained so the recovery
+    /// layer can repost them when their completions come back as errors.
+    in_flight: RefCell<BTreeMap<u64, WorkRequest>>,
     backoff_attempt: Cell<u32>,
     holds_slot: Cell<bool>,
     in_op: Cell<bool>,
@@ -64,6 +94,7 @@ impl SmartCoro {
             actor,
             pending: RefCell::new(Vec::new()),
             unsynced: RefCell::new(Vec::new()),
+            in_flight: RefCell::new(BTreeMap::new()),
             backoff_attempt: Cell::new(0),
             holds_slot: Cell::new(false),
             in_op: Cell::new(false),
@@ -206,7 +237,17 @@ impl SmartCoro {
                 .await;
             self.holds_slot.set(true);
         }
+        let ids = self.ship(wrs).await;
+        self.unsynced.borrow_mut().extend(ids);
+    }
+
+    /// Posts `wrs` through the credit path, returning their ids in posted
+    /// order. Shared by the first post and by recovery reposts — retries
+    /// consume fresh credits like any other post, which is what keeps the
+    /// throttle's conservation invariant intact under injected errors.
+    async fn ship(&self, wrs: Vec<WorkRequest>) -> Vec<u64> {
         let cfg = self.thread.context().config().clone();
+        let mut shipped = Vec::with_capacity(wrs.len());
         // Partition by target blade, preserving per-blade order.
         let mut groups: BTreeMap<u32, Vec<WorkRequest>> = BTreeMap::new();
         for wr in wrs {
@@ -229,6 +270,12 @@ impl SmartCoro {
                     .use_for(cfg.cpu_build_wr * chunk.len() as u32 + cfg.cpu_post_overhead)
                     .await;
                 let ids: Vec<u64> = chunk.iter().map(|w| w.wr_id).collect();
+                {
+                    let mut in_flight = self.in_flight.borrow_mut();
+                    for wr in &chunk {
+                        in_flight.insert(wr.wr_id, wr.clone());
+                    }
+                }
                 // The QP-lock/doorbell serialization below delays this
                 // coroutine directly; it is NOT additionally charged to
                 // the thread CPU — coroutines of one thread never truly
@@ -236,39 +283,194 @@ impl SmartCoro {
                 // charging inter-thread lock waits twice would compound
                 // the contention model quadratically.
                 qp.post_send_as(chunk, self.actor).await;
-                self.unsynced.borrow_mut().extend(ids);
+                shipped.extend(ids);
             }
         }
+        shipped
     }
 
     /// Waits for every work request this coroutine has posted (and not
     /// yet synced), returning their completions in posting order.
     ///
     /// Replenishes credits (Algorithm 1 `SMARTPOLLCQ`) and releases the
-    /// coroutine slot.
+    /// coroutine slot. Retriable completion errors are retried
+    /// transparently per the [`RetryPolicy`](crate::RetryPolicy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecoverable fault — a permanent completion error or
+    /// an exhausted retry budget. Use [`Self::try_sync`] to handle faults
+    /// as values instead.
     pub async fn sync(&self) -> Vec<Cqe> {
+        self.try_sync()
+            .await
+            .unwrap_or_else(|e| panic!("unrecoverable RDMA fault: {e}"))
+    }
+
+    /// Like [`Self::sync`], but surfaces unrecoverable faults as a typed
+    /// [`FaultError`] instead of panicking.
+    ///
+    /// Retriable errors (flushes from an errored QP, RNR rejections,
+    /// fabric timeouts, stale post-restart registrations) are handled
+    /// in-place: the coroutine backs off with the §4.3 truncated
+    /// exponential delay, re-establishes errored QPs, waits out memory
+    /// re-registration, and reposts the failed work requests through the
+    /// normal credit path — so a run under any fault plan that eventually
+    /// heals completes with exactly-once results. Permanent errors
+    /// (remote access, length) and exhausted retry budgets return `Err`.
+    pub async fn try_sync(&self) -> Result<Vec<Cqe>, FaultError> {
         let ids = self.unsynced.take();
-        let cqes = if ids.is_empty() {
-            Vec::new()
-        } else {
-            let cqes = self.thread.hub.claim(&ids).await;
-            // Per-thread hubs replenish credits in the polling coroutine
-            // (Algorithm 1); shared hubs cannot know the owner, so the
-            // claimer replenishes its own credits here.
-            if self.thread.context().config().policy.shares_qps() {
-                self.thread.throttle.replenish(ids.len() as u64);
-            }
-            self.thread.stats().rdma_completed.add(ids.len() as u64);
-            cqes
-        };
-        // Inside an op_scope the slot is held until the guard drops.
+        let out = self.await_recovered(&ids).await;
+        // Inside an op_scope the slot is held until the guard drops; the
+        // slot is released on the error path too, so a surfaced fault
+        // never strands a concurrency slot.
         if self.holds_slot.get() && !self.in_op.get() {
             self.thread
                 .conflict
                 .release_slot_as(self.thread.handle(), self.actor);
             self.holds_slot.set(false);
         }
-        cqes
+        out
+    }
+
+    /// The recovery loop: claims `ids`, retries failed work requests per
+    /// the retry policy, and returns the successful completions in the
+    /// order of `ids`.
+    async fn await_recovered(&self, ids: &[u64]) -> Result<Vec<Cqe>, FaultError> {
+        if ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let thread = &self.thread;
+        let cfg = thread.context().config().clone();
+        let handle = thread.handle().clone();
+        let start = handle.now();
+        let mut done: BTreeMap<u64, Cqe> = BTreeMap::new();
+        let mut fault_since: BTreeMap<u64, SimTime> = BTreeMap::new();
+        let mut wait: Vec<u64> = ids.to_vec();
+        let mut rounds: u32 = 0;
+        loop {
+            let cqes = thread.hub.claim(&wait).await;
+            // Per-thread hubs replenish credits in the polling coroutine
+            // (Algorithm 1); shared hubs cannot know the owner, so the
+            // claimer replenishes its own credits here. Error completions
+            // release credits like successes — the request is off the RNIC
+            // either way.
+            if cfg.policy.shares_qps() {
+                thread.throttle.replenish(wait.len() as u64);
+            }
+            thread.stats().rdma_completed.add(wait.len() as u64);
+            let mut failed: Vec<(u64, CqeError)> = Vec::new();
+            for cqe in cqes {
+                match cqe.error() {
+                    None => {
+                        self.in_flight.borrow_mut().remove(&cqe.wr_id);
+                        if let Some(t0) = fault_since.remove(&cqe.wr_id) {
+                            let stats = thread.stats();
+                            stats.faults_recovered.incr();
+                            stats
+                                .recovery_ns
+                                .borrow_mut()
+                                .record((handle.now() - t0).as_nanos() as u64);
+                        }
+                        done.insert(cqe.wr_id, cqe);
+                    }
+                    Some(err) => failed.push((cqe.wr_id, err)),
+                }
+            }
+            if failed.is_empty() {
+                return Ok(ids
+                    .iter()
+                    .map(|id| done.remove(id).expect("claimed wr present"))
+                    .collect());
+            }
+            rounds += 1;
+            let now = handle.now();
+            for (id, _) in &failed {
+                thread.stats().faults_seen.incr();
+                fault_since.entry(*id).or_insert(now);
+            }
+            let budget_spent = cfg.retry.max_retries.is_some_and(|m| rounds > m)
+                || cfg.retry.deadline.is_some_and(|d| now - start > d);
+            let give_up =
+                failed
+                    .iter()
+                    .find(|(_, e)| !e.is_retriable())
+                    .copied()
+                    .or(if budget_spent {
+                        failed.first().copied()
+                    } else {
+                        None
+                    });
+            if let Some((wr_id, error)) = give_up {
+                let mut in_flight = self.in_flight.borrow_mut();
+                for (id, _) in &failed {
+                    in_flight.remove(id);
+                }
+                return Err(FaultError {
+                    wr_id,
+                    error,
+                    attempts: rounds - 1,
+                });
+            }
+            // Heal before retrying: back off (§4.3 Equation 1), bring
+            // errored QPs back to ready-to-send, and wait out memory
+            // re-registration after a blade restart.
+            let delay = thread.conflict.backoff_delay(rounds - 1, &handle);
+            handle.with_tracer(|t| {
+                t.span(
+                    handle.now().as_nanos(),
+                    delay.as_nanos() as u64,
+                    self.actor,
+                    Category::Fault,
+                    "fault_retry",
+                    Args::two("wrs", failed.len() as u64, "round", rounds as u64),
+                );
+            });
+            handle.sleep(delay).await;
+            let needs_rereg = failed.iter().any(|(_, e)| *e == CqeError::MrRevoked);
+            let retry_wrs: Vec<WorkRequest> = {
+                let in_flight = self.in_flight.borrow();
+                failed
+                    .iter()
+                    .map(|(id, _)| in_flight.get(id).expect("failed wr retained").clone())
+                    .collect()
+            };
+            let mut reconnected: Vec<u32> = Vec::new();
+            for wr in &retry_wrs {
+                let blade = wr.op.target();
+                if reconnected.contains(&blade.0) {
+                    continue;
+                }
+                let qp = Rc::clone(thread.qp_to(blade));
+                if qp.is_errored() {
+                    handle.sleep(cfg.retry.reconnect_latency).await;
+                    qp.reestablish();
+                    handle.with_tracer(|t| {
+                        t.instant(
+                            handle.now().as_nanos(),
+                            self.actor,
+                            Category::Fault,
+                            "qp_reestablish",
+                            Args::two("blade", blade.0 as u64, "count", qp.reestablish_count()),
+                        );
+                    });
+                    reconnected.push(blade.0);
+                }
+            }
+            if needs_rereg {
+                handle.sleep(cfg.retry.reregister_latency).await;
+                handle.with_tracer(|t| {
+                    t.instant(
+                        handle.now().as_nanos(),
+                        self.actor,
+                        Category::Fault,
+                        "mr_rereg",
+                        Args::NONE,
+                    );
+                });
+            }
+            wait = self.ship(retry_wrs).await;
+        }
     }
 
     /// READ + `post_send` + `sync`, returning the data.
@@ -309,12 +511,55 @@ impl SmartCoro {
         self.roundtrip(id).await.atomic_old()
     }
 
+    /// Fallible [`Self::read_sync`]: surfaces unrecoverable faults as a
+    /// [`FaultError`] instead of panicking.
+    pub async fn try_read_sync(&self, addr: RemoteAddr, len: u32) -> Result<Vec<u8>, FaultError> {
+        let id = self.read(addr, len);
+        Ok(self.try_roundtrip(id).await?.read_data().to_vec())
+    }
+
+    /// Fallible [`Self::write_sync`].
+    pub async fn try_write_sync(&self, addr: RemoteAddr, data: Vec<u8>) -> Result<(), FaultError> {
+        let id = self.write(addr, data);
+        self.try_roundtrip(id).await?;
+        Ok(())
+    }
+
+    /// Fallible [`Self::cas_sync`], returning the old value.
+    pub async fn try_cas_sync(
+        &self,
+        addr: RemoteAddr,
+        expect: u64,
+        swap: u64,
+    ) -> Result<u64, FaultError> {
+        let id = self.cas(addr, expect, swap);
+        let old = self.try_roundtrip(id).await?.atomic_old();
+        self.probe_cell(addr, "cas_cell", smart_trace::SyncOp::Cas);
+        Ok(old)
+    }
+
+    /// Fallible [`Self::faa_sync`], returning the old value.
+    pub async fn try_faa_sync(&self, addr: RemoteAddr, add: u64) -> Result<u64, FaultError> {
+        let id = self.faa(addr, add);
+        Ok(self.try_roundtrip(id).await?.atomic_old())
+    }
+
     async fn roundtrip(&self, id: u64) -> Cqe {
+        self.try_roundtrip(id)
+            .await
+            .unwrap_or_else(|e| panic!("unrecoverable RDMA fault: {e}"))
+    }
+
+    /// `post_send` + `try_sync`, returning the completion of `id` (a
+    /// `wr_id` from one of the verb builders) or the fault the recovery
+    /// layer gave up on.
+    pub async fn try_roundtrip(&self, id: u64) -> Result<Cqe, FaultError> {
         self.post_send().await;
-        let cqes = self.sync().await;
-        cqes.into_iter()
+        let cqes = self.try_sync().await?;
+        Ok(cqes
+            .into_iter()
             .find(|c| c.wr_id == id)
-            .expect("posted wr must complete")
+            .expect("posted wr must complete"))
     }
 
     /// CAS with conflict avoidance (§4.3, §5.1): same semantics as
@@ -376,5 +621,96 @@ impl SmartCoro {
         self.thread
             .handle()
             .probe_sync(self.actor, name, op, addr.cell_id());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RetryPolicy, SmartConfig};
+    use crate::context::SmartContext;
+    use smart_rnic::{Cluster, ClusterConfig, FaultHook, InjectDecision, Qp};
+    use smart_rt::Simulation;
+
+    fn setup(cfg: SmartConfig) -> (Simulation, Cluster, Rc<SmartThread>) {
+        let sim = Simulation::new(11);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 1));
+        let ctx = SmartContext::new(cluster.compute(0), cluster.blades(), cfg);
+        let thread = ctx.create_thread();
+        (sim, cluster, thread)
+    }
+
+    #[test]
+    fn recovery_reestablishes_errored_qp_and_retries() {
+        let (mut sim, cluster, thread) = setup(SmartConfig::smart_full(1));
+        let blade = Rc::clone(cluster.blade(0));
+        let off = blade.alloc(8, 8);
+        let addr = RemoteAddr::new(blade.id(), off);
+        let qp = Rc::clone(thread.qp_to(blade.id()));
+        qp.force_error();
+        let coro = thread.coroutine();
+        let t = Rc::clone(&thread);
+        sim.block_on(async move {
+            coro.write_sync(addr, 77u64.to_le_bytes().to_vec()).await;
+        });
+        assert_eq!(blade.read_u64(off), 77, "write lands after recovery");
+        assert_eq!(qp.reestablish_count(), 1);
+        assert!(thread.stats().faults_seen.get() >= 1);
+        assert_eq!(thread.stats().faults_recovered.get(), 1);
+        assert!(thread.stats().recovery_ns.borrow().count() == 1);
+        assert!(t.throttle().conservation_violations().is_empty());
+    }
+
+    struct AlwaysFail(CqeError);
+    impl FaultHook for AlwaysFail {
+        fn on_wr(&self, _qp: &Qp, _wr: &WorkRequest) -> InjectDecision {
+            InjectDecision::Fail(self.0)
+        }
+    }
+
+    #[test]
+    fn permanent_error_surfaces_without_retry() {
+        let (mut sim, cluster, thread) = setup(SmartConfig::smart_full(1));
+        cluster
+            .compute(0)
+            .install_fault_hook(Rc::new(AlwaysFail(CqeError::RemoteAccess)));
+        let blade = cluster.blade(0);
+        let addr = RemoteAddr::new(blade.id(), blade.alloc(8, 8));
+        let coro = thread.coroutine();
+        let err = sim
+            .block_on(async move { coro.try_write_sync(addr, vec![0u8; 8]).await })
+            .expect_err("permanent error must surface");
+        assert_eq!(err.error, CqeError::RemoteAccess);
+        assert_eq!(err.attempts, 0, "permanent errors are not retried");
+        assert!(thread.throttle().conservation_violations().is_empty());
+    }
+
+    #[test]
+    fn retry_budget_bounds_transient_failures() {
+        let cfg = SmartConfig::smart_full(1).with_retry(RetryPolicy::default().with_max_retries(3));
+        let (mut sim, cluster, thread) = setup(cfg);
+        cluster
+            .compute(0)
+            .install_fault_hook(Rc::new(AlwaysFail(CqeError::Timeout)));
+        let blade = cluster.blade(0);
+        let addr = RemoteAddr::new(blade.id(), blade.alloc(8, 8));
+        let coro = thread.coroutine();
+        let err = sim
+            .block_on(async move { coro.try_read_sync(addr, 8).await })
+            .expect_err("budget exhaustion must surface");
+        assert_eq!(err.error, CqeError::Timeout);
+        assert_eq!(err.attempts, 3);
+        assert!(thread.throttle().conservation_violations().is_empty());
+    }
+
+    #[test]
+    fn fault_error_formats_for_humans() {
+        let e = FaultError {
+            wr_id: 42,
+            error: CqeError::RnrNak,
+            attempts: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("5"), "{s}");
     }
 }

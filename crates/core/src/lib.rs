@@ -61,10 +61,10 @@ pub mod stats;
 pub mod thread;
 pub mod throttle;
 
-pub use config::{QpPolicy, SmartConfig};
+pub use config::{QpPolicy, RetryPolicy, SmartConfig};
 pub use conflict::ConflictControl;
 pub use context::SmartContext;
-pub use coro::{OpGuard, SmartCoro};
+pub use coro::{FaultError, OpGuard, SmartCoro};
 pub use hub::CompletionHub;
 pub use microbench::{run_microbench, DynamicLoad, MicroOp, MicrobenchReport, MicrobenchSpec};
 pub use pool::QpPool;

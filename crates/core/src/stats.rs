@@ -1,6 +1,9 @@
 //! Per-thread operation statistics.
 
+use std::cell::RefCell;
+
 use smart_rt::metrics::Counter;
+use smart_trace::LogHistogram;
 
 /// Counters kept by each SMART thread.
 #[derive(Clone, Debug, Default)]
@@ -13,6 +16,16 @@ pub struct ThreadStats {
     pub cas_attempts: Counter,
     /// CAS operations that failed (lost the race).
     pub cas_failures: Counter,
+    /// Error completions observed (one per errored CQE, re-failures
+    /// of the same work request included).
+    pub faults_seen: Counter,
+    /// Work requests that failed at least once and later completed
+    /// successfully through the recovery path.
+    pub faults_recovered: Counter,
+    /// Per-recovered-request latency from first error completion to
+    /// eventual success, in nanoseconds (drives the recovery-latency CDF
+    /// in `fig_fault_recovery`).
+    pub recovery_ns: RefCell<LogHistogram>,
 }
 
 impl ThreadStats {
@@ -43,5 +56,15 @@ mod tests {
         s.cas_attempts.add(10);
         s.cas_failures.add(3);
         assert!((s.cas_failure_ratio() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_counters_start_zero() {
+        let s = ThreadStats::new();
+        assert_eq!(s.faults_seen.get(), 0);
+        assert_eq!(s.faults_recovered.get(), 0);
+        assert_eq!(s.recovery_ns.borrow().count(), 0);
+        s.recovery_ns.borrow_mut().record(1_500);
+        assert_eq!(s.recovery_ns.borrow().mean(), 1_500);
     }
 }

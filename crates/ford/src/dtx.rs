@@ -28,7 +28,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use smart::SmartCoro;
-use smart_rnic::{MemoryBlade, RemoteAddr};
+use smart_rnic::{CqeError, MemoryBlade, RemoteAddr};
 use smart_rt::metrics::Counter;
 
 /// Record header bytes (lock + version).
@@ -43,6 +43,9 @@ pub enum DtxError {
     ValidationFailed,
     /// A record was locked while fetching (dirty snapshot).
     FetchConflict,
+    /// An RDMA fault could not be recovered (permanent error or
+    /// exhausted retry budget); carries the final completion error.
+    Fault(CqeError),
 }
 
 impl std::fmt::Display for DtxError {
@@ -51,6 +54,7 @@ impl std::fmt::Display for DtxError {
             DtxError::LockConflict => write!(f, "write-set lock conflict"),
             DtxError::ValidationFailed => write!(f, "read-set validation failed"),
             DtxError::FetchConflict => write!(f, "record locked during fetch"),
+            DtxError::Fault(e) => write!(f, "unrecoverable RDMA fault: {e}"),
         }
     }
 }
@@ -331,7 +335,9 @@ impl<'a> Txn<'a> {
     ///
     /// # Errors
     ///
-    /// [`DtxError::FetchConflict`] if any record is currently locked.
+    /// [`DtxError::FetchConflict`] if any record is currently locked, or
+    /// [`DtxError::Fault`] if the READ batch hit an unrecoverable RDMA
+    /// fault (transient faults are retried transparently).
     pub async fn fetch(&mut self, ids: &[RecordId]) -> Result<Vec<Vec<u8>>, DtxError> {
         let mut wr_ids = Vec::with_capacity(ids.len());
         for &rid in ids {
@@ -340,7 +346,11 @@ impl<'a> Txn<'a> {
             wr_ids.push(self.coro.read(addr, table.record_bytes() as u32));
         }
         self.coro.post_send().await;
-        let cqes = self.coro.sync().await;
+        let cqes = self
+            .coro
+            .try_sync()
+            .await
+            .map_err(|e| DtxError::Fault(e.error))?;
         let mut out = Vec::with_capacity(ids.len());
         for (i, &rid) in ids.iter().enumerate() {
             let cqe = cqes

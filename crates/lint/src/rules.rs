@@ -1,4 +1,4 @@
-//! The eight lint rules.
+//! The nine lint rules.
 //!
 //! Every rule is a pure function from scrubbed sources to diagnostics;
 //! the driver in [`crate::run_lint`] handles file discovery, scrubbing
@@ -25,6 +25,7 @@ pub const SIM_CRATES: &[&str] = &[
     "sherman",
     "workloads",
     "check",
+    "fault",
 ];
 
 /// One lint finding.
@@ -323,6 +324,68 @@ pub fn rc_identity(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 );
                 break;
             }
+        }
+    }
+}
+
+/// The fallible verbs the recovery layer exposes: each returns a
+/// `Result` whose `Err` is a typed fault (`FaultError` or an app-level
+/// wrapper). Panicking on one throws away the recovery semantics the
+/// verb exists to provide.
+const FALLIBLE_VERBS: &[&str] = &[
+    "try_sync",
+    "try_read_sync",
+    "try_write_sync",
+    "try_cas_sync",
+    "try_faa_sync",
+    "try_roundtrip",
+    "try_get",
+];
+
+/// Rule 9 — `fallible-unhandled`: `.unwrap()` / `.expect(…)` on the
+/// result of a fallible `try_*` verb in sim code converts a typed,
+/// recoverable fault into a panic. Propagate with `?`, match on the
+/// error, or degrade deliberately with `unwrap_or_else` (which this
+/// rule never matches — a closure is an explicit decision).
+pub fn fallible_unhandled(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    // Chained calls routinely split across lines
+    // (`coro.try_sync()\n.await\n.unwrap()`), so matching is per
+    // statement: lines accumulate until one ends in `;`, `{` or `}`.
+    let mut verb: Option<&str> = None;
+    for (line, l) in file.condensed_lines() {
+        if verb.is_none() {
+            verb = FALLIBLE_VERBS
+                .iter()
+                .find(|v| has_ident(&l, v) && l.contains(&format!("{v}(")))
+                .copied();
+        }
+        if let Some(v) = verb {
+            let sink = if l.contains(".unwrap()") {
+                Some(".unwrap()")
+            } else if l.contains(".expect(") {
+                Some(".expect(…)")
+            } else {
+                None
+            };
+            if let Some(sink) = sink {
+                diag(
+                    file,
+                    line,
+                    "fallible-unhandled",
+                    format!(
+                        "`{sink}` on a `{v}` result panics on a recoverable fault; \
+                         propagate with `?` or handle with unwrap_or_else"
+                    ),
+                    out,
+                );
+                verb = None;
+            }
+        }
+        if l.ends_with(';') || l.ends_with('{') || l.ends_with('}') {
+            verb = None;
         }
     }
 }
@@ -722,6 +785,42 @@ async fn f(sem: &Semaphore) {
             &mut out,
         );
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fallible_unhandled_flags_same_line_and_chained() {
+        let mut out = Vec::new();
+        fallible_unhandled(
+            &sim_file("let cqes = coro.try_sync().await.unwrap();"),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(out[0].message.contains("try_sync"));
+
+        out.clear();
+        let chained = "\
+let v = table
+    .try_get(&coro, key)
+    .await
+    .expect(\"lookup\");
+";
+        fallible_unhandled(&sim_file(chained), &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].message.contains("try_get"));
+    }
+
+    #[test]
+    fn fallible_unhandled_spares_handled_results() {
+        let mut out = Vec::new();
+        let src = "\
+let cqes = coro.try_sync().await?;
+let v = coro.try_read_sync(addr, 8).await.unwrap_or_else(|e| panic!(\"{e}\"));
+let w = unrelated.unwrap();
+coro.try_cas_sync(a, 0, 1).await.unwrap(); // planted seed. lint:allow(fallible-unhandled)
+";
+        fallible_unhandled(&sim_file(src), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
     }
 
     #[test]

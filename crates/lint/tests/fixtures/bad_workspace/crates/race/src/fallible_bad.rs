@@ -1,0 +1,11 @@
+//! Fixture: typed fault results panicked away instead of handled.
+
+pub async fn naughty_lookup(table: &RaceHashTable, coro: &SmartCoro, key: &[u8]) -> Vec<u8> {
+    let cqes = coro.try_sync().await.unwrap();
+    let _ = cqes;
+    table
+        .try_get(coro, key)
+        .await
+        .expect("lookup")
+        .expect("present")
+}

@@ -1,0 +1,15 @@
+//! Fixture: fallible verbs handled the sanctioned ways — `?`, an
+//! explicit closure, or a justified pragma — in a `fault`-crate path
+//! (also proving the fault crate is covered by the sim rules).
+
+pub async fn handled(table: &RaceHashTable, coro: &SmartCoro, key: &[u8]) -> Result<(), FaultError> {
+    let _cqes = coro.try_sync().await?;
+    let _v = table
+        .try_get(coro, key)
+        .await
+        .unwrap_or_else(|e| panic!("{e}"));
+    // Planted seed for a chaos test: this path is unreachable when the
+    // plan heals. lint:allow(fallible-unhandled)
+    let _w = coro.try_read_sync(0, 8).await.unwrap();
+    Ok(())
+}

@@ -24,6 +24,7 @@ fn bad_workspace_trips_every_rule() {
         "unseeded-rng",
         "await-holding-guard",
         "rc-identity",
+        "fallible-unhandled",
         "calibration-drift",
         "bench-index-drift",
     ] {
@@ -59,6 +60,9 @@ fn bad_workspace_diagnostics_point_at_the_right_files() {
         .iter()
         .all(|p| p.ends_with("guard_bad.rs")));
     assert!(at("rc-identity").iter().all(|p| p.ends_with("rc_bad.rs")));
+    assert!(at("fallible-unhandled")
+        .iter()
+        .all(|p| p.ends_with("fallible_bad.rs")));
     assert!(at("bench-index-drift").iter().all(|p| p == "DESIGN.md"));
 }
 

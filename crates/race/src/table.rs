@@ -26,7 +26,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use smart::SmartCoro;
-use smart_rnic::{MemoryBlade, RemoteAddr};
+use smart_rnic::{CqeError, MemoryBlade, RemoteAddr};
 use smart_rt::trace::SyncOp;
 
 use crate::layout::{
@@ -68,6 +68,9 @@ pub enum RaceError {
     Contention,
     /// The table cannot grow further (blade memory exhausted).
     Full,
+    /// An RDMA fault could not be recovered (permanent error or
+    /// exhausted retry budget); carries the final completion error.
+    Fault(CqeError),
 }
 
 impl std::fmt::Display for RaceError {
@@ -76,6 +79,7 @@ impl std::fmt::Display for RaceError {
             RaceError::NotFound => write!(f, "key not found"),
             RaceError::Contention => write!(f, "operation exceeded retry limit"),
             RaceError::Full => write!(f, "hash table is full"),
+            RaceError::Fault(e) => write!(f, "unrecoverable RDMA fault: {e}"),
         }
     }
 }
@@ -396,10 +400,25 @@ impl RaceHashTable {
         b1: usize,
         b2: usize,
     ) -> ([Slot; SLOTS_PER_BUCKET], [Slot; SLOTS_PER_BUCKET]) {
+        self.try_read_buckets(coro, st, b1, b2)
+            .await
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    async fn try_read_buckets(
+        &self,
+        coro: &SmartCoro,
+        st: &Subtable,
+        b1: usize,
+        b2: usize,
+    ) -> Result<([Slot; SLOTS_PER_BUCKET], [Slot; SLOTS_PER_BUCKET]), RaceError> {
         let id1 = coro.read(self.bucket_addr(st, b1), BUCKET_BYTES as u32);
         let id2 = coro.read(self.bucket_addr(st, b2), BUCKET_BYTES as u32);
         coro.post_send().await;
-        let cqes = coro.sync().await;
+        let cqes = coro
+            .try_sync()
+            .await
+            .map_err(|e| RaceError::Fault(e.error))?;
         let mut s1 = [Slot::EMPTY; SLOTS_PER_BUCKET];
         let mut s2 = [Slot::EMPTY; SLOTS_PER_BUCKET];
         for cqe in cqes {
@@ -409,7 +428,7 @@ impl RaceHashTable {
                 s2 = decode_bucket(cqe.read_data());
             }
         }
-        (s1, s2)
+        Ok((s1, s2))
     }
 
     /// Finds `key`'s slot among the candidate buckets, verifying the key
@@ -423,26 +442,41 @@ impl RaceHashTable {
         b1: usize,
         b2: usize,
     ) -> Option<(usize, usize, Slot, Vec<u8>)> {
-        let (s1, s2) = self.read_buckets(coro, st, b1, b2).await;
+        self.try_find_slot(coro, st, kh, key, b1, b2)
+            .await
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    async fn try_find_slot(
+        &self,
+        coro: &SmartCoro,
+        st: &Subtable,
+        kh: &KeyHash,
+        key: &[u8],
+        b1: usize,
+        b2: usize,
+    ) -> Result<Option<(usize, usize, Slot, Vec<u8>)>, RaceError> {
+        let (s1, s2) = self.try_read_buckets(coro, st, b1, b2).await?;
         for (b, slots) in [(b1, s1), (b2, s2)] {
             for (i, slot) in slots.iter().enumerate() {
                 if !slot.is_empty() && slot.fp() == kh.fp {
                     let data = coro
-                        .read_sync(self.block_addr(st, *slot), slot.block_bytes() as u32)
-                        .await;
+                        .try_read_sync(self.block_addr(st, *slot), slot.block_bytes() as u32)
+                        .await
+                        .map_err(|e| RaceError::Fault(e.error))?;
                     if let Some((k, v)) = decode_block(&data) {
                         if k == key {
                             // The caller will CAS against this observed
                             // slot value: record the read that opens the
                             // read-modify-write for `smart-check`.
                             coro.probe_cell(self.slot_addr(st, b, i), "race_slot", SyncOp::Read);
-                            return Some((b, i, *slot, v.to_vec()));
+                            return Ok(Some((b, i, *slot, v.to_vec())));
                         }
                     }
                 }
             }
         }
-        None
+        Ok(None)
     }
 
     /// Looks up `key` (the paper's three-READ path).
@@ -464,12 +498,26 @@ impl RaceHashTable {
     /// assert_eq!(got.as_deref(), Some(b"v".as_slice()));
     /// ```
     pub async fn get(&self, coro: &SmartCoro, key: &[u8]) -> Option<Vec<u8>> {
+        self.try_get(coro, key)
+            .await
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible lookup: like [`get`](Self::get), but surfaces an
+    /// unrecoverable RDMA fault as [`RaceError::Fault`] instead of
+    /// panicking. Transient faults are retried transparently by the
+    /// coroutine's [`RetryPolicy`](smart::RetryPolicy).
+    pub async fn try_get(
+        &self,
+        coro: &SmartCoro,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>, RaceError> {
         let _op = coro.op_scope_named("ht_get").await;
         let kh = hash_key(key);
         let (st, b1, b2) = self.locate(&kh);
-        let found = self.find_slot(coro, &st, &kh, key, b1, b2).await;
+        let found = self.try_find_slot(coro, &st, &kh, key, b1, b2).await?;
         self.stats.lookups.incr();
-        found.map(|(_, _, _, v)| v)
+        Ok(found.map(|(_, _, _, v)| v))
     }
 
     /// Writes a fresh block for (`key`, `value`) over RDMA and returns

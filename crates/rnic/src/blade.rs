@@ -32,6 +32,8 @@ pub struct MemoryBlade {
     pub(crate) egress: Bandwidth,
     pub(crate) nvm_write_latency: Duration,
     ops: Counter,
+    crashed: Cell<bool>,
+    epoch: Cell<u64>,
 }
 
 impl std::fmt::Debug for MemoryBlade {
@@ -66,6 +68,8 @@ impl MemoryBlade {
             handle,
             nvm_write_latency: blade_cfg.nvm_write_latency,
             ops: Counter::new(),
+            crashed: Cell::new(false),
+            epoch: Cell::new(0),
         })
     }
 
@@ -96,6 +100,36 @@ impl MemoryBlade {
 
     pub(crate) fn count_op(&self) {
         self.ops.incr();
+    }
+
+    /// Whether the blade is currently down (fault injection). While
+    /// crashed, one-sided operations targeting it surface as
+    /// [`CqeError::Timeout`](crate::CqeError::Timeout) completions and RPC
+    /// calls stall until restart.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.get()
+    }
+
+    /// Takes the blade down (fault injection). Memory contents are
+    /// preserved — the model is a power-fenced or battery-backed blade,
+    /// so applications recover *state* for free but must survive the
+    /// outage window.
+    pub fn crash(&self) {
+        self.crashed.set(true);
+    }
+
+    /// Brings the blade back up, bumping its registration epoch: memory
+    /// regions registered before the crash are stale, and requesters see
+    /// one [`CqeError::MrRevoked`](crate::CqeError::MrRevoked) completion
+    /// per QP before their re-registered handles work again.
+    pub fn restart(&self) {
+        self.crashed.set(false);
+        self.epoch.set(self.epoch.get() + 1);
+    }
+
+    /// The blade's registration epoch (number of restarts survived).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
     }
 
     /// Bump-allocates `len` bytes aligned to `align` and returns the

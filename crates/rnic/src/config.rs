@@ -90,6 +90,14 @@ pub struct RnicConfig {
     /// bandwidth queues (their serialization delay is negligible); traffic
     /// counters still account for them.
     pub small_payload_cutoff: u64,
+
+    /// Time before a lost/unanswered request surfaces as a timeout error
+    /// completion (the RC transport's retransmit-exhausted window,
+    /// compressed to keep simulations fast).
+    pub fault_timeout: Duration,
+    /// Delay before an RNR-NAK-style transient rejection surfaces as an
+    /// error completion (the receiver-not-ready retry timer).
+    pub rnr_delay: Duration,
 }
 
 impl Default for RnicConfig {
@@ -127,6 +135,9 @@ impl Default for RnicConfig {
 
             pcie_bytes_per_sec: 16_000_000_000,
             small_payload_cutoff: 128,
+
+            fault_timeout: Duration::from_micros(12),
+            rnr_delay: Duration::from_micros(3),
         }
     }
 }

@@ -89,14 +89,18 @@ impl DeviceContext {
         let index = self.next_qp.get();
         self.next_qp.set(index + 1);
         let doorbell = self.doorbells.assign(binding);
-        Qp::new(
+        let qp = Qp::new(
             Rc::clone(self),
             index,
             Rc::clone(target),
             Rc::clone(cq),
             doorbell,
             shared,
-        )
+        );
+        if let Some(hook) = self.node.fault_hook() {
+            hook.on_qp_created(&qp);
+        }
+        qp
     }
 
     /// Number of QPs created in this context.

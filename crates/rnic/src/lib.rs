@@ -63,6 +63,7 @@ pub mod cluster;
 pub mod config;
 pub mod device;
 pub mod doorbell;
+pub mod inject;
 pub mod lru;
 pub mod node;
 pub mod qp;
@@ -75,7 +76,8 @@ pub use cluster::Cluster;
 pub use config::{BladeConfig, ClusterConfig, FabricConfig, RnicConfig};
 pub use device::DeviceContext;
 pub use doorbell::{Doorbell, DoorbellBinding, DoorbellKind};
+pub use inject::{FaultHook, InjectDecision};
 pub use node::{ComputeNode, NodeCounters};
 pub use qp::{Cq, Qp};
 pub use rpc::{rpc_call, RpcHandler, RpcService};
-pub use types::{BladeId, Cqe, NodeId, OneSidedOp, OpResult, RemoteAddr, WorkRequest};
+pub use types::{BladeId, Cqe, CqeError, NodeId, OneSidedOp, OpResult, RemoteAddr, WorkRequest};

@@ -10,6 +10,7 @@ use smart_rt::SimHandle;
 
 use crate::config::{FabricConfig, RnicConfig};
 use crate::device::DeviceContext;
+use crate::inject::FaultHook;
 use crate::lru::LruCache;
 use crate::types::NodeId;
 
@@ -29,8 +30,12 @@ pub struct ComputeNode {
     pub(crate) dram_bytes: Counter,
     /// Completed one-sided operations.
     pub(crate) ops_completed: Counter,
+    /// Work requests completed with an error status (injected faults).
+    pub(crate) ops_errored: Counter,
     /// Work requests posted but not yet completed, node-wide.
     pub(crate) outstanding: Cell<u64>,
+    /// Installed fault-injection hook, if any.
+    pub(crate) fault_hook: RefCell<Option<Rc<dyn FaultHook>>>,
     /// WQE-cache hit/miss statistics.
     pub(crate) wqe_stats: HitStats,
     /// MTT/MPT translation cache, keyed by (context id, page index).
@@ -68,6 +73,8 @@ pub struct NodeCounters {
     pub mtt_misses: u64,
     /// Currently outstanding work requests.
     pub outstanding: u64,
+    /// Work requests completed with an error status (injected faults).
+    pub ops_errored: u64,
 }
 
 impl NodeCounters {
@@ -96,7 +103,9 @@ impl ComputeNode {
             fabric,
             dram_bytes: Counter::new(),
             ops_completed: Counter::new(),
+            ops_errored: Counter::new(),
             outstanding: Cell::new(0),
+            fault_hook: RefCell::new(None),
             wqe_stats: HitStats::new(),
             mtt,
             mtt_stats: HitStats::new(),
@@ -172,7 +181,21 @@ impl ComputeNode {
             mtt_hits: self.mtt_stats.hits.get(),
             mtt_misses: self.mtt_stats.misses.get(),
             outstanding: self.outstanding.get(),
+            ops_errored: self.ops_errored.get(),
         }
+    }
+
+    /// Installs a fault-injection hook on this node; subsequent work
+    /// requests consult it at the pre-execution checkpoint and newly
+    /// created QPs are announced to it. Install the hook before opening
+    /// contexts so it sees every QP.
+    pub fn install_fault_hook(&self, hook: Rc<dyn FaultHook>) {
+        *self.fault_hook.borrow_mut() = Some(hook);
+    }
+
+    /// The installed fault hook, if any.
+    pub fn fault_hook(&self) -> Option<Rc<dyn FaultHook>> {
+        self.fault_hook.borrow().clone()
     }
 
     /// Decides whether a completing work request hits the on-chip WQE

@@ -99,6 +99,8 @@ pub struct Qp {
     shared: bool,
     outstanding: Cell<u32>,
     posted: Cell<u64>,
+    errored: Cell<bool>,
+    reestablished: Cell<u64>,
     probe: u64,
 }
 
@@ -140,6 +142,8 @@ impl Qp {
             shared,
             outstanding: Cell::new(0),
             posted: Cell::new(0),
+            errored: Cell::new(false),
+            reestablished: Cell::new(0),
             probe,
         })
     }
@@ -181,6 +185,34 @@ impl Qp {
 
     pub(crate) fn complete_one(&self) {
         self.outstanding.set(self.outstanding.get() - 1);
+    }
+
+    /// Whether this QP is in the error state. While errored, every
+    /// outstanding or newly posted work request completes with
+    /// [`CqeError::FlushErr`](crate::CqeError::FlushErr) instead of
+    /// executing.
+    pub fn is_errored(&self) -> bool {
+        self.errored.get()
+    }
+
+    /// Forces the QP into the error state (fault injection). In-flight
+    /// work requests that have not yet reached the responder flush as
+    /// error completions; new posts flush immediately.
+    pub fn force_error(&self) {
+        self.errored.set(true);
+    }
+
+    /// Tears the QP back to ready-to-send after an error transition
+    /// (`modify_qp` through RESET → INIT → RTR → RTS). The caller models
+    /// the reconnection latency; this just flips the state and counts.
+    pub fn reestablish(&self) {
+        self.errored.set(false);
+        self.reestablished.set(self.reestablished.get() + 1);
+    }
+
+    /// How many times this QP has been re-established after an error.
+    pub fn reestablish_count(&self) -> u64 {
+        self.reestablished.get()
     }
 
     /// Serializes a post of `n` WQEs on the QP lock (the RPC path reuses

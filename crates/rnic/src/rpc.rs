@@ -150,7 +150,12 @@ pub async fn rpc_call(
     handle.sleep(fabric_latency).await;
     service.blade.responder.use_for(cfg.responder_service).await;
 
-    // Blade CPU: the RPC bottleneck.
+    // Blade CPU: the RPC bottleneck. A crashed blade never answers; the
+    // client burns retransmit timeouts until the blade restarts (SEND is
+    // reliable-connected, so the request is redelivered, not lost).
+    while service.blade.is_crashed() {
+        handle.sleep(cfg.fault_timeout).await;
+    }
     let response = service.execute(&request).await;
 
     // Response leg (a SEND from the blade).

@@ -143,6 +143,71 @@ pub struct WorkRequest {
     pub op: OneSidedOp,
 }
 
+/// Error status of a failed completion entry — the subset of
+/// `ibv_wc_status` codes the fault model produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CqeError {
+    /// The QP transitioned to the error state and flushed this work
+    /// request before it executed (`IBV_WC_WR_FLUSH_ERR`). Retriable after
+    /// the QP is re-established.
+    FlushErr,
+    /// Receiver-not-ready rejection after the RNR retry count was
+    /// exhausted (`IBV_WC_RNR_RETRY_EXC_ERR`). Transient; retriable.
+    RnrNak,
+    /// The request (or its ACK) was lost and the transport's retransmit
+    /// budget ran out (`IBV_WC_RETRY_EXC_ERR`) — packet loss or an
+    /// unreachable blade. Retriable.
+    Timeout,
+    /// The target blade restarted and this QP's cached memory-region
+    /// handle is stale. Retriable after re-registration.
+    MrRevoked,
+    /// Remote access violation — bad rkey or protection fault
+    /// (`IBV_WC_REM_ACCESS_ERR`). Not retriable.
+    RemoteAccess,
+    /// Malformed request length (`IBV_WC_LOC_LEN_ERR`). Not retriable.
+    Length,
+}
+
+impl CqeError {
+    /// Whether a recovery layer may repost the failed work request.
+    /// Flush/RNR/timeout/stale-MR errors are transient fabric or endpoint
+    /// conditions; access and length errors indicate a protocol bug and
+    /// must propagate to the application.
+    pub fn is_retriable(self) -> bool {
+        !matches!(self, CqeError::RemoteAccess | CqeError::Length)
+    }
+
+    /// Stable lowercase label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CqeError::FlushErr => "flush_err",
+            CqeError::RnrNak => "rnr_nak",
+            CqeError::Timeout => "timeout",
+            CqeError::MrRevoked => "mr_revoked",
+            CqeError::RemoteAccess => "remote_access",
+            CqeError::Length => "length",
+        }
+    }
+
+    /// Stable wire code carried in trace event args.
+    pub fn code(self) -> u64 {
+        match self {
+            CqeError::FlushErr => 1,
+            CqeError::RnrNak => 2,
+            CqeError::Timeout => 3,
+            CqeError::MrRevoked => 4,
+            CqeError::RemoteAccess => 5,
+            CqeError::Length => 6,
+        }
+    }
+}
+
+impl fmt::Display for CqeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Result payload inside a completion entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum OpResult {
@@ -152,6 +217,8 @@ pub enum OpResult {
     Write,
     /// Old value returned by CAS/FAA.
     Atomic(u64),
+    /// The work request failed; it did **not** execute at the blade.
+    Error(CqeError),
 }
 
 /// A completion-queue entry.
@@ -164,6 +231,19 @@ pub struct Cqe {
 }
 
 impl Cqe {
+    /// The error status, if this completion failed.
+    pub fn error(&self) -> Option<CqeError> {
+        match self.result {
+            OpResult::Error(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Whether this completion carries an error status.
+    pub fn is_error(&self) -> bool {
+        matches!(self.result, OpResult::Error(_))
+    }
+
     /// The READ payload.
     ///
     /// # Panics
@@ -240,6 +320,33 @@ mod tests {
             result: OpResult::Read(vec![1, 2]),
         };
         assert_eq!(r.read_data(), &[1, 2]);
+    }
+
+    #[test]
+    fn error_retriability_classification() {
+        for e in [
+            CqeError::FlushErr,
+            CqeError::RnrNak,
+            CqeError::Timeout,
+            CqeError::MrRevoked,
+        ] {
+            assert!(e.is_retriable(), "{e} should be retriable");
+        }
+        for e in [CqeError::RemoteAccess, CqeError::Length] {
+            assert!(!e.is_retriable(), "{e} must not be retriable");
+        }
+        let c = Cqe {
+            wr_id: 3,
+            result: OpResult::Error(CqeError::Timeout),
+        };
+        assert!(c.is_error());
+        assert_eq!(c.error(), Some(CqeError::Timeout));
+        let ok = Cqe {
+            wr_id: 4,
+            result: OpResult::Write,
+        };
+        assert!(!ok.is_error());
+        assert_eq!(ok.error(), None);
     }
 
     #[test]

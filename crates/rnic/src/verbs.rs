@@ -19,14 +19,67 @@
 //! and link visits become `pipeline`/`fabric` spans attributed to the
 //! posting actor, cache misses become `cache` instants, and CQE delivery
 //! becomes an instant — none of which alters the timing model.
+//!
+//! **Fault checkpoints.** The lifecycle consults fault state at exactly
+//! two points, both *before the responder executes* (stage 3), so a
+//! failed work request never partially executes and a recovery layer may
+//! repost it with exactly-once semantics: on entry it checks the QP error
+//! state and the installed [`FaultHook`](crate::FaultHook) (if any), and
+//! just before stage 3 it re-checks the QP error state and the blade's
+//! crash state. Every injected failure funnels through
+//! [`complete_error`], which mirrors the success path's completion
+//! accounting exactly once — CQE DRAM traffic, node/QP outstanding
+//! decrements and the CQ push — so credit conservation holds under any
+//! fault plan.
 
 use std::rc::Rc;
 use std::time::Duration;
 
 use smart_trace::{Actor, Args, Category};
 
+use crate::config::RnicConfig;
+use crate::inject::InjectDecision;
+use crate::node::ComputeNode;
 use crate::qp::Qp;
-use crate::types::{Cqe, OneSidedOp, OpResult, WorkRequest};
+use crate::types::{Cqe, CqeError, OneSidedOp, OpResult, WorkRequest};
+
+/// Delivers an error completion for `wr_id`, mirroring the success path's
+/// accounting exactly once: CQE DRAM bytes, node outstanding decrement,
+/// errored-op counter, QP outstanding decrement, trace instant, CQ push.
+fn complete_error(node: &ComputeNode, qp: &Qp, wr_id: u64, err: CqeError, actor: Actor) {
+    let handle = &node.handle;
+    node.dram_bytes.add(node.cfg.cqe_bytes);
+    node.outstanding.set(node.outstanding.get() - 1);
+    node.ops_errored.incr();
+    qp.complete_one();
+    handle.with_tracer(|t| {
+        t.instant(
+            handle.now().as_nanos(),
+            actor,
+            Category::Fault,
+            "cqe_err",
+            Args::two("wr_id", wr_id, "status", err.code()),
+        );
+    });
+    qp.cq().push(Cqe {
+        wr_id,
+        result: OpResult::Error(err),
+    });
+}
+
+/// How long a failing work request takes to surface its error completion.
+fn error_delay(cfg: &RnicConfig, one_way: Duration, err: CqeError) -> Duration {
+    match err {
+        // Flushes are local: the RNIC walks the send queue.
+        CqeError::FlushErr => cfg.base_service,
+        // RNR NAKs exhaust the receiver-not-ready retry timer.
+        CqeError::RnrNak => cfg.rnr_delay,
+        // Lost packets burn the whole retransmit budget.
+        CqeError::Timeout => cfg.fault_timeout,
+        // NAK-carrying responses still make the roundtrip.
+        CqeError::MrRevoked | CqeError::RemoteAccess | CqeError::Length => one_way * 2,
+    }
+}
 
 pub(crate) async fn lifecycle(qp: Rc<Qp>, wr: WorkRequest, actor: Actor) {
     let ctx = Rc::clone(qp.context());
@@ -38,6 +91,42 @@ pub(crate) async fn lifecycle(qp: Rc<Qp>, wr: WorkRequest, actor: Actor) {
     let header = node.fabric.header_bytes;
 
     node.outstanding.set(node.outstanding.get() + 1);
+
+    // --- 0. fault checkpoints (pre-execution) ----------------------------
+    // A post on an errored QP flushes without touching the pipeline.
+    if qp.is_errored() {
+        handle
+            .sleep(error_delay(&cfg, one_way, CqeError::FlushErr))
+            .await;
+        complete_error(&node, &qp, wr.wr_id, CqeError::FlushErr, actor);
+        return;
+    }
+    // The installed chaos hook (if any) rules on this work request.
+    let decision = match node.fault_hook() {
+        Some(hook) => hook.on_wr(&qp, &wr),
+        None => InjectDecision::Deliver,
+    };
+    match decision {
+        InjectDecision::Deliver => {}
+        InjectDecision::Delay(extra) => {
+            handle.with_tracer(|t| {
+                t.span(
+                    handle.now().as_nanos(),
+                    extra.as_nanos() as u64,
+                    actor,
+                    Category::Fault,
+                    "latency_spike",
+                    Args::one("wr_id", wr.wr_id),
+                );
+            });
+            handle.sleep(extra).await;
+        }
+        InjectDecision::Fail(err) => {
+            handle.sleep(error_delay(&cfg, one_way, err)).await;
+            complete_error(&node, &qp, wr.wr_id, err, actor);
+            return;
+        }
+    }
 
     // --- 1. requester pipeline -------------------------------------------
     node.dram_bytes.add(cfg.wqe_fetch_bytes);
@@ -93,6 +182,25 @@ pub(crate) async fn lifecycle(qp: Rc<Qp>, wr: WorkRequest, actor: Actor) {
         );
     });
     handle.sleep(flight).await;
+
+    // A QP error transition while this request was in flight flushes it
+    // before execution; a crashed blade never answers, so the request
+    // burns the retransmit budget and surfaces as a timeout. Both checks
+    // sit before stage 3: the failed request did not execute.
+    if qp.is_errored() {
+        handle
+            .sleep(error_delay(&cfg, one_way, CqeError::FlushErr))
+            .await;
+        complete_error(&node, &qp, wr.wr_id, CqeError::FlushErr, actor);
+        return;
+    }
+    if blade.is_crashed() {
+        handle
+            .sleep(error_delay(&cfg, one_way, CqeError::Timeout))
+            .await;
+        complete_error(&node, &qp, wr.wr_id, CqeError::Timeout, actor);
+        return;
+    }
 
     // --- 3. responder -----------------------------------------------------
     blade

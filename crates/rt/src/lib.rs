@@ -44,10 +44,12 @@ pub mod metrics;
 pub mod rng;
 pub mod sync;
 mod time;
+mod timeout;
 
 pub use executor::{SchedulePolicy, SimHandle, Simulation};
 pub use join::JoinHandle;
 pub use time::SimTime;
+pub use timeout::{with_timeout, TimedOut};
 
 /// Re-export of the tracing subsystem so runtime users can install a
 /// [`trace::TraceSink`] (see [`SimHandle::install_tracer`]) without naming

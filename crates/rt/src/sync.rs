@@ -33,7 +33,8 @@ use crate::time::SimTime;
 #[derive(Default)]
 struct NotifyInner {
     permit: Cell<bool>,
-    waiters: RefCell<VecDeque<Waker>>,
+    next_key: Cell<u64>,
+    waiters: RefCell<VecDeque<(u64, Waker)>>,
 }
 
 /// Wakes one or all waiting tasks; a `notify_one` with no waiter stores a
@@ -76,15 +77,15 @@ impl Notify {
     pub fn notify_one(&self) {
         let waker = self.inner.waiters.borrow_mut().pop_front();
         match waker {
-            Some(w) => w.wake(),
+            Some((_, w)) => w.wake(),
             None => self.inner.permit.set(true),
         }
     }
 
     /// Wakes every current waiter (stores no permit).
     pub fn notify_all(&self) {
-        let waiters: Vec<Waker> = self.inner.waiters.borrow_mut().drain(..).collect();
-        for w in waiters {
+        let waiters: Vec<(u64, Waker)> = self.inner.waiters.borrow_mut().drain(..).collect();
+        for (_, w) in waiters {
             w.wake();
         }
     }
@@ -93,38 +94,75 @@ impl Notify {
     pub fn notified(&self) -> Notified {
         Notified {
             notify: self.clone(),
-            registered: false,
+            key: None,
         }
     }
 }
 
 /// Future returned by [`Notify::notified`].
+///
+/// Each waiter is queued under a unique key, so a poll that was *not*
+/// caused by `notify_one`/`notify_all` (a select/timeout combinator
+/// re-polling its branches) finds its entry still queued and stays
+/// `Pending`; only a real notification — which removes the entry —
+/// resolves it. Dropping a registered `Notified` (the losing branch of
+/// a timeout) deregisters, so its notification is never swallowed.
 #[derive(Debug)]
 pub struct Notified {
     notify: Notify,
-    registered: bool,
+    key: Option<u64>,
 }
 
 impl Future for Notified {
     type Output = ();
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.notify.inner.permit.replace(false) {
+            if let Some(key) = self.key.take() {
+                self.notify
+                    .inner
+                    .waiters
+                    .borrow_mut()
+                    .retain(|(k, _)| *k != key);
+            }
             return Poll::Ready(());
         }
-        if self.registered {
-            // We were woken by notify_one/notify_all (our waker was removed
-            // from the queue), or this is a spurious poll. Distinguish by
-            // re-registering: a real wakeup means our waker is gone.
-            // Simplicity: treat any wake after registration as the signal.
-            return Poll::Ready(());
+        if let Some(key) = self.key {
+            let mut waiters = self.notify.inner.waiters.borrow_mut();
+            match waiters.iter_mut().find(|(k, _)| *k == key) {
+                // Spurious poll: still queued — refresh the waker.
+                Some((_, w)) => {
+                    w.clone_from(cx.waker());
+                    return Poll::Pending;
+                }
+                // Our entry was removed by a notify: that is the signal.
+                None => {
+                    drop(waiters);
+                    self.key = None;
+                    return Poll::Ready(());
+                }
+            }
         }
-        self.notify
-            .inner
+        let inner = &self.notify.inner;
+        let key = inner.next_key.get();
+        inner.next_key.set(key + 1);
+        inner
             .waiters
             .borrow_mut()
-            .push_back(cx.waker().clone());
-        self.registered = true;
+            .push_back((key, cx.waker().clone()));
+        self.key = Some(key);
         Poll::Pending
+    }
+}
+
+impl Drop for Notified {
+    fn drop(&mut self) {
+        if let Some(key) = self.key {
+            self.notify
+                .inner
+                .waiters
+                .borrow_mut()
+                .retain(|(k, _)| *k != key);
+        }
     }
 }
 

@@ -1,0 +1,141 @@
+//! Virtual-time timeouts: race a future against the simulation clock.
+//!
+//! Recovery layers need a way to bound how long they wait for a
+//! completion that may never arrive (a crashed blade, a QP stuck in the
+//! error state). [`with_timeout`] wraps any future with a deadline on the
+//! *simulated* clock — fully deterministic, like every other timer.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+use crate::executor::SimHandle;
+
+/// Error returned by [`with_timeout`] when the deadline fires first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedOut {
+    /// The timeout that elapsed.
+    pub after: Duration,
+}
+
+impl std::fmt::Display for TimedOut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "timed out after {:?} of virtual time", self.after)
+    }
+}
+
+impl std::error::Error for TimedOut {}
+
+struct Timeout<F: Future> {
+    fut: Pin<Box<F>>,
+    timer: Pin<Box<dyn Future<Output = ()>>>,
+    after: Duration,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, TimedOut>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // The wrapped future wins ties with the deadline.
+        if let Poll::Ready(out) = self.fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(out));
+        }
+        let after = self.after;
+        if self.timer.as_mut().poll(cx).is_ready() {
+            return Poll::Ready(Err(TimedOut { after }));
+        }
+        Poll::Pending
+    }
+}
+
+/// Runs `fut` with a deadline `after` of virtual time from now; returns
+/// `Err(TimedOut)` if the deadline elapses before the future resolves.
+/// When both are ready at the same instant, the future wins.
+///
+/// ```rust
+/// use smart_rt::{with_timeout, Duration, Simulation};
+///
+/// let mut sim = Simulation::new(1);
+/// let h = sim.handle();
+/// let out = sim.block_on(async move {
+///     let quick = with_timeout(&h, Duration::from_micros(5), h.sleep(Duration::from_micros(1)));
+///     assert!(quick.await.is_ok());
+///     with_timeout(&h, Duration::from_micros(5), h.sleep(Duration::from_millis(1))).await
+/// });
+/// assert!(out.is_err());
+/// ```
+pub fn with_timeout<F: Future>(
+    handle: &SimHandle,
+    after: Duration,
+    fut: F,
+) -> impl Future<Output = Result<F::Output, TimedOut>> {
+    let sleep = handle.sleep(after);
+    Timeout {
+        fut: Box::pin(fut),
+        timer: Box::pin(sleep),
+        after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Simulation;
+    use crate::sync::Notify;
+    use std::rc::Rc;
+
+    #[test]
+    fn completes_before_deadline() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let h2 = h.clone();
+        let h3 = h.clone();
+        let out = sim.block_on(async move {
+            with_timeout(&h2, Duration::from_micros(10), async move {
+                h3.sleep(Duration::from_micros(3)).await;
+                7u32
+            })
+            .await
+        });
+        assert_eq!(out, Ok(7));
+        assert_eq!(sim.handle().now().as_nanos(), 3_000);
+    }
+
+    #[test]
+    fn deadline_fires_on_stuck_future() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let gate = Rc::new(Notify::new());
+        let gate2 = Rc::clone(&gate);
+        let out = sim.block_on(async move {
+            with_timeout(&h, Duration::from_micros(2), async move {
+                gate2.notified().await; // never signalled
+            })
+            .await
+        });
+        assert_eq!(
+            out,
+            Err(TimedOut {
+                after: Duration::from_micros(2)
+            })
+        );
+        assert_eq!(sim.handle().now().as_nanos(), 2_000);
+    }
+
+    #[test]
+    fn future_wins_exact_tie() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let h2 = h.clone();
+        let out = sim.block_on(async move {
+            with_timeout(
+                &h2,
+                Duration::from_micros(4),
+                h2.sleep(Duration::from_micros(4)),
+            )
+            .await
+        });
+        assert!(out.is_ok());
+    }
+}

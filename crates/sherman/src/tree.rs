@@ -19,7 +19,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use smart::SmartCoro;
+use smart::{FaultError, SmartCoro};
 use smart_rnic::{MemoryBlade, RemoteAddr};
 use smart_rt::metrics::Counter;
 
@@ -189,7 +189,15 @@ impl ShermanTree {
     // --- RDMA node I/O ----------------------------------------------------
 
     async fn read_node(&self, coro: &SmartCoro, addr: RemoteAddr) -> Node {
-        Node::decode(&coro.read_sync(addr, NODE_BYTES as u32).await)
+        self.try_read_node(coro, addr)
+            .await
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    async fn try_read_node(&self, coro: &SmartCoro, addr: RemoteAddr) -> Result<Node, FaultError> {
+        Ok(Node::decode(
+            &coro.try_read_sync(addr, NODE_BYTES as u32).await?,
+        ))
     }
 
     async fn write_node(&self, coro: &SmartCoro, addr: RemoteAddr, node: &Node) {
@@ -214,35 +222,45 @@ impl ShermanTree {
     // --- root & index cache ----------------------------------------------
 
     async fn root(&self, coro: &SmartCoro) -> (u64, u16) {
+        self.try_root(coro).await.unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    async fn try_root(&self, coro: &SmartCoro) -> Result<(u64, u16), FaultError> {
         let cached = self.cached_root.get();
         if cached.0 != 0 {
-            return cached;
+            return Ok(cached);
         }
-        self.refresh_root(coro).await
+        self.try_refresh_root(coro).await
     }
 
     async fn refresh_root(&self, coro: &SmartCoro) -> (u64, u16) {
-        let data = coro.read_sync(self.root_ptr, 8).await;
+        self.try_refresh_root(coro)
+            .await
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    async fn try_refresh_root(&self, coro: &SmartCoro) -> Result<(u64, u16), FaultError> {
+        let data = coro.try_read_sync(self.root_ptr, 8).await?;
         let packed = u64::from_le_bytes(data.try_into().expect("8B root pointer"));
-        let node = self.read_node(coro, unpack_addr(packed)).await;
+        let node = self.try_read_node(coro, unpack_addr(packed)).await?;
         let level = node.level;
         if level > 0 {
             self.index_cache.borrow_mut().insert(packed, node);
         }
         self.cached_root.set((packed, level));
-        (packed, level)
+        Ok((packed, level))
     }
 
-    async fn internal(&self, coro: &SmartCoro, packed: u64) -> Node {
+    async fn try_internal(&self, coro: &SmartCoro, packed: u64) -> Result<Node, FaultError> {
         if let Some(n) = self.index_cache.borrow().get(&packed) {
-            return n.clone();
+            return Ok(n.clone());
         }
         self.stats.index_fetches.incr();
-        let node = self.read_node(coro, unpack_addr(packed)).await;
+        let node = self.try_read_node(coro, unpack_addr(packed)).await?;
         if node.level > 0 {
             self.index_cache.borrow_mut().insert(packed, node.clone());
         }
-        node
+        Ok(node)
     }
 
     fn cache_put(&self, packed: u64, node: &Node) {
@@ -277,26 +295,37 @@ impl ShermanTree {
     /// Walks the cached index down to `target_level`, returning the
     /// packed address of the covering node at that level.
     async fn find_at_level(&self, coro: &SmartCoro, key: u64, target_level: u16) -> u64 {
+        self.try_find_at_level(coro, key, target_level)
+            .await
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    async fn try_find_at_level(
+        &self,
+        coro: &SmartCoro,
+        key: u64,
+        target_level: u16,
+    ) -> Result<u64, FaultError> {
         let mut restarts = 0u32;
         'outer: loop {
-            let (mut packed, root_level) = self.root(coro).await;
+            let (mut packed, root_level) = self.try_root(coro).await?;
             if root_level == target_level {
-                return packed;
+                return Ok(packed);
             }
             assert!(
                 root_level > target_level,
                 "tree of height {root_level} has no level {target_level}"
             );
             loop {
-                let mut node = self.internal(coro, packed).await;
+                let mut node = self.try_internal(coro, packed).await?;
                 if node.level == target_level {
-                    return packed;
+                    return Ok(packed);
                 }
                 if !node.covers(key) {
                     // Stale cache: refetch once, then B-link walk, then
                     // restart from a refreshed root.
                     self.cache_evict(packed);
-                    node = self.internal(coro, packed).await;
+                    node = self.try_internal(coro, packed).await?;
                     if !node.covers(key) {
                         if key >= node.high_fence && node.sibling != NO_SIBLING {
                             packed = node.sibling;
@@ -307,7 +336,7 @@ impl ShermanTree {
                             restarts <= self.cfg.max_restarts,
                             "traversal live-lock: tree corrupted?"
                         );
-                        self.refresh_root(coro).await;
+                        self.try_refresh_root(coro).await?;
                         continue 'outer;
                     }
                 }
@@ -320,10 +349,28 @@ impl ShermanTree {
         unpack_addr(self.find_at_level(coro, key, 0).await)
     }
 
+    async fn try_traverse_to_leaf(
+        &self,
+        coro: &SmartCoro,
+        key: u64,
+    ) -> Result<RemoteAddr, FaultError> {
+        Ok(unpack_addr(self.try_find_at_level(coro, key, 0).await?))
+    }
+
     // --- lookups -----------------------------------------------------------
 
     /// Looks up `key`.
     pub async fn get(&self, coro: &SmartCoro, key: u64) -> Option<u64> {
+        self.try_get(coro, key)
+            .await
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible lookup: like [`get`](Self::get), but surfaces an
+    /// unrecoverable RDMA fault as [`FaultError`] instead of panicking.
+    /// Transient faults are retried transparently by the coroutine's
+    /// [`RetryPolicy`](smart::RetryPolicy).
+    pub async fn try_get(&self, coro: &SmartCoro, key: u64) -> Result<Option<u64>, FaultError> {
         let _op = coro.op_scope_named("bt_get").await;
         self.stats.lookups.incr();
         if self.cfg.speculative {
@@ -331,22 +378,24 @@ impl ShermanTree {
             if let Some((leaf_packed, idx)) = hint {
                 self.stats.spec_attempts.incr();
                 let addr = unpack_addr(leaf_packed).offset(Node::entry_offset(idx as usize));
-                let data = coro.read_sync(addr, 16).await;
+                let data = coro.try_read_sync(addr, 16).await?;
                 let k = u64::from_le_bytes(data[0..8].try_into().expect("8B"));
                 if k == key {
                     self.stats.spec_hits.incr();
-                    return Some(u64::from_le_bytes(data[8..16].try_into().expect("8B")));
+                    return Ok(Some(u64::from_le_bytes(
+                        data[8..16].try_into().expect("8B"),
+                    )));
                 }
                 self.spec.borrow_mut().remove(&key);
             }
         }
         let mut restarts = 0u32;
-        let mut leaf_addr = self.traverse_to_leaf(coro, key).await;
+        let mut leaf_addr = self.try_traverse_to_leaf(coro, key).await?;
         loop {
             self.stats.leaf_reads.incr();
-            let node = self.read_node(coro, leaf_addr).await;
+            let node = self.try_read_node(coro, leaf_addr).await?;
             if node.covers(key) {
-                return match node.search_leaf(key) {
+                return Ok(match node.search_leaf(key) {
                     Ok(i) => {
                         if self.cfg.speculative {
                             self.spec_insert(key, pack_addr(leaf_addr), i as u16);
@@ -354,7 +403,7 @@ impl ShermanTree {
                         Some(node.entries[i].1)
                     }
                     Err(_) => None,
-                };
+                });
             }
             if key >= node.high_fence && node.sibling != NO_SIBLING {
                 leaf_addr = unpack_addr(node.sibling);
@@ -362,8 +411,8 @@ impl ShermanTree {
             }
             restarts += 1;
             assert!(restarts <= self.cfg.max_restarts, "lookup live-lock");
-            self.refresh_root(coro).await;
-            leaf_addr = self.traverse_to_leaf(coro, key).await;
+            self.try_refresh_root(coro).await?;
+            leaf_addr = self.try_traverse_to_leaf(coro, key).await?;
         }
     }
 

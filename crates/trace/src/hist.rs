@@ -90,6 +90,17 @@ impl LogHistogram {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
+    /// Folds another histogram's samples into this one (bucket-wise; the
+    /// merged percentiles are exactly those of the combined sample set).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// The value at the given permille rank (`500` = p50, `999` = p99.9).
     ///
     /// Returns the low edge of the bucket containing the rank-th sample
@@ -167,6 +178,30 @@ mod tests {
         assert!((900..=1000).contains(&h.percentile(1000)));
         assert_eq!(h.count(), 1000);
         assert_eq!(h.mean(), 500);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let (mut a, mut b, mut all) = (
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        );
+        for v in 1..=500u64 {
+            a.record(v * 3);
+            all.record(v * 3);
+        }
+        for v in 1..=200u64 {
+            b.record(v * 7);
+            all.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.max(), all.max());
+        for p in [10, 500, 900, 990, 1000] {
+            assert_eq!(a.percentile(p), all.percentile(p), "permille {p}");
+        }
     }
 
     #[test]

@@ -109,6 +109,10 @@ pub enum Category {
     /// by [`TraceSink::DEFAULT_MASK`]; checkers opt in with
     /// [`TraceSink::set_mask`].
     Sync = 8,
+    /// Fault-injection and recovery events (`smart-fault`): injected error
+    /// completions, retry backoffs, QP re-establishment, blade
+    /// crash/restart.
+    Fault = 9,
 }
 
 /// Number of categories that participate in latency attribution.
@@ -116,7 +120,7 @@ pub const ATTR_CATEGORIES: usize = 5;
 
 impl Category {
     /// All categories, in declaration order.
-    pub const ALL: [Category; 9] = [
+    pub const ALL: [Category; 10] = [
         Category::DbLock,
         Category::Credit,
         Category::Pipeline,
@@ -126,6 +130,7 @@ impl Category {
         Category::Tune,
         Category::Op,
         Category::Sync,
+        Category::Fault,
     ];
 
     /// The bit this category occupies in a filter mask.
@@ -163,6 +168,7 @@ impl Category {
             Category::Tune => "tune",
             Category::Op => "op",
             Category::Sync => "sync",
+            Category::Fault => "fault",
         }
     }
 }

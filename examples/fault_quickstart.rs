@@ -1,0 +1,116 @@
+//! smart-fault quickstart: inject a chaos plan into a RACE hash-table
+//! run and watch the recovery layer absorb it.
+//!
+//! Run with: `cargo run --release --example fault_quickstart [seed]`
+//!
+//! The plan mixes every fault class: 1 % packet loss (timeout
+//! completions, retriable), 0.5 % RNR rejections (retriable), latency
+//! spikes, a QP error transition that flushes everything in flight, and
+//! a blade crash/restart window that invalidates registered memory.
+//! All of it heals, so the workload must finish with every key intact,
+//! every write credit conserved — and the whole chaos history replays
+//! byte-for-byte from the seed.
+
+use std::rc::Rc;
+
+use smart_lab::smart::{SmartConfig, SmartContext};
+use smart_lab::smart_fault::{FaultInjector, FaultPlan};
+use smart_lab::smart_race::{RaceConfig, RaceHashTable};
+use smart_lab::smart_rnic::{Cluster, ClusterConfig};
+use smart_lab::smart_rt::{Duration, Simulation};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a number"))
+        .unwrap_or(7);
+
+    let plan = FaultPlan::new()
+        .with_packet_loss(0.01)
+        .with_rnr(0.005)
+        .with_latency_spikes(0.01, Duration::from_micros(5))
+        .qp_error_at(Duration::from_micros(200), 0, None)
+        .blade_crash_at(Duration::from_micros(400), 1, Duration::from_micros(100));
+    println!("plan: {}", plan.describe());
+
+    let mut sim = Simulation::new(seed);
+    let cluster = Cluster::new(sim.handle(), ClusterConfig::new(1, 2));
+    let injector = FaultInjector::install(&cluster, plan);
+
+    let table = RaceHashTable::create(cluster.blades(), RaceConfig::default());
+    for k in 0..500u64 {
+        table.load(&k.to_le_bytes(), &k.to_le_bytes());
+    }
+    let ctx = SmartContext::new(
+        cluster.compute(0),
+        cluster.blades(),
+        SmartConfig::smart_full(4),
+    );
+    let mut threads = Vec::new();
+    let mut joins = Vec::new();
+    for t in 0..4u64 {
+        let thread = ctx.create_thread();
+        threads.push(Rc::clone(&thread));
+        let table = Rc::clone(&table);
+        joins.push(sim.spawn(async move {
+            let coro = thread.coroutine();
+            for i in 0..100u64 {
+                let key = (10_000 + t * 1_000 + i).to_le_bytes();
+                table
+                    .insert(&coro, &key, &i.to_le_bytes())
+                    .await
+                    .expect("insert");
+                let _ = table.get(&coro, &(i % 500).to_le_bytes()).await;
+            }
+        }));
+    }
+    sim.run_for(Duration::from_secs(1));
+
+    let stats = injector.stats();
+    println!(
+        "injected: {} total ({} timeouts, {} rnr-naks, {} spikes, \
+         {} access errors, {} mr-revocations)",
+        stats.total_injected(),
+        stats.lost,
+        stats.rnr,
+        stats.spikes,
+        stats.access_errors,
+        stats.mr_revoked
+    );
+    println!(
+        "events: {} qp errors, {} blade crashes",
+        stats.qp_errors, stats.blade_crashes
+    );
+
+    let mut stranded = 0;
+    for j in &joins {
+        if !j.is_finished() {
+            stranded += 1;
+        }
+    }
+    let seen: u64 = threads.iter().map(|t| t.stats().faults_seen.get()).sum();
+    let recovered: u64 = threads
+        .iter()
+        .map(|t| t.stats().faults_recovered.get())
+        .sum();
+    println!("recovery: {seen} error completions seen, {recovered} WRs recovered");
+
+    let mut witnesses = Vec::new();
+    for t in 0..4u64 {
+        for i in 0..100u64 {
+            witnesses.push((
+                (10_000 + t * 1_000 + i).to_le_bytes().to_vec(),
+                vec![i.to_le_bytes().to_vec()],
+            ));
+        }
+    }
+    let mut violations = table.check_witnesses(&witnesses);
+    for thread in &threads {
+        violations.extend(thread.throttle().conservation_violations());
+    }
+    if stranded > 0 || !violations.is_empty() {
+        eprintln!("{stranded} stranded clients, violations: {violations:?}");
+        std::process::exit(1);
+    }
+    println!("all clients finished, every key intact, credits conserved");
+}

@@ -3,6 +3,7 @@
 //! Umbrella crate for the SMART reproduction. Re-exports the workspace crates.
 pub use smart;
 pub use smart_check;
+pub use smart_fault;
 pub use smart_ford;
 pub use smart_race;
 pub use smart_rnic;
