@@ -6,9 +6,14 @@
 //! Expected shape: RACE peaks early (8–16 threads on write-heavy) and
 //! collapses; SMART-HT keeps scaling (paper: up to 132× on write-heavy
 //! scale-out, 2–3.8× on read-only).
+//!
+//! Every `(mix, system, point)` run is an independent simulation, so the
+//! sweep fans out over `smart_bench::parallel_map` and merges rows in
+//! submission order — the table and CSV are byte-identical to a
+//! sequential sweep (`SMART_BENCH_THREADS=1` forces one).
 
 use smart::{QpPolicy, SmartConfig};
-use smart_bench::{banner, run_ht, BenchTable, HtParams, Mode};
+use smart_bench::{banner, parallel_map, run_ht, BenchTable, HtParams, Mode};
 use smart_rt::Duration;
 use smart_workloads::ycsb::Mix;
 
@@ -17,6 +22,18 @@ fn mixes() -> [(&'static str, Mix); 3] {
         ("write-heavy", Mix::WriteHeavy),
         ("read-heavy", Mix::ReadHeavy),
         ("read-only", Mix::ReadOnly),
+    ]
+}
+
+type ConfigOf = fn(usize) -> SmartConfig;
+
+fn systems() -> [(&'static str, ConfigOf); 2] {
+    [
+        (
+            "RACE",
+            (|t| SmartConfig::baseline(QpPolicy::PerThreadQp, t)) as ConfigOf,
+        ),
+        ("SMART-HT", SmartConfig::smart_full as ConfigOf),
     ]
 }
 
@@ -29,26 +46,32 @@ fn main() {
 
     // (a)-(c): scale-up.
     let mut table = BenchTable::new("fig07_scaleup", &["mix", "system", "threads", "mops"]);
+    let mut points = Vec::new();
     for (mixname, mix) in mixes() {
-        for (sys, cfg_of) in [
-            (
-                "RACE",
-                (|t| SmartConfig::baseline(QpPolicy::PerThreadQp, t)) as fn(usize) -> SmartConfig,
-            ),
-            (
-                "SMART-HT",
-                SmartConfig::smart_full as fn(usize) -> SmartConfig,
-            ),
-        ] {
+        for (sys, cfg_of) in systems() {
             for &threads in &mode.thread_sweep() {
-                let mut p = HtParams::new(cfg_of(threads), threads, keys, mix);
-                p.warmup = warmup;
-                p.measure = measure;
-                let r = run_ht(&p);
-                eprintln!("  {mixname} {sys} threads={threads}: {:.2} MOPS", r.mops);
-                table.row(&[&mixname, &sys, &threads, &format!("{:.3}", r.mops)]);
+                points.push((mixname, mix, sys, cfg_of, threads));
             }
         }
+    }
+    let rows = parallel_map(points, |_, (mixname, mix, sys, cfg_of, threads)| {
+        let mut p = HtParams::new(cfg_of(threads), threads, keys, mix);
+        p.warmup = warmup;
+        p.measure = measure;
+        let r = run_ht(&p);
+        (
+            format!("  {mixname} {sys} threads={threads}: {:.2} MOPS", r.mops),
+            vec![
+                mixname.to_string(),
+                sys.to_string(),
+                threads.to_string(),
+                format!("{:.3}", r.mops),
+            ],
+        )
+    });
+    for (line, cells) in rows {
+        eprintln!("{line}");
+        table.row_strings(cells);
     }
     table.finish();
 
@@ -59,37 +82,38 @@ fn main() {
         "fig07_scaleout",
         &["mix", "system", "compute_nodes", "threads_total", "mops"],
     );
+    let mut points = Vec::new();
     for (mixname, mix) in mixes() {
-        for (sys, cfg_of) in [
-            (
-                "RACE",
-                (|t| SmartConfig::baseline(QpPolicy::PerThreadQp, t)) as fn(usize) -> SmartConfig,
-            ),
-            (
-                "SMART-HT",
-                SmartConfig::smart_full as fn(usize) -> SmartConfig,
-            ),
-        ] {
+        for (sys, cfg_of) in systems() {
             for &nodes in &nodes_sweep {
-                let mut p = HtParams::new(cfg_of(threads), threads, keys, mix);
-                p.compute_nodes = nodes;
-                p.warmup = warmup;
-                p.measure = measure;
-                let r = run_ht(&p);
-                eprintln!(
-                    "  {mixname} {sys} nodes={nodes} ({} threads): {:.2} MOPS",
-                    nodes * threads,
-                    r.mops
-                );
-                table.row(&[
-                    &mixname,
-                    &sys,
-                    &nodes,
-                    &(nodes * threads),
-                    &format!("{:.3}", r.mops),
-                ]);
+                points.push((mixname, mix, sys, cfg_of, nodes));
             }
         }
+    }
+    let rows = parallel_map(points, |_, (mixname, mix, sys, cfg_of, nodes)| {
+        let mut p = HtParams::new(cfg_of(threads), threads, keys, mix);
+        p.compute_nodes = nodes;
+        p.warmup = warmup;
+        p.measure = measure;
+        let r = run_ht(&p);
+        (
+            format!(
+                "  {mixname} {sys} nodes={nodes} ({} threads): {:.2} MOPS",
+                nodes * threads,
+                r.mops
+            ),
+            vec![
+                mixname.to_string(),
+                sys.to_string(),
+                nodes.to_string(),
+                (nodes * threads).to_string(),
+                format!("{:.3}", r.mops),
+            ],
+        )
+    });
+    for (line, cells) in rows {
+        eprintln!("{line}");
+        table.row_strings(cells);
     }
     table.finish();
 }

@@ -1,0 +1,291 @@
+//! Wall-clock perf harness for the simulator itself.
+//!
+//! Everything else in this repo measures *virtual* time; this binary is
+//! the one place that holds a stopwatch to the executor. It runs pinned
+//! fig03/fig07/fig14 configurations (fixed seeds, fixed windows —
+//! independent of `SMART_BENCH_MODE`), reports how many scheduling
+//! events (task polls + timer fires) the simulator processed per second
+//! of wall time, and writes `BENCH_SIM.json` at the repo root.
+//!
+//! It also times the same 96-thread fig07 sweep sequentially and in
+//! parallel through `smart_bench::sweep`, recording the speedup.
+//!
+//! If a previous `BENCH_SIM.json` exists, each config's new `ns/event`
+//! is compared against it: a regression beyond 25 % prints a warning
+//! (and fails the process under `SMART_PERF_STRICT=1` — CI keeps it a
+//! soft warning, since shared runners make wall clocks noisy).
+//!
+//! Env knobs: `SMART_PERF_REPS` (default 3, best-of wins),
+//! `SMART_PERF_OUT` (output path override), `SMART_PERF_STRICT`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use smart::{run_microbench_metered, MicroOp, MicrobenchSpec, QpPolicy, SmartConfig};
+use smart_bench::{parallel_map_with, run_ht, worker_threads, HtParams};
+use smart_rt::Duration;
+use smart_workloads::ycsb::Mix;
+
+/// Allowed `ns/event` growth over the committed baseline before the
+/// harness complains.
+const REGRESSION_TOLERANCE: f64 = 0.25;
+
+struct PerfResult {
+    name: &'static str,
+    events: u64,
+    wall: std::time::Duration,
+    mops: f64,
+}
+
+impl PerfResult {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64()
+    }
+
+    fn ns_per_event(&self) -> f64 {
+        self.wall.as_nanos() as f64 / self.events.max(1) as f64
+    }
+}
+
+fn reps() -> u32 {
+    std::env::var("SMART_PERF_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Runs `run` `reps()` times and keeps the fastest wall clock (the rep
+/// least disturbed by the OS; events are identical across reps because
+/// the simulation is deterministic).
+fn best_of(name: &'static str, run: impl Fn() -> (u64, f64)) -> PerfResult {
+    let mut best: Option<PerfResult> = None;
+    for _ in 0..reps() {
+        let start = Instant::now();
+        let (events, mops) = run();
+        let wall = start.elapsed();
+        if best.as_ref().is_none_or(|b| wall < b.wall) {
+            best = Some(PerfResult {
+                name,
+                events,
+                wall,
+                mops,
+            });
+        }
+    }
+    let r = best.expect("reps() >= 1");
+    eprintln!(
+        "  {name}: {} events in {:.1} ms -> {:.2} Mevents/s, {:.1} ns/event ({:.2} MOPS)",
+        r.events,
+        r.wall.as_secs_f64() * 1e3,
+        r.events_per_sec() / 1e6,
+        r.ns_per_event(),
+        r.mops
+    );
+    r
+}
+
+/// Pinned Figure 3 point: baseline per-thread-doorbell READs at the top
+/// of the thread sweep — timer-heavy (doorbell pacing + sync waits).
+fn fig03() -> PerfResult {
+    best_of("fig03_read8_96t", || {
+        let mut spec = MicrobenchSpec::new(
+            SmartConfig::baseline(QpPolicy::ThreadAwareDoorbell, 96),
+            96,
+            8,
+        );
+        spec.op = MicroOp::Read(8);
+        spec.warmup = Duration::from_millis(1);
+        spec.measure = Duration::from_millis(4);
+        let (report, metrics) = run_microbench_metered(&spec);
+        (metrics.events(), report.mops)
+    })
+}
+
+fn fig07_params(seed: u64) -> HtParams {
+    let mut p = HtParams::new(SmartConfig::smart_full(96), 96, 100_000, Mix::WriteHeavy);
+    p.warmup = Duration::from_millis(1);
+    p.measure = Duration::from_millis(2);
+    p.seed = seed;
+    p
+}
+
+/// Pinned Figure 7 point: SMART-HT write-heavy at 96 threads — the
+/// wake-path stress test (768 coroutines contending on buckets).
+fn fig07() -> PerfResult {
+    best_of("fig07_writeheavy_96t", || {
+        let r = run_ht(&fig07_params(42));
+        (r.sim_events, r.mops)
+    })
+}
+
+/// Pinned Figure 14 point: all conflict-avoidance machinery on, 100 %
+/// updates — backoff timers dominate, exercising cancel/purge.
+fn fig14() -> PerfResult {
+    best_of("fig14_corothrot_96t", || {
+        let mut cfg =
+            SmartConfig::baseline(QpPolicy::ThreadAwareDoorbell, 96).with_work_req_throttle(true);
+        cfg.conflict_backoff = true;
+        cfg.dynamic_backoff_limit = true;
+        cfg.coroutine_throttle = true;
+        let mut p = HtParams::new(cfg, 96, 100_000, Mix::UpdateOnly);
+        p.warmup = Duration::from_millis(1);
+        p.measure = Duration::from_millis(2);
+        let r = run_ht(&p);
+        (r.sim_events, r.mops)
+    })
+}
+
+struct SweepResult {
+    points: usize,
+    workers: usize,
+    sequential: std::time::Duration,
+    parallel: std::time::Duration,
+}
+
+/// Times the same 8-point 96-thread fig07 sweep twice — once on the
+/// calling thread, once fanned out — and reports the wall-clock ratio.
+fn sweep_speedup() -> SweepResult {
+    let points = 8usize;
+    let seeds: Vec<u64> = (0..points as u64).collect();
+    let workers = worker_threads(points);
+    let time_with = |w: usize| {
+        let start = Instant::now();
+        let mops: Vec<f64> =
+            parallel_map_with(w, seeds.clone(), |_, seed| run_ht(&fig07_params(seed)).mops);
+        assert_eq!(mops.len(), points);
+        start.elapsed()
+    };
+    let sequential = time_with(1);
+    let parallel = if workers > 1 {
+        time_with(workers)
+    } else {
+        // Single-core host: a second timing would measure the same
+        // sequential loop again. Report speedup 1.00 honestly.
+        eprintln!("  fig07_96t_sweep: only 1 worker available, skipping parallel timing");
+        sequential
+    };
+    eprintln!(
+        "  fig07_96t_sweep: {points} points, sequential {:.1} ms, parallel {:.1} ms on {workers} workers -> {:.2}x",
+        sequential.as_secs_f64() * 1e3,
+        parallel.as_secs_f64() * 1e3,
+        sequential.as_secs_f64() / parallel.as_secs_f64()
+    );
+    SweepResult {
+        points,
+        workers,
+        sequential,
+        parallel,
+    }
+}
+
+fn out_path() -> std::path::PathBuf {
+    std::env::var("SMART_PERF_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_SIM.json")
+        })
+}
+
+/// Pulls `name -> ns_per_event` pairs out of a previous `BENCH_SIM.json`.
+/// The file is our own output (one result object per line), so a line
+/// scan is enough — no JSON parser in the dependency-free workspace.
+fn baseline_ns_per_event(old: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in old.lines() {
+        let Some(name) = field_str(line, "name") else {
+            continue;
+        };
+        if let Some(ns) = field_f64(line, "ns_per_event") {
+            out.push((name, ns));
+        }
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let tail = line.split(&format!("\"{key}\": \"")).nth(1)?;
+    Some(tail.split('"').next()?.to_string())
+}
+
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let tail = line.split(&format!("\"{key}\": ")).nth(1)?;
+    tail.trim_start()
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn render_json(results: &[PerfResult], sweep: &SweepResult) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"smart-bench-sim-perf/v1\",");
+    let _ = writeln!(s, "  \"reps\": {},", reps());
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"events\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \"ns_per_event\": {:.2}, \"mops\": {:.3}}}{}",
+            r.name,
+            r.events,
+            r.wall.as_secs_f64() * 1e3,
+            r.events_per_sec(),
+            r.ns_per_event(),
+            r.mops,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"sweep\": {{\"name\": \"fig07_96t_sweep\", \"points\": {}, \"workers\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.2}}}",
+        sweep.points,
+        sweep.workers,
+        sweep.sequential.as_secs_f64() * 1e3,
+        sweep.parallel.as_secs_f64() * 1e3,
+        sweep.sequential.as_secs_f64() / sweep.parallel.as_secs_f64()
+    );
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    eprintln!(
+        "=== simulator wall-clock perf harness ({} reps, best-of) ===",
+        reps()
+    );
+    let results = [fig03(), fig07(), fig14()];
+    let sweep = sweep_speedup();
+
+    let path = out_path();
+    let mut regressions = Vec::new();
+    if let Ok(old) = std::fs::read_to_string(&path) {
+        for (name, old_ns) in baseline_ns_per_event(&old) {
+            let Some(new) = results.iter().find(|r| r.name == name) else {
+                continue;
+            };
+            let new_ns = new.ns_per_event();
+            if new_ns > old_ns * (1.0 + REGRESSION_TOLERANCE) {
+                regressions.push(format!(
+                    "{name}: {new_ns:.2} ns/event vs baseline {old_ns:.2} (+{:.0}%)",
+                    (new_ns / old_ns - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+
+    let json = render_json(&results, &sweep);
+    std::fs::write(&path, &json).expect("write BENCH_SIM.json");
+    eprintln!("[perf] wrote {}", path.display());
+
+    if !regressions.is_empty() {
+        for r in &regressions {
+            eprintln!("perf-warning: {r}");
+        }
+        if std::env::var("SMART_PERF_STRICT").as_deref() == Ok("1") {
+            std::process::exit(1);
+        }
+    }
+}

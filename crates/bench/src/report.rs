@@ -74,6 +74,14 @@ impl BenchTable {
             .push(cells.iter().map(|c| format!("{c}")).collect());
     }
 
+    /// Appends an already-stringified row. Parallel sweeps render their
+    /// cells on worker threads and merge them here in fixed key order,
+    /// so the table (and its CSV) is byte-identical to a sequential run.
+    pub fn row_strings(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
     /// Prints the aligned table to stdout.
     pub fn print(&self) {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();

@@ -58,6 +58,13 @@ pub struct RunReport {
     /// empty: every injected error CQE replenishes exactly one credit,
     /// so faults never strand or mint throttle budget.
     pub conservation: Vec<String>,
+    /// Simulator scheduling events (task polls + timer fires) processed
+    /// over the whole run, from [`smart_rt::metrics::ExecutorMetrics`].
+    /// This is the denominator of the wall-clock `ns/event` figure in the
+    /// `smart-bench` perf harness. Excluded from the scheduler-equivalence
+    /// goldens: purging cancelled timers changes how many events the
+    /// executor processes without changing simulated behaviour.
+    pub sim_events: u64,
 }
 
 /// Shared per-run measurement plumbing.
@@ -332,6 +339,7 @@ pub fn run_ht(p: &HtParams) -> RunReport {
             retries as f64 / hist_ops as f64
         },
         retry_hist: hist,
+        sim_events: sim.handle().metrics().events(),
         ..RunReport::default()
     };
     chaos.fill(&mut report);
@@ -511,6 +519,7 @@ pub fn run_dtx(p: &DtxParams) -> RunReport {
         } else {
             aborted as f64 / (committed + aborted) as f64
         },
+        sim_events: sim.handle().metrics().events(),
         ..RunReport::default()
     };
     chaos.fill(&mut report);
@@ -711,6 +720,7 @@ pub fn run_bt(p: &BtParams) -> RunReport {
         mops: ops as f64 / p.measure.as_secs_f64() / 1e6,
         median: lat.median(),
         p99: lat.p99(),
+        sim_events: sim.handle().metrics().events(),
         ..RunReport::default()
     };
     chaos.fill(&mut report);

@@ -130,6 +130,17 @@ pub struct MicrobenchReport {
 /// assert!(report.mops > 1.0);
 /// ```
 pub fn run_microbench(spec: &MicrobenchSpec) -> MicrobenchReport {
+    run_microbench_metered(spec).0
+}
+
+/// Like [`run_microbench`], additionally returning the executor's
+/// scheduling metrics for the whole run. The `smart-bench` perf harness
+/// uses the event count as the denominator of its wall-clock `ns/event`
+/// figure; the report itself is unchanged so result goldens keep their
+/// bytes.
+pub fn run_microbench_metered(
+    spec: &MicrobenchSpec,
+) -> (MicrobenchReport, smart_rt::metrics::ExecutorMetrics) {
     let mut sim = Simulation::with_policy(spec.seed, spec.schedule);
     if let Some(sink) = &spec.trace {
         sim.handle().install_tracer(sink.clone());
@@ -222,7 +233,7 @@ pub fn run_microbench(spec: &MicrobenchSpec) -> MicrobenchReport {
     let secs = spec.measure.as_secs_f64();
     let wqe_total = after.wqe_hits + after.wqe_misses;
     let mtt_total = after.mtt_hits + after.mtt_misses;
-    MicrobenchReport {
+    let report = MicrobenchReport {
         ops,
         mops: ops as f64 / secs / 1e6,
         dram_bytes_per_op: after.dram_bytes_per_op_since(&before),
@@ -236,7 +247,8 @@ pub fn run_microbench(spec: &MicrobenchSpec) -> MicrobenchReport {
         } else {
             after.mtt_hits as f64 / mtt_total as f64
         },
-    }
+    };
+    (report, sim.handle().metrics())
 }
 
 fn cluster_blade_id(_thread: u64, pick: u64) -> u32 {

@@ -15,6 +15,7 @@
 //! | `await-holding-guard` | no `.await` while a probed lock guard is bound in sim crates |
 //! | `rc-identity` | no `Rc::as_ptr`/`Rc::ptr_eq` identity keys in sim crates |
 //! | `fallible-unhandled` | no `.unwrap()`/`.expect()` on fallible `try_*` results in sim crates |
+//! | `hot-path-alloc` | no `format!`/`to_string`/`Vec::new` in per-event hot-path files |
 //! | `calibration-drift` | DESIGN.md §4 constants match config defaults |
 //! | `bench-index-drift` | DESIGN.md §3 bench targets exist on disk |
 //!
@@ -94,6 +95,7 @@ pub fn run_lint(root: &Path) -> Vec<Diagnostic> {
         rules::await_holding_guard(&file, &mut out);
         rules::rc_identity(&file, &mut out);
         rules::fallible_unhandled(&file, &mut out);
+        rules::hot_path_alloc(&file, &mut out);
     }
 
     let design_rel = Path::new("DESIGN.md");

@@ -1,4 +1,4 @@
-//! The nine lint rules.
+//! The ten lint rules.
 //!
 //! Every rule is a pure function from scrubbed sources to diagnostics;
 //! the driver in [`crate::run_lint`] handles file discovery, scrubbing
@@ -26,6 +26,20 @@ pub const SIM_CRATES: &[&str] = &[
     "workloads",
     "check",
     "fault",
+];
+
+/// Files on the simulator's per-event hot path: the executor's ready
+/// loop and timer wheel (touched once per poll / timer fire) and the
+/// RNIC's per-WR dispatch (QP completion and doorbell paths, touched
+/// once per work request). A stray `format!` in any of these taxes every
+/// simulated event of every run — see [`hot_path_alloc`]. Unlike
+/// [`SIM_CRATES`], this list names individual files: the rest of those
+/// crates may allocate freely.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/rt/src/executor.rs",
+    "crates/rt/src/wheel.rs",
+    "crates/rnic/src/qp.rs",
+    "crates/rnic/src/doorbell.rs",
 ];
 
 /// One lint finding.
@@ -386,6 +400,36 @@ pub fn fallible_unhandled(file: &SourceFile, out: &mut Vec<Diagnostic>) {
         }
         if l.ends_with(';') || l.ends_with('{') || l.ends_with('}') {
             verb = None;
+        }
+    }
+}
+
+/// Rule 10 — `hot-path-alloc`: no `format!` / `.to_string()` /
+/// `Vec::new()` / `String::new()` in the files listed in [`HOT_PATHS`].
+/// These run once per simulated event (executor poll loop, timer wheel,
+/// rnic per-WR dispatch), where a hidden allocation or formatting pass
+/// is a constant tax on every experiment. Construction-time allocations
+/// (building a slab or table once) carry a pragma with that argument.
+pub fn hot_path_alloc(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let rel = file.rel.to_string_lossy().replace('\\', "/");
+    if !HOT_PATHS.contains(&rel.as_str()) {
+        return;
+    }
+    for (line, l) in file.condensed_lines() {
+        for pat in ["format!(", ".to_string(", "Vec::new()", "String::new()"] {
+            if l.contains(pat) {
+                diag(
+                    file,
+                    line,
+                    "hot-path-alloc",
+                    format!(
+                        "`{pat}` in a per-event hot-path file; allocate at construction time \
+                         or justify with lint:allow(hot-path-alloc)"
+                    ),
+                    out,
+                );
+                break;
+            }
         }
     }
 }
@@ -820,6 +864,50 @@ let w = unrelated.unwrap();
 coro.try_cas_sync(a, 0, 1).await.unwrap(); // planted seed. lint:allow(fallible-unhandled)
 ";
         fallible_unhandled(&sim_file(src), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_fires_only_in_hot_files() {
+        let hot = SourceFile {
+            rel: PathBuf::from("crates/rt/src/executor.rs"),
+            scrubbed: scrub("let label = format!(\"task {id}\");"),
+        };
+        let mut out = Vec::new();
+        hot_path_alloc(&hot, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("format!("));
+
+        // The same line in a non-hot sim file is fine (other rules own
+        // determinism; this one only owns the per-event paths).
+        let warm = SourceFile {
+            rel: PathBuf::from("crates/rt/src/metrics.rs"),
+            scrubbed: scrub("let label = format!(\"task {id}\");"),
+        };
+        out.clear();
+        hot_path_alloc(&warm, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_pragma_and_tests_are_spared() {
+        let src = "\
+fn new() -> Self {
+    // slab grows once at construction. lint:allow(hot-path-alloc)
+    let slab = Vec::new();
+    Self { slab }
+}
+#[cfg(test)]
+mod tests {
+    fn t() { let v = Vec::new(); }
+}
+";
+        let hot = SourceFile {
+            rel: PathBuf::from("crates/rnic/src/qp.rs"),
+            scrubbed: scrub(src),
+        };
+        let mut out = Vec::new();
+        hot_path_alloc(&hot, &mut out);
         assert!(out.is_empty(), "{out:#?}");
     }
 

@@ -1,0 +1,11 @@
+// Seeded hot-path-alloc violations: per-event formatting and growth in
+// the executor's poll loop.
+
+fn poll_loop(&mut self) {
+    while let Some(id) = self.ready.pop() {
+        let label = format!("task {id}");
+        self.history.push(label.to_string());
+        let mut scratch = Vec::new();
+        scratch.push(id);
+    }
+}

@@ -1,0 +1,28 @@
+// Construction-time allocation in a hot-path file is fine with a
+// justifying pragma; per-event code below stays allocation-free.
+
+fn new() -> Self {
+    // slab and free list grow once at startup, never per event.
+    // lint:allow(hot-path-alloc)
+    let slab = Vec::new();
+    Self {
+        slab,
+        cursor: 0,
+    }
+}
+
+fn poll_loop(&mut self) {
+    while let Some(id) = self.ready.pop() {
+        self.polls += 1;
+        self.dispatch(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_in_tests_is_exempt() {
+        let mut order = Vec::new();
+        order.push(format!("task {}", 1));
+    }
+}

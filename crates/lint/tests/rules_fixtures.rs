@@ -25,6 +25,7 @@ fn bad_workspace_trips_every_rule() {
         "await-holding-guard",
         "rc-identity",
         "fallible-unhandled",
+        "hot-path-alloc",
         "calibration-drift",
         "bench-index-drift",
     ] {
@@ -63,6 +64,8 @@ fn bad_workspace_diagnostics_point_at_the_right_files() {
     assert!(at("fallible-unhandled")
         .iter()
         .all(|p| p.ends_with("fallible_bad.rs")));
+    let hot = at("hot-path-alloc");
+    assert!(!hot.is_empty() && hot.iter().all(|p| p.ends_with("rt/src/executor.rs")));
     assert!(at("bench-index-drift").iter().all(|p| p == "DESIGN.md"));
 }
 

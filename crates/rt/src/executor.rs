@@ -1,47 +1,122 @@
-use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::Duration;
 
-// The ready queue is shared with `std::task::Waker`s, whose contract
-// demands `Send + Sync`; a real mutex is unavoidable here even though the
-// executor itself is single-threaded. Nothing ever blocks on it.
-use std::sync::Mutex; // lint:allow(os-concurrency)
-
 use crate::join::{JoinHandle, JoinState};
+use crate::metrics::ExecutorMetrics;
 use crate::rng::SimRng;
 use crate::time::SimTime;
+use crate::wheel::{TimerToken, TimerWheel};
 
-type TaskId = usize;
+/// A task identity: slab index in the low half, slot generation in the
+/// high half. The generation lets the executor drop a wake that was
+/// enqueued for a previous occupant of a reused slot.
+type TaskId = u64;
 
-struct Task {
-    future: Pin<Box<dyn Future<Output = ()>>>,
-    waker: Waker,
-    scheduled: Arc<AtomicBool>,
+fn pack(idx: u32, gen: u32) -> TaskId {
+    ((gen as u64) << 32) | idx as u64
 }
 
-struct TaskWaker {
-    id: TaskId,
-    ready: Arc<Mutex<VecDeque<TaskId>>>,
-    scheduled: Arc<AtomicBool>,
+fn unpack(id: TaskId) -> (u32, u32) {
+    (id as u32, (id >> 32) as u32)
 }
 
-impl Wake for TaskWaker {
+/// The ready queue shared between the executor and its wakers.
+///
+/// The `std::task::Waker` contract demands `Send + Sync`, but the
+/// executor is single-threaded and wakers never leave its thread, so an
+/// OS mutex per fire is pure overhead (a syscall-backed lock on every
+/// wake was the hottest line in the old executor). This is a spin-guarded
+/// `VecDeque`: uncontended (always, here) it costs one uncontended
+/// compare-exchange, while remaining sound if a waker ever did migrate.
+#[derive(Default)]
+struct ReadyQueue {
+    locked: AtomicBool,
+    queue: UnsafeCell<VecDeque<TaskId>>,
+}
+
+// SAFETY: `queue` is only touched inside `with`, which holds the
+// `locked` spin guard; the Acquire/Release pair orders those accesses.
+unsafe impl Send for ReadyQueue {}
+unsafe impl Sync for ReadyQueue {}
+
+impl ReadyQueue {
+    fn with<R>(&self, f: impl FnOnce(&mut VecDeque<TaskId>) -> R) -> R {
+        while self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        // SAFETY: the spin guard above gives exclusive access.
+        let out = f(unsafe { &mut *self.queue.get() });
+        self.locked.store(false, Ordering::Release);
+        out
+    }
+
+    fn push(&self, id: TaskId) {
+        self.with(|q| q.push_back(id));
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.with(|q| q.pop_front())
+    }
+}
+
+/// The per-slot waker, created once when a slab slot is first used and
+/// reused by every task that later occupies the slot — spawning no longer
+/// allocates a fresh `Arc` pair per task. `gen` mirrors the slot's
+/// current generation so wakes are stamped with the occupant they were
+/// meant for.
+struct SlotWaker {
+    idx: u32,
+    gen: AtomicU32,
+    /// Dedup flag: set when the task is already in the ready queue.
+    scheduled: AtomicBool,
+    ready: Arc<ReadyQueue>,
+    wakes: Arc<AtomicU64>,
+}
+
+impl Wake for SlotWaker {
     fn wake(self: Arc<Self>) {
         self.wake_by_ref();
     }
 
     fn wake_by_ref(self: &Arc<Self>) {
         if !self.scheduled.swap(true, Ordering::Relaxed) {
-            self.ready.lock().unwrap().push_back(self.id);
+            self.wakes.fetch_add(1, Ordering::Relaxed);
+            self.ready
+                .push(pack(self.idx, self.gen.load(Ordering::Relaxed)));
         }
     }
+}
+
+/// One slab slot: the resident future (when occupied) plus the slot's
+/// permanent waker machinery.
+struct TaskSlot {
+    future: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    gen: u32,
+    waker: Waker,
+    slot: Arc<SlotWaker>,
+}
+
+/// Executor-side counters behind [`SimHandle::metrics`]. `wakes` is
+/// atomic because it is bumped from inside the `Send + Sync` waker; the
+/// timer cancellation/purge counters live in the [`TimerWheel`] itself.
+#[derive(Default)]
+struct ExecStats {
+    tasks_spawned: Cell<u64>,
+    polls: Cell<u64>,
+    wakes: Arc<AtomicU64>,
+    timers_scheduled: Cell<u64>,
+    timers_fired: Cell<u64>,
 }
 
 /// How the executor breaks ties among timers that fire at the same virtual
@@ -83,41 +158,18 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-struct TimerEntry {
-    at: SimTime,
-    key: u64,
-    seq: u64,
-    waker: Waker,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.key, self.seq).cmp(&(other.at, other.key, other.seq))
-    }
-}
-
 pub(crate) struct Inner {
     now: Cell<SimTime>,
     seq: Cell<u64>,
     policy: Cell<SchedulePolicy>,
     probe_seq: Cell<u64>,
-    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
-    ready: Arc<Mutex<VecDeque<TaskId>>>,
-    tasks: RefCell<Vec<Option<Task>>>,
-    free: RefCell<Vec<TaskId>>,
+    timers: RefCell<TimerWheel>,
+    ready: Arc<ReadyQueue>,
+    tasks: RefCell<Vec<TaskSlot>>,
+    free: RefCell<Vec<u32>>,
     rng: RefCell<SimRng>,
     tracer: RefCell<Option<smart_trace::TraceSink>>,
+    stats: ExecStats,
 }
 
 /// A cheaply clonable handle onto a running [`Simulation`].
@@ -178,25 +230,52 @@ impl SimHandle {
 
     fn spawn_raw(&self, future: Pin<Box<dyn Future<Output = ()>>>) {
         let mut tasks = self.inner.tasks.borrow_mut();
-        let id = match self.inner.free.borrow_mut().pop() {
-            Some(id) => id,
+        let idx = match self.inner.free.borrow_mut().pop() {
+            Some(idx) => idx,
             None => {
-                tasks.push(None);
-                tasks.len() - 1
+                // First occupancy of a fresh slot: build its permanent
+                // waker. Every later task in this slot reuses it.
+                let idx = u32::try_from(tasks.len()).expect("task slab exhausted");
+                let slot = Arc::new(SlotWaker {
+                    idx,
+                    gen: AtomicU32::new(0),
+                    scheduled: AtomicBool::new(false),
+                    ready: Arc::clone(&self.inner.ready),
+                    wakes: Arc::clone(&self.inner.stats.wakes),
+                });
+                tasks.push(TaskSlot {
+                    future: None,
+                    gen: 0,
+                    waker: Waker::from(Arc::clone(&slot)),
+                    slot,
+                });
+                idx
             }
         };
-        let scheduled = Arc::new(AtomicBool::new(true));
-        let waker = Waker::from(Arc::new(TaskWaker {
-            id,
-            ready: Arc::clone(&self.inner.ready),
-            scheduled: Arc::clone(&scheduled),
-        }));
-        tasks[id] = Some(Task {
-            future,
-            waker,
-            scheduled,
-        });
-        self.inner.ready.lock().unwrap().push_back(id);
+        let slot = &mut tasks[idx as usize];
+        debug_assert!(slot.future.is_none(), "spawn into an occupied slot");
+        slot.future = Some(future);
+        slot.slot.scheduled.store(true, Ordering::Relaxed);
+        let gen = slot.gen;
+        let stats = &self.inner.stats;
+        stats.tasks_spawned.set(stats.tasks_spawned.get() + 1);
+        self.inner.ready.push(pack(idx, gen));
+    }
+
+    /// Snapshot of the executor's internal counters; see
+    /// [`ExecutorMetrics`].
+    pub fn metrics(&self) -> ExecutorMetrics {
+        let s = &self.inner.stats;
+        let timers = self.inner.timers.borrow();
+        ExecutorMetrics {
+            tasks_spawned: s.tasks_spawned.get(),
+            polls: s.polls.get(),
+            wakes: s.wakes.load(Ordering::Relaxed),
+            timers_scheduled: s.timers_scheduled.get(),
+            timers_fired: s.timers_fired.get(),
+            timers_cancelled: timers.cancelled,
+            timers_purged: timers.purged,
+        }
     }
 
     /// Registers `waker` to be woken at virtual time `at`.
@@ -204,15 +283,27 @@ impl SimHandle {
     /// This is the low-level primitive beneath [`sleep`](Self::sleep); the
     /// queueing primitives in [`crate::sync`] use it directly.
     pub fn wake_at(&self, at: SimTime, waker: Waker) {
+        self.register_timer(at, waker);
+    }
+
+    /// Registers a timer and returns its cancellation token; used by
+    /// [`Sleep`] so a dropped sleep tombstones its entry instead of
+    /// firing a dead waker at the deadline.
+    fn register_timer(&self, at: SimTime, waker: Waker) -> TimerToken {
         let seq = self.inner.seq.get();
         self.inner.seq.set(seq + 1);
         let key = self.inner.policy.get().tie_key(seq);
-        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
-            at,
-            key,
-            seq,
-            waker,
-        }));
+        let stats = &self.inner.stats;
+        stats.timers_scheduled.set(stats.timers_scheduled.get() + 1);
+        self.inner
+            .timers
+            .borrow_mut()
+            .insert(at.as_nanos(), key, seq, waker)
+    }
+
+    /// Tombstones a pending timer; stale tokens are ignored.
+    fn cancel_timer(&self, token: TimerToken) {
+        self.inner.timers.borrow_mut().cancel(token);
     }
 
     /// The active tie-breaking policy (see [`SchedulePolicy`]).
@@ -256,7 +347,7 @@ impl SimHandle {
         Sleep {
             handle: self.clone(),
             deadline,
-            registered: false,
+            token: None,
         }
     }
 
@@ -310,11 +401,17 @@ impl SimHandle {
 }
 
 /// Future returned by [`SimHandle::sleep`] and [`SimHandle::sleep_until`].
+///
+/// Dropping a `Sleep` before its deadline (losing a `with_timeout` race,
+/// a select taken by another branch) cancels the underlying timer: the
+/// entry is tombstoned and purged without firing, instead of waking a
+/// dead task at the deadline. The cancellations are visible as
+/// `timers_cancelled` / `timers_purged` in [`SimHandle::metrics`].
 #[derive(Debug)]
 pub struct Sleep {
     handle: SimHandle,
     deadline: SimTime,
-    registered: bool,
+    token: Option<TimerToken>,
 }
 
 impl Future for Sleep {
@@ -322,14 +419,24 @@ impl Future for Sleep {
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.handle.now() >= self.deadline {
+            // Fired (or was never pending): nothing left to cancel.
+            self.token = None;
             return Poll::Ready(());
         }
-        if !self.registered {
-            self.registered = true;
+        if self.token.is_none() {
             let deadline = self.deadline;
-            self.handle.wake_at(deadline, cx.waker().clone());
+            let token = self.handle.register_timer(deadline, cx.waker().clone());
+            self.token = Some(token);
         }
         Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.handle.cancel_timer(token);
+        }
     }
 }
 
@@ -383,12 +490,15 @@ impl Simulation {
                     seq: Cell::new(0),
                     policy: Cell::new(policy),
                     probe_seq: Cell::new(0),
-                    timers: RefCell::new(BinaryHeap::new()),
-                    ready: Arc::new(Mutex::new(VecDeque::new())),
+                    timers: RefCell::new(TimerWheel::new()),
+                    ready: Arc::new(ReadyQueue::default()),
+                    // Slab and free list grow once per distinct task
+                    // slot, never per event. lint:allow(hot-path-alloc)
                     tasks: RefCell::new(Vec::new()),
-                    free: RefCell::new(Vec::new()),
+                    free: RefCell::new(Vec::new()), // lint:allow(hot-path-alloc)
                     rng: RefCell::new(SimRng::new(seed)),
                     tracer: RefCell::new(None),
+                    stats: ExecStats::default(),
                 }),
             },
         }
@@ -404,7 +514,7 @@ impl Simulation {
             .tasks
             .borrow()
             .iter()
-            .filter(|t| t.is_some())
+            .filter(|t| t.future.is_some())
             .count()
     }
 
@@ -428,47 +538,69 @@ impl Simulation {
     }
 
     fn poll_task(&self, id: TaskId) {
-        let task = self.handle.inner.tasks.borrow_mut()[id].take();
-        let Some(mut task) = task else { return };
-        task.scheduled.store(false, Ordering::Relaxed);
-        let waker = task.waker.clone();
+        let (idx, gen) = unpack(id);
+        let (mut future, waker) = {
+            let mut tasks = self.handle.inner.tasks.borrow_mut();
+            let Some(slot) = tasks.get_mut(idx as usize) else {
+                return;
+            };
+            if slot.gen != gen {
+                return; // wake stamped for a previous occupant of the slot
+            }
+            slot.slot.scheduled.store(false, Ordering::Relaxed);
+            let Some(future) = slot.future.take() else {
+                return; // task already completed
+            };
+            (future, slot.waker.clone())
+        };
+        let stats = &self.handle.inner.stats;
+        stats.polls.set(stats.polls.get() + 1);
         let mut cx = Context::from_waker(&waker);
-        match task.future.as_mut().poll(&mut cx) {
+        match future.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
-                self.handle.inner.free.borrow_mut().push(id);
+                let mut tasks = self.handle.inner.tasks.borrow_mut();
+                let slot = &mut tasks[idx as usize];
+                // Retire this occupancy: bump the generation (mirrored
+                // into the waker) so in-flight wakes for the finished
+                // task die at the queue instead of poking its successor.
+                slot.gen = slot.gen.wrapping_add(1);
+                slot.slot.gen.store(slot.gen, Ordering::Relaxed);
+                self.handle.inner.free.borrow_mut().push(idx);
             }
             Poll::Pending => {
-                self.handle.inner.tasks.borrow_mut()[id] = Some(task);
+                self.handle.inner.tasks.borrow_mut()[idx as usize].future = Some(future);
             }
         }
     }
 
     /// Runs one scheduling step. Returns `false` if no work remains.
     fn step(&mut self, limit: Option<SimTime>) -> bool {
-        let id = self.handle.inner.ready.lock().unwrap().pop_front();
+        let id = self.handle.inner.ready.pop();
         if let Some(id) = id {
             self.poll_task(id);
             return true;
         }
         let fired = {
             let mut timers = self.handle.inner.timers.borrow_mut();
-            match timers.peek() {
-                Some(Reverse(entry)) => {
-                    if limit.is_some_and(|l| entry.at > l) {
+            match timers.peek_at() {
+                Some(at) => {
+                    if limit.is_some_and(|l| at > l.as_nanos()) {
                         None
                     } else {
-                        let Reverse(entry) = timers.pop().expect("peeked");
-                        Some(entry)
+                        Some(timers.pop().expect("peeked"))
                     }
                 }
                 None => None,
             }
         };
         match fired {
-            Some(entry) => {
-                debug_assert!(entry.at >= self.handle.now());
-                self.handle.inner.now.set(entry.at);
-                entry.waker.wake();
+            Some((at, waker)) => {
+                let at = SimTime::from_nanos(at);
+                debug_assert!(at >= self.handle.now());
+                let stats = &self.handle.inner.stats;
+                stats.timers_fired.set(stats.timers_fired.get() + 1);
+                self.handle.inner.now.set(at);
+                waker.wake();
                 true
             }
             None => false,
@@ -520,10 +652,12 @@ impl Simulation {
 impl Drop for Simulation {
     fn drop(&mut self) {
         // Break Rc cycles: tasks hold SimHandles which hold Inner which
-        // holds the tasks.
+        // holds the tasks. Dropping the futures may cancel their pending
+        // sleeps (Sleep::drop), which borrows the timer wheel — so the
+        // wheel is cleared strictly afterwards.
         self.handle.inner.tasks.borrow_mut().clear();
         self.handle.inner.timers.borrow_mut().clear();
-        self.handle.inner.ready.lock().unwrap().clear();
+        self.handle.inner.ready.with(|q| q.clear());
     }
 }
 
@@ -806,5 +940,26 @@ mod tests {
         }
         // All 100 tasks ran sequentially; the slab should stay tiny.
         assert!(sim.handle.inner.tasks.borrow().len() <= 2);
+    }
+
+    #[test]
+    fn metrics_count_spawns_polls_and_timers() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        assert_eq!(h.metrics(), ExecutorMetrics::default());
+        sim.block_on(async move {
+            for _ in 0..3 {
+                h.sleep(Duration::from_nanos(10)).await;
+            }
+        });
+        let m = sim.handle().metrics();
+        assert_eq!(m.tasks_spawned, 1);
+        assert_eq!(m.timers_scheduled, 3);
+        assert_eq!(m.timers_fired, 3);
+        // First poll registers the first sleep, then one poll per fire.
+        assert_eq!(m.polls, 4);
+        assert_eq!(m.wakes, 3, "one deduplicated wake per timer fire");
+        assert_eq!(m.timers_cancelled, 0);
+        assert_eq!(m.events(), m.polls + m.timers_fired);
     }
 }

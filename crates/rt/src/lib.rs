@@ -45,6 +45,7 @@ pub mod rng;
 pub mod sync;
 mod time;
 mod timeout;
+mod wheel;
 
 pub use executor::{SchedulePolicy, SimHandle, Simulation};
 pub use join::JoinHandle;

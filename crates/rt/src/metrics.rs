@@ -58,6 +58,42 @@ impl Counter {
     }
 }
 
+/// Snapshot of the executor's hot-path counters, taken with
+/// [`SimHandle::metrics`](crate::SimHandle::metrics).
+///
+/// These count *simulator* work — task polls, waker fires, timer
+/// registrations — not application operations. They are the denominator
+/// of the `ns/event` figure reported by the `smart-bench` wall-clock
+/// harness, and `timers_cancelled`/`timers_purged` observe the timer
+/// wheel's tombstone path (a `sleep` raced by `with_timeout`/select is
+/// cancelled on drop and purged before it fires).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecutorMetrics {
+    /// Tasks spawned onto the executor.
+    pub tasks_spawned: u64,
+    /// Task polls executed (including the final completing poll).
+    pub polls: u64,
+    /// Waker fires that enqueued a task (deduplicated re-wakes of an
+    /// already-scheduled task are not counted).
+    pub wakes: u64,
+    /// Timers registered (`sleep`, `sleep_until`, `wake_at`).
+    pub timers_scheduled: u64,
+    /// Timers that fired and woke their waker.
+    pub timers_fired: u64,
+    /// Timers cancelled before firing (their `Sleep` was dropped early).
+    pub timers_cancelled: u64,
+    /// Cancelled timers dropped from the queue without firing.
+    pub timers_purged: u64,
+}
+
+impl ExecutorMetrics {
+    /// Total scheduling events processed: task polls plus timer fires.
+    /// This is the event count the perf harness divides wall time by.
+    pub fn events(&self) -> u64 {
+        self.polls + self.timers_fired
+    }
+}
+
 /// A pair of counters expressing a hit ratio (cache statistics).
 #[derive(Clone, Debug, Default)]
 pub struct HitStats {

@@ -103,11 +103,25 @@ impl TraceSink {
     }
 
     /// True when events of `cat` would currently be recorded.
+    ///
+    /// This is the hot-path gate: every record method checks it *before*
+    /// building the event, so a masked category costs two `Cell` reads —
+    /// no event construction, no ring access, no allocation.
+    #[inline]
     pub fn wants(&self, cat: Category) -> bool {
         self.inner.enabled.get() && self.inner.mask.get() & cat.bit() != 0
     }
 
+    #[inline]
     fn push(&self, ev: TraceEvent) {
+        // Callers must gate on `wants` before constructing the event;
+        // reaching the ring with a masked category means a record path
+        // skipped its early-out.
+        debug_assert!(
+            self.wants(ev.category()),
+            "TraceEvent pushed past the category mask: {:?}",
+            ev.category()
+        );
         let mut events = self.inner.events.borrow_mut();
         if events.len() == self.inner.capacity {
             events.pop_front();
@@ -118,6 +132,7 @@ impl TraceSink {
 
     /// Records a completed interval and, for attributed categories, charges
     /// it to the actor's open operation.
+    #[inline]
     pub fn span(
         &self,
         t_ns: u64,
@@ -142,6 +157,7 @@ impl TraceSink {
     }
 
     /// Records a point-in-time annotation.
+    #[inline]
     pub fn instant(&self, t_ns: u64, actor: Actor, cat: Category, name: &'static str, args: Args) {
         if !self.wants(cat) {
             return;
@@ -158,7 +174,14 @@ impl TraceSink {
     /// Records a [`Category::Sync`] probe: `actor` performed `op` on the
     /// lock or shared cell identified by `id` and named `name`. A no-op
     /// unless Sync events are unmasked (see [`TraceSink::DEFAULT_MASK`]).
+    #[inline]
     pub fn sync_probe(&self, t_ns: u64, actor: Actor, name: &'static str, op: SyncOp, id: u64) {
+        // Masked by default: bail before even assembling the args. Sync
+        // probes sit inside every lock acquire/release, the most
+        // frequently hit record path in the runtime.
+        if !self.wants(Category::Sync) {
+            return;
+        }
         self.instant(
             t_ns,
             actor,
@@ -169,6 +192,7 @@ impl TraceSink {
     }
 
     /// Records a sampled counter value.
+    #[inline]
     pub fn counter(&self, t_ns: u64, actor: Actor, cat: Category, name: &'static str, value: u64) {
         if !self.wants(cat) {
             return;
@@ -185,6 +209,7 @@ impl TraceSink {
     /// Opens an operation scope for `actor`: until the matching
     /// [`TraceSink::end_op`], attributed spans from the same actor are
     /// charged to this operation.
+    #[inline]
     pub fn begin_op(&self, t_ns: u64, actor: Actor, kind: &'static str) {
         if !self.wants(Category::Op) {
             return;
@@ -194,6 +219,7 @@ impl TraceSink {
 
     /// Closes the actor's operation scope, folds it into the attribution
     /// aggregates and records one `Op` span covering the whole operation.
+    #[inline]
     pub fn end_op(&self, t_ns: u64, actor: Actor) {
         if !self.wants(Category::Op) {
             return;
@@ -320,6 +346,24 @@ mod tests {
             }
             other => panic!("expected instant, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn masked_categories_never_touch_the_ring() {
+        let s = TraceSink::with_capacity(16);
+        s.set_mask(0); // everything masked
+        let actor = Actor::new(3, 1);
+        for i in 0..1_000u64 {
+            s.span(i, 5, actor, Category::DbLock, "lock", Args::one("w", i));
+            s.instant(i, actor, Category::Cache, "miss", Args::NONE);
+            s.counter(i, actor, Category::Tune, "c_max", i);
+            s.sync_probe(i, actor, "cell", SyncOp::Acquire, i);
+            s.begin_op(i, actor, "op");
+            s.end_op(i + 1, actor);
+        }
+        assert_eq!(s.len(), 0, "masked events must not reach the ring");
+        assert_eq!(s.dropped(), 0, "masked events must not evict anything");
+        assert!(s.attribution().is_empty(), "masked ops must not attribute");
     }
 
     #[test]

@@ -14,9 +14,10 @@
 
 use std::rc::Rc;
 
+use smart_bench::parallel_map;
 use smart_lab::smart::{run_microbench, MicrobenchSpec, SmartConfig, SmartContext};
 use smart_lab::smart_check::{
-    check_sink, explore, probe_events, recording_sink, ExploreReport, Finding, RunReport,
+    check_sink, probe_events, recording_sink, ExploreReport, Finding, RunReport,
 };
 use smart_lab::smart_race::{RaceConfig, RaceHashTable};
 use smart_lab::smart_rnic::{Cluster, ClusterConfig};
@@ -108,6 +109,24 @@ fn race_run(policy: SchedulePolicy, salt: u64) -> RunReport {
     }
 }
 
+/// Parallel twin of `smart_check::explore`: every salt is an independent
+/// simulation, so salts fan out across OS threads (the sanitizer crates
+/// themselves stay thread-free — the driver lives in `smart-bench`) and
+/// reports merge in salt order, rendering byte-identical to a
+/// sequential exploration.
+fn explore_parallel(n_seeds: u64, run: fn(SchedulePolicy, u64) -> RunReport) -> ExploreReport {
+    let salts: Vec<u64> = (0..n_seeds.max(1)).collect();
+    let runs = parallel_map(salts, |_, salt| {
+        let policy = if salt == 0 {
+            SchedulePolicy::Fifo
+        } else {
+            SchedulePolicy::SeededTieBreak(salt)
+        };
+        run(policy, salt)
+    });
+    ExploreReport { runs }
+}
+
 fn print_report(name: &str, report: &ExploreReport) {
     println!("== {name} ==");
     print!("{}", report.render());
@@ -119,9 +138,9 @@ fn main() {
         .map(|s| s.parse().expect("n_seeds must be a number"))
         .unwrap_or(16);
 
-    let fig03 = explore(n_seeds, fig03_run);
+    let fig03 = explore_parallel(n_seeds, fig03_run);
     print_report("fig03 microbenchmark", &fig03);
-    let race = explore(n_seeds, race_run);
+    let race = explore_parallel(n_seeds, race_run);
     print_report("RACE insert/get/update mix", &race);
 
     if !fig03.is_clean() || !race.is_clean() {

@@ -7,7 +7,7 @@
 
 use std::rc::Rc;
 
-use smart_bench::{run_ht, HtParams};
+use smart_bench::{parallel_map, run_ht, HtParams};
 use smart_lab::smart::{RetryPolicy, SmartConfig, SmartContext, SmartThread};
 use smart_lab::smart_fault::{FaultInjector, FaultPlan};
 use smart_lab::smart_ford::{backoff_after_abort, DtxError, RecordId, SmallBank};
@@ -406,24 +406,35 @@ fn bt_chaos(seed: u64, plan: FaultPlan) -> Vec<String> {
 /// offending seed and plan description.
 #[test]
 fn random_healing_plans_leave_every_app_consistent() {
-    let mut failures = Vec::new();
+    let mut jobs = Vec::new();
     for seed in 0..sweep_seeds() {
-        let plan = FaultPlan::random(seed, sweep_horizon(), 1, 2);
-        assert!(plan.eventually_heals(), "random plans must heal");
         for (app, run) in [
             ("ht", ht_chaos as fn(u64, FaultPlan) -> Vec<String>),
             ("dtx", dtx_chaos),
             ("bt", bt_chaos),
         ] {
-            let violations = run(seed, plan.clone());
-            if !violations.is_empty() {
-                failures.push(format!(
-                    "seed {seed} [{app}] plan `{}`: {violations:?}",
-                    plan.describe()
-                ));
-            }
+            jobs.push((seed, app, run));
         }
     }
+    // Each (seed, app) chaos run is an independent simulation, so the
+    // sweep fans out across OS threads; results merge in submission
+    // order, so the failure report reads exactly like a sequential one.
+    let failures: Vec<String> = parallel_map(jobs, |_, (seed, app, run)| {
+        let plan = FaultPlan::random(seed, sweep_horizon(), 1, 2);
+        assert!(plan.eventually_heals(), "random plans must heal");
+        let violations = run(seed, plan.clone());
+        if violations.is_empty() {
+            None
+        } else {
+            Some(format!(
+                "seed {seed} [{app}] plan `{}`: {violations:?}",
+                plan.describe()
+            ))
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     assert!(failures.is_empty(), "chaos sweep failures:\n{failures:#?}");
 }
 

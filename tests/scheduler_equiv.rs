@@ -1,0 +1,159 @@
+//! Scheduler-equivalence gate: the executor's timer queue is an
+//! implementation detail, and replacing it must not move a single event.
+//! A mixed workload — a fig03-style microbench under both `SchedulePolicy`
+//! variants, plus a chaos-plan hash-table run through the full recovery
+//! stack — is replayed against golden files captured from the original
+//! `BinaryHeap` scheduler. The Perfetto JSON export (every event, with
+//! nanosecond timestamps, in emission order) and the report fingerprints
+//! must match byte-for-byte.
+//!
+//! Regenerate after an *intentional* semantic change with:
+//! `SMART_UPDATE_GOLDENS=1 cargo test -q --test scheduler_equiv`
+//! and review the golden diff like any other code change.
+
+use std::path::PathBuf;
+
+use smart_bench::{run_ht, HtParams, RunReport};
+use smart_lab::smart::{run_microbench, MicroOp, MicrobenchSpec, QpPolicy, SmartConfig};
+use smart_lab::smart_fault::FaultPlan;
+use smart_lab::smart_rt::{Duration, SchedulePolicy};
+use smart_lab::smart_trace::TraceSink;
+use smart_lab::smart_workloads::ycsb::Mix;
+
+/// Ring capacity for the golden traces: small enough to keep the checked
+/// in files reviewable, large enough that the tail window spans many
+/// timer fires, wakes and op completions.
+const TRACE_EVENTS: usize = 1024;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// Compares `got` against the committed golden, or rewrites the golden
+/// when `SMART_UPDATE_GOLDENS=1` is set.
+fn assert_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var("SMART_UPDATE_GOLDENS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}; regenerate with SMART_UPDATE_GOLDENS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "{name} diverged from the heap-scheduler golden; if the schedule \
+         change is intentional, regenerate with SMART_UPDATE_GOLDENS=1 \
+         and review the diff"
+    );
+}
+
+/// One fig03-style microbench point (thread-aware doorbell QPs, depth 8)
+/// with a tracer installed, under the given tie-break policy.
+fn fig03_run(schedule: SchedulePolicy) -> (String, String) {
+    let sink = TraceSink::with_capacity(TRACE_EVENTS);
+    let mut spec = MicrobenchSpec::new(
+        SmartConfig::baseline(QpPolicy::ThreadAwareDoorbell, 4),
+        4,
+        8,
+    );
+    spec.op = MicroOp::Read(8);
+    spec.warmup = Duration::from_micros(300);
+    spec.measure = Duration::from_millis(1);
+    spec.seed = 42;
+    spec.trace = Some(sink.clone());
+    spec.schedule = schedule;
+    let report = run_microbench(&spec);
+    (format!("{report:?}\n"), sink.chrome_json())
+}
+
+/// A chaos-plan hash-table run: a QP error mid-batch and a blade crash
+/// mid-window, recovered through the full retry/re-establish stack, with
+/// the tracer on. This exercises `with_timeout` (and therefore cancelled
+/// sleeps) on the recovery path.
+fn fault_run() -> (String, String) {
+    let sink = TraceSink::with_capacity(TRACE_EVENTS);
+    let plan = FaultPlan::new()
+        .qp_error_at(Duration::from_micros(400), 0, None)
+        .blade_crash_at(Duration::from_micros(1_200), 0, Duration::from_micros(100));
+    let mut p = HtParams::new(SmartConfig::smart_full(4), 4, 2_000, Mix::UpdateOnly);
+    p.warmup = Duration::from_millis(1);
+    p.measure = Duration::from_millis(2);
+    p.seed = 1907;
+    p.trace = Some(sink.clone());
+    p.fault = Some(plan);
+    let report = run_ht(&p);
+    (report_fingerprint(&report), sink.chrome_json())
+}
+
+/// Renders every behavioural field of a [`RunReport`]. `sim_events` is
+/// deliberately excluded: it counts executor bookkeeping (polls + timer
+/// fires), and purging cancelled timers legitimately changes it without
+/// changing any simulated outcome.
+fn report_fingerprint(r: &RunReport) -> String {
+    let RunReport {
+        ops,
+        mops,
+        median,
+        p99,
+        avg_retries,
+        retry_hist,
+        abort_rate,
+        faults_injected,
+        faults_seen,
+        faults_recovered,
+        recovery_p50,
+        recovery_p99,
+        recovery_hist: _,
+        conservation,
+        sim_events: _,
+    } = r;
+    format!(
+        "ops={ops}\nmops={mops:?}\nmedian={median:?}\np99={p99:?}\n\
+         avg_retries={avg_retries:?}\nretry_hist={retry_hist:?}\n\
+         abort_rate={abort_rate:?}\nfaults_injected={faults_injected}\n\
+         faults_seen={faults_seen}\nfaults_recovered={faults_recovered}\n\
+         recovery_p50={recovery_p50:?}\nrecovery_p99={recovery_p99:?}\n\
+         conservation={conservation:?}\n"
+    )
+}
+
+#[test]
+fn fig03_fifo_matches_heap_scheduler_golden() {
+    let (report, trace) = fig03_run(SchedulePolicy::Fifo);
+    assert!(trace.len() > 1_000, "trace export is implausibly small");
+    assert_golden("scheduler_equiv_fig03_fifo.report.txt", &report);
+    assert_golden("scheduler_equiv_fig03_fifo.trace.json", &trace);
+}
+
+#[test]
+fn fig03_seeded_salts_match_heap_scheduler_goldens() {
+    for salt in [1u64, 2] {
+        let (report, trace) = fig03_run(SchedulePolicy::SeededTieBreak(salt));
+        assert_golden(
+            &format!("scheduler_equiv_fig03_salt{salt}.report.txt"),
+            &report,
+        );
+        assert_golden(
+            &format!("scheduler_equiv_fig03_salt{salt}.trace.json"),
+            &trace,
+        );
+    }
+}
+
+#[test]
+fn fault_plan_run_matches_heap_scheduler_golden() {
+    let (report, trace) = fault_run();
+    assert!(
+        !report.contains("faults_recovered=0\n"),
+        "the chaos plan must actually exercise the recovery path:\n{report}"
+    );
+    assert_golden("scheduler_equiv_fault.report.txt", &report);
+    assert_golden("scheduler_equiv_fault.trace.json", &trace);
+}
