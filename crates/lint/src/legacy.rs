@@ -1,0 +1,238 @@
+//! The pre-v2 line engine, preserved verbatim for equivalence testing.
+//!
+//! Before the token/scope engine ([`crate::lex`], [`crate::items`],
+//! [`crate::resolve`]) existed, every code rule pattern-matched directly
+//! on whitespace-condensed scrubbed lines. This module keeps that engine
+//! alive — same matching, same line handling, same quirks — so
+//! `tests/engine_equivalence.rs` can prove the re-hosted rules report
+//! the same findings on the real tree (and that the only differences on
+//! any tree are the documented, deliberate ones: the token engine sees
+//! multi-line guard acquisitions the line engine missed, and exempts
+//! constructor bodies from `hot-path-alloc` where the line engine needed
+//! pragmas).
+//!
+//! The per-line matchers ([`rules::wall_clock_hit`] &c.) and message
+//! builders ([`rules::msg`]) are shared with the live engine, so a
+//! finding's wording can never drift between the two: only the *hosting*
+//! differs. Nothing here runs in the normal lint pass.
+
+use crate::rules::{self, diag, fallible_sinks, msg, Diagnostic, SourceFile, HOT_PATHS};
+
+/// Pre-refactor condensed projection: each scrubbed line with its
+/// whitespace stripped, computed by char-filtering the scrubbed text
+/// (the token engine builds the same projection during lexing; the two
+/// are asserted equal in `lex::tests::projection_matches_char_condense`).
+fn condensed_lines(file: &SourceFile) -> Vec<(usize, String)> {
+    file.scrubbed
+        .text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            (
+                i + 1,
+                l.chars().filter(|c| !c.is_whitespace()).collect::<String>(),
+            )
+        })
+        .collect()
+}
+
+pub fn wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    for (line, l) in condensed_lines(file) {
+        if let Some(pat) = rules::wall_clock_hit(&l) {
+            diag(file, line, "wall-clock", msg::wall_clock(pat), out);
+        }
+    }
+}
+
+pub fn os_concurrency(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    for (line, l) in condensed_lines(file) {
+        if let Some(pat) = rules::os_concurrency_hit(&l) {
+            diag(file, line, "os-concurrency", msg::os_concurrency(pat), out);
+        }
+    }
+}
+
+pub fn unordered_iter(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    for (line, l) in condensed_lines(file) {
+        if let Some(pat) = rules::unordered_iter_hit(&l) {
+            diag(file, line, "unordered-iter", msg::unordered_iter(pat), out);
+        }
+    }
+}
+
+pub fn unseeded_rng(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (line, l) in condensed_lines(file) {
+        if let Some(pat) = rules::unseeded_rng_hit(&l) {
+            diag(file, line, "unseeded-rng", msg::unseeded_rng(pat), out);
+        }
+    }
+}
+
+/// Extracts the binding name from a condensed `let NAME = …` line, or
+/// `None` for patterns, `_`-discards and plain expression statements.
+fn let_binding(l: &str) -> Option<String> {
+    let rest = l.strip_prefix("let")?;
+    let rest = rest.strip_prefix("mut").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name == "_" || !rest[name.len()..].starts_with(['=', ':']) {
+        return None;
+    }
+    Some(name)
+}
+
+/// Line-hosted `await-holding-guard`: brace depth is tallied per line
+/// (`depth_after`), so an acquisition split across lines — `let g =
+/// sem\n.acquire_guard(id)\n.await;` — never binds a guard here. The
+/// token engine tracks those; the equivalence test allows them as
+/// new-engine-only findings.
+pub fn await_holding_guard(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    struct LiveGuard {
+        name: String,
+        depth: i32,
+        line: usize,
+    }
+    let mut depth: i32 = 0;
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    for (line, l) in condensed_lines(file) {
+        let depth_after = depth + l.matches('{').count() as i32 - l.matches('}').count() as i32;
+        // Explicit release ends the hold.
+        guards.retain(|g| {
+            !(l.contains(&format!("drop({})", g.name))
+                || l.contains(&format!("{}.release(", g.name)))
+        });
+        let acquires = l.contains(".acquire_guard(") || l.contains(".enter_as(");
+        if acquires {
+            // The acquiring line's own `.await` is the acquisition
+            // itself, never a held-across suspension.
+            if let Some(name) = let_binding(&l) {
+                guards.push(LiveGuard {
+                    name,
+                    depth: depth_after,
+                    line,
+                });
+            }
+        } else if l.contains(".await") {
+            if let Some(g) = guards.last() {
+                diag(
+                    file,
+                    line,
+                    "await-holding-guard",
+                    msg::await_holding_guard(&g.name, g.line),
+                    out,
+                );
+            }
+        }
+        depth = depth_after;
+        // Scope exit drops whatever is still bound inside it.
+        guards.retain(|g| g.depth <= depth);
+    }
+}
+
+pub fn rc_identity(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    for (line, l) in condensed_lines(file) {
+        if let Some(pat) = rules::rc_identity_hit(&l) {
+            diag(file, line, "rc-identity", msg::rc_identity(pat), out);
+        }
+    }
+}
+
+pub fn fallible_unhandled(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    let lines = condensed_lines(file);
+    for (line, sink, verb) in fallible_sinks(lines.iter().map(|(n, l)| (*n, l.as_str()))) {
+        diag(
+            file,
+            line,
+            "fallible-unhandled",
+            msg::fallible_unhandled(sink, verb),
+            out,
+        );
+    }
+}
+
+/// Line-hosted `hot-path-alloc`: no constructor exemption — every match
+/// in a hot-path file fires, construction-time or not, and the
+/// construction-time ones needed pragmas. The token engine knows which
+/// fn body a line sits in and skips constructors.
+pub fn hot_path_alloc(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !HOT_PATHS.contains(&file.rel_str().as_str()) {
+        return;
+    }
+    for (line, l) in condensed_lines(file) {
+        if let Some(pat) = rules::hot_path_alloc_hit(&l) {
+            diag(file, line, "hot-path-alloc", msg::hot_path_alloc(pat), out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sim_file(src: &str) -> SourceFile {
+        SourceFile::new(PathBuf::from("crates/rt/src/x.rs"), src)
+    }
+
+    #[test]
+    fn legacy_let_binding_parses_condensed_lets() {
+        assert_eq!(let_binding("letg=sem.acquire_guard(1);"), Some("g".into()));
+        assert_eq!(
+            let_binding("letmutg=sem.acquire_guard(1);"),
+            Some("g".into())
+        );
+        assert_eq!(let_binding("let_=sem.acquire_guard(1);"), None);
+        assert_eq!(let_binding("let(a,b)=f();"), None);
+        assert_eq!(let_binding("sem.acquire_guard(1);"), None);
+    }
+
+    #[test]
+    fn legacy_misses_multiline_acquisition() {
+        // Acquisition split across lines: the line engine never binds the
+        // guard, so the later `.await` passes. (The token engine flags
+        // this — see rules::tests::guard_rule_tracks_multiline_acquire.)
+        let src = "async fn f(sem: &Semaphore) {\n    let g = sem\n        .acquire_guard(1)\n        .await;\n    other().await;\n}\n";
+        let mut out = Vec::new();
+        await_holding_guard(&sim_file(src), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn legacy_flags_same_line_acquisition() {
+        let src = "async fn f(sem: &Semaphore) {\n    let g = sem.acquire_guard(1).await;\n    other().await;\n}\n";
+        let mut out = Vec::new();
+        await_holding_guard(&sim_file(src), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn legacy_hot_path_alloc_has_no_constructor_exemption() {
+        let src = "impl Slab {\n    fn new() -> Self {\n        let v = Vec::new();\n        Slab { v }\n    }\n}\n";
+        let file = SourceFile::new(PathBuf::from("crates/rt/src/wheel.rs"), src);
+        let mut out = Vec::new();
+        hot_path_alloc(&file, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+    }
+}

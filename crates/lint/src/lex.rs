@@ -1,0 +1,275 @@
+//! A zero-dependency Rust lexer over scrubbed sources.
+//!
+//! The scrubber ([`crate::scrub`]) blanks comment and literal *contents*
+//! while keeping delimiters and line structure; this module turns that
+//! text into a token stream the structural rules can walk (idents,
+//! lifetimes, numbers, literal markers, single-char puncts), each token
+//! tagged with its 1-based line.
+//!
+//! The same pass also produces the per-line *condensed projection* —
+//! every non-whitespace character of the scrubbed line, in order. This
+//! is byte-identical to the whitespace-stripped lines the pre-refactor
+//! line engine matched on, so the pattern rules re-hosted onto this
+//! layer provably see exactly what they saw before.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: usize,
+    pub kind: TokKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident(String),
+    /// `'a`, `'static`, `'_`.
+    Lifetime(String),
+    /// Numeric literal text (suffix included, e.g. `4096u64`).
+    Num(String),
+    /// A string literal (contents already blanked by the scrubber).
+    Str,
+    /// A char literal (contents already blanked by the scrubber).
+    Char,
+    /// Any other single character.
+    Punct(char),
+}
+
+impl Tok {
+    /// The token's identifier text, if it is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(t) if t == s)
+    }
+
+    /// True if this token is the punct `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// The lexed form of one scrubbed source file.
+#[derive(Debug)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    /// `lines[i]` is the condensed projection of line `i + 1`: the
+    /// scrubbed line with every whitespace character removed.
+    pub lines: Vec<String>,
+}
+
+impl Lexed {
+    /// `(1-based line, condensed projection)` pairs, the exact stream the
+    /// pre-refactor engine pattern-matched on.
+    pub fn condensed_lines(&self) -> impl Iterator<Item = (usize, &str)> + '_ {
+        self.lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.as_str()))
+    }
+}
+
+/// True at a `::` separator (two adjacent `:` puncts).
+pub fn is_path_sep(toks: &[Tok], i: usize) -> bool {
+    i + 1 < toks.len() && toks[i].is_punct(':') && toks[i + 1].is_punct(':')
+}
+
+/// Lexes scrubbed source text.
+pub fn lex(scrubbed: &str) -> Lexed {
+    let chars: Vec<char> = scrubbed.chars().collect();
+    let mut toks = Vec::new();
+    let mut lines: Vec<String> = vec![String::new()];
+    let mut line = 1usize;
+    let mut i = 0;
+
+    // Mirrors every consumed char into the condensed projection so the
+    // two views can never drift.
+    macro_rules! project {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+                lines.push(String::new());
+            } else if !$c.is_whitespace() {
+                lines.last_mut().expect("never empty").push($c);
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            project!(c);
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                project!(chars[i]);
+                i += 1;
+            }
+            toks.push(Tok {
+                line: start_line,
+                kind: TokKind::Ident(text),
+            });
+        } else if c.is_ascii_digit() {
+            let start_line = line;
+            let mut text = String::new();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                project!(chars[i]);
+                i += 1;
+            }
+            // A fractional part: `.` followed by a digit (so `0..n`
+            // ranges stay three tokens).
+            if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                text.push('.');
+                project!('.');
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    project!(chars[i]);
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                line: start_line,
+                kind: TokKind::Num(text),
+            });
+        } else if c == '\'' {
+            // Lifetime (`'a`) or a scrubbed char literal (`' '`-ish).
+            if i + 1 < chars.len() && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_') {
+                let start_line = line;
+                let mut text = String::from("'");
+                project!('\'');
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    project!(chars[i]);
+                    i += 1;
+                }
+                toks.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Lifetime(text),
+                });
+            } else {
+                // Scrubbed char literal: consume through the closing quote.
+                let start_line = line;
+                project!('\'');
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    project!(chars[i]);
+                    i += 1;
+                }
+                if i < chars.len() {
+                    project!('\'');
+                    i += 1;
+                }
+                toks.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Char,
+                });
+            }
+        } else if c == '"' {
+            // Scrubbed string literal: contents are whitespace, so consume
+            // through the closing quote (possibly across lines).
+            let start_line = line;
+            project!('"');
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                project!(chars[i]);
+                i += 1;
+            }
+            if i < chars.len() {
+                project!('"');
+                i += 1;
+            }
+            toks.push(Tok {
+                line: start_line,
+                kind: TokKind::Str,
+            });
+        } else {
+            toks.push(Tok {
+                line,
+                kind: TokKind::Punct(c),
+            });
+            project!(c);
+            i += 1;
+        }
+    }
+
+    // `str::lines` drops the final empty piece after a trailing newline;
+    // match that so the projection aligns with the legacy view.
+    if scrubbed.ends_with('\n') {
+        lines.pop();
+    }
+    Lexed { toks, lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    fn lex_src(src: &str) -> Lexed {
+        lex(&scrub(src).text)
+    }
+
+    #[test]
+    fn tokens_carry_lines_and_kinds() {
+        let l = lex_src("use std::time::Instant as Clock;\nlet t = Clock::now();\n");
+        let idents: Vec<(&str, usize)> = l
+            .toks
+            .iter()
+            .filter_map(|t| t.ident().map(|s| (s, t.line)))
+            .collect();
+        assert!(idents.contains(&("Instant", 1)));
+        assert!(idents.contains(&("Clock", 2)));
+        assert!(idents.contains(&("now", 2)));
+    }
+
+    #[test]
+    fn projection_matches_char_condense() {
+        let src = "let x = \"Hash Map\";  // comment\nfor (k, v) in &m { }\n";
+        let scrubbed = scrub(src).text;
+        let l = lex(&scrubbed);
+        let legacy: Vec<String> = scrubbed
+            .lines()
+            .map(|line| line.chars().filter(|c| !c.is_whitespace()).collect())
+            .collect();
+        assert_eq!(l.lines, legacy);
+    }
+
+    #[test]
+    fn literals_become_marker_tokens() {
+        let l = lex_src("let s = \"HashMap\"; let c = 'x'; let lt: &'static str = s;");
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Str));
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Char));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Lifetime(s) if s == "'static")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("HashMap")));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let l = lex_src("for i in 0..4_096u64 { f(1.5); }");
+        let nums: Vec<&str> = l
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0", "4_096u64", "1.5"]);
+    }
+}

@@ -1,11 +1,25 @@
-//! `cargo run -p smart-lint [-- <workspace-root>]`
+//! `cargo run -p smart-lint [-- [options] [<workspace-root>]]`
 //!
-//! Prints one `file:line: [rule] message` diagnostic per violation and
-//! exits non-zero if there are any. With no argument it lints the
-//! workspace that contains the current directory (walking up to the
-//! first dir holding both `Cargo.toml` and `DESIGN.md`, so it works from
-//! any crate subdirectory).
+//! Prints one diagnostic per violation and exits non-zero if there are
+//! any. With no root argument it lints the workspace that contains the
+//! current directory (walking up to the first dir holding both
+//! `Cargo.toml` and `DESIGN.md`, so it works from any crate
+//! subdirectory).
+//!
+//! Options:
+//!
+//! * `--format=text` (default) — `file:line: [rule] message` lines.
+//! * `--format=json` — one JSON object per finding (`path`, `line`,
+//!   `rule`, `message`), one per line; the `--baseline` input format.
+//! * `--format=github` — GitHub Actions `::error` workflow annotations,
+//!   so findings surface inline on the PR diff.
+//! * `--baseline <file>` — suppress findings whose JSON line appears
+//!   verbatim in `<file>` (a previous `--format=json` run); exit status
+//!   reflects only the remaining findings.
+//! * `--pragmas` — print the suppression-pragma count for the workspace
+//!   and exit 0; CI compares it against the committed budget.
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -21,14 +35,84 @@ fn find_workspace_root() -> PathBuf {
     }
 }
 
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: smart-lint [--format=text|json|github] [--baseline <file>] [--pragmas] [<root>]"
+    );
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
-    let root = match std::env::args_os().nth(1) {
-        Some(p) => PathBuf::from(p),
-        None => find_workspace_root(),
+    let mut format = Format::Text;
+    let mut baseline: Option<PathBuf> = None;
+    let mut pragmas = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if let Some(f) = arg.strip_prefix("--format=") {
+            format = match f {
+                "text" => Format::Text,
+                "json" => Format::Json,
+                "github" => Format::Github,
+                _ => return usage(),
+            };
+        } else if arg == "--baseline" {
+            match argv.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage(),
+            }
+        } else if arg == "--pragmas" {
+            pragmas = true;
+        } else if arg.starts_with("--") {
+            return usage();
+        } else if root.is_none() {
+            root = Some(PathBuf::from(arg));
+        } else {
+            return usage();
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+
+    if pragmas {
+        println!("{}", smart_lint::count_pragmas(&root));
+        return ExitCode::SUCCESS;
+    }
+
+    let known: BTreeSet<String> = match &baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text.lines().map(str::to_string).collect(),
+            Err(e) => {
+                eprintln!("smart-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => BTreeSet::new(),
     };
-    let diags = smart_lint::run_lint(&root);
+
+    let diags: Vec<_> = smart_lint::run_lint(&root)
+        .into_iter()
+        .filter(|d| !known.contains(&smart_lint::to_json(d)))
+        .collect();
+
     for d in &diags {
-        println!("{d}");
+        match format {
+            Format::Text => println!("{d}"),
+            Format::Json => println!("{}", smart_lint::to_json(d)),
+            Format::Github => println!(
+                "::error file={},line={},title=smart-lint {}::{}",
+                d.path.to_string_lossy().replace('\\', "/"),
+                d.line,
+                d.rule,
+                d.message.replace('\n', " ")
+            ),
+        }
     }
     if diags.is_empty() {
         eprintln!("smart-lint: clean ({})", root.display());

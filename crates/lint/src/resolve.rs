@@ -1,0 +1,300 @@
+//! Name resolution (syntactic) over the item layer.
+//!
+//! Three small facilities the structural rules share:
+//!
+//! * [`Resolver`] — per-file `use`-alias resolution: maps every locally
+//!   bound import name to its full path, so `Clock::now()` after
+//!   `use std::time::Instant as Clock;` resolves to
+//!   `std::time::Instant::now`.
+//! * [`Bindings`] — block-scoped `let`-binding tracker: walks a fn body
+//!   recording each binding's syntactic type head (from the `:` type
+//!   annotation or the constructor path on the RHS), honouring shadowing
+//!   and scope exit.
+//! * [`crate_of`] / [`dep_crate`] — workspace-crate attribution for the
+//!   cross-file layering rule.
+//!
+//! Everything here is resolution of what is *written*, not of what the
+//! compiler would infer: a binding with no annotation and an opaque RHS
+//! has no type, and that is fine — rules only act on what they can see.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::items::FileMap;
+use crate::lex::{is_path_sep, Tok};
+
+/// Per-file import resolution.
+#[derive(Debug, Default)]
+pub struct Resolver {
+    map: BTreeMap<String, Vec<String>>,
+}
+
+impl Resolver {
+    pub fn new(items: &FileMap) -> Self {
+        let mut map = BTreeMap::new();
+        for u in &items.uses {
+            if let Some(name) = u.local_name() {
+                // First import of a name wins; duplicates are a compile
+                // error anyway.
+                map.entry(name.to_string())
+                    .or_insert_with(|| u.path.clone());
+            }
+        }
+        Resolver { map }
+    }
+
+    /// The full path a local name was imported from, if any.
+    pub fn lookup(&self, name: &str) -> Option<&[String]> {
+        self.map.get(name).map(|v| v.as_slice())
+    }
+
+    /// Expands a written path through the alias map: if the head segment
+    /// is an import, it is replaced by its full path. Returns the
+    /// `::`-joined expansion.
+    pub fn expand(&self, segments: &[String]) -> String {
+        let mut full: Vec<&str> = Vec::new();
+        if let Some(head) = segments.first() {
+            if let Some(target) = self.map.get(head) {
+                full.extend(target.iter().map(|s| s.as_str()));
+                full.extend(segments[1..].iter().map(|s| s.as_str()));
+                return full.join("::");
+            }
+        }
+        segments
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join("::")
+    }
+}
+
+/// Reads the `::`-separated path expression starting at token `i`,
+/// returning its segments and the index just past them.
+pub fn path_at(toks: &[Tok], mut i: usize) -> (Vec<String>, usize) {
+    let mut segs = Vec::new();
+    while let Some(seg) = toks.get(i).and_then(|t| t.ident()) {
+        segs.push(seg.to_string());
+        i += 1;
+        if is_path_sep(toks, i) {
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    (segs, i)
+}
+
+/// One tracked `let` binding.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    pub name: String,
+    pub line: usize,
+    /// Identifier tokens of the declared/constructed type (annotation
+    /// first; else the RHS constructor path), alias-expanded head
+    /// included. Empty when nothing syntactic names a type.
+    pub ty: Vec<String>,
+}
+
+/// Block-scoped binding table for one fn-body walk. The caller drives
+/// token iteration and reports `{` / `}` and `let` statements; lookups
+/// see innermost bindings first.
+#[derive(Debug, Default)]
+pub struct Bindings {
+    scopes: Vec<Vec<Binding>>,
+}
+
+impl Bindings {
+    pub fn enter(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    pub fn exit(&mut self) {
+        self.scopes.pop();
+    }
+
+    pub fn declare(&mut self, b: Binding) {
+        if let Some(top) = self.scopes.last_mut() {
+            top.push(b);
+        }
+    }
+
+    /// The innermost binding with this name, if tracked.
+    pub fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.iter().rev().find(|b| b.name == name))
+    }
+}
+
+/// Parses a `let` statement whose `let` keyword sits at token `i`,
+/// returning the binding (with its syntactic type, alias-expanded via
+/// `res`) and the index just past the pattern/annotation — or `None` for
+/// destructuring patterns and `_`.
+pub fn let_binding_at(toks: &[Tok], mut i: usize, res: &Resolver) -> Option<(Binding, usize)> {
+    debug_assert!(toks[i].is_ident("let"));
+    i += 1;
+    if toks.get(i).is_some_and(|t| t.is_ident("mut")) {
+        i += 1;
+    }
+    let name = toks.get(i)?.ident()?.to_string();
+    if name == "_" {
+        return None;
+    }
+    let line = toks[i].line;
+    i += 1;
+    let mut ty: Vec<String> = Vec::new();
+    if toks.get(i).is_some_and(|t| t.is_punct(':')) && !is_path_sep(toks, i) {
+        // Annotation: idents until `=` or `;` at bracket depth 0.
+        i += 1;
+        let mut depth = 0i64;
+        while let Some(t) = toks.get(i) {
+            match &t.kind {
+                crate::lex::TokKind::Punct('<')
+                | crate::lex::TokKind::Punct('(')
+                | crate::lex::TokKind::Punct('[') => depth += 1,
+                crate::lex::TokKind::Punct('>')
+                | crate::lex::TokKind::Punct(')')
+                | crate::lex::TokKind::Punct(']') => depth -= 1,
+                crate::lex::TokKind::Punct('=') | crate::lex::TokKind::Punct(';') if depth <= 0 => {
+                    break
+                }
+                crate::lex::TokKind::Ident(s) => ty.push(s.clone()),
+                _ => {}
+            }
+            i += 1;
+        }
+    } else if toks.get(i).is_some_and(|t| t.is_punct('=')) {
+        // No annotation: take the RHS head path (`HashMap::with_capacity`
+        // names the type; a bare call or method chain names nothing).
+        let (segs, _) = path_at(toks, i + 1);
+        if segs.len() >= 2 {
+            // Drop the trailing constructor fn segment (`new`, `with_…`,
+            // `from…`, `default`); what remains is the type path.
+            let head = &segs[..segs.len() - 1];
+            ty = head.to_vec();
+        }
+    }
+    // Expand the type head through the alias map so `Map<u64>` after
+    // `use … ::HashMap as Map;` is seen as a HashMap.
+    if let Some(first) = ty.first().cloned() {
+        if let Some(full) = res.lookup(&first) {
+            let mut expanded: Vec<String> = full.to_vec();
+            expanded.extend(ty.into_iter().skip(1));
+            ty = expanded;
+        }
+    }
+    Some((Binding { name, line, ty }, i))
+}
+
+/// The workspace crate owning `rel` (a root-relative path), i.e. the
+/// `<name>` in `crates/<name>/…`.
+pub fn crate_of(rel: &Path) -> Option<String> {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    let rest = s.strip_prefix("crates/")?;
+    let (name, _) = rest.split_once('/')?;
+    Some(name.to_string())
+}
+
+/// Maps an imported crate identifier (`smart_rt`, `smart`) or a
+/// Cargo.toml dependency name (`smart-rt`, `smart`) to its workspace
+/// crate directory name (`rt`, `core`).
+pub fn dep_crate(name: &str) -> Option<String> {
+    let name = name.replace('-', "_");
+    if name == "smart" {
+        return Some("core".to_string());
+    }
+    name.strip_prefix("smart_").map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse;
+    use crate::lex::lex;
+    use crate::scrub::scrub;
+    use std::path::PathBuf;
+
+    fn setup(src: &str) -> (Vec<Tok>, Resolver) {
+        let toks = lex(&scrub(src).text).toks;
+        let items = parse(&toks);
+        let res = Resolver::new(&items);
+        (toks, res)
+    }
+
+    #[test]
+    fn alias_expansion_sees_through_renames() {
+        let (toks, res) = setup("use std::time::Instant as Clock;\nfn f() { Clock::now(); }\n");
+        let at = toks.iter().position(|t| t.is_ident("Clock")).unwrap();
+        // Skip the use-decl occurrence; find the usage.
+        let at = toks[at + 1..]
+            .iter()
+            .position(|t| t.is_ident("Clock"))
+            .unwrap()
+            + at
+            + 1;
+        let (segs, _) = path_at(&toks, at);
+        assert_eq!(res.expand(&segs), "std::time::Instant::now");
+    }
+
+    #[test]
+    fn plain_imports_resolve_to_their_full_path() {
+        let (_, res) = setup("use std::collections::HashMap;\n");
+        assert_eq!(
+            res.lookup("HashMap").unwrap(),
+            ["std", "collections", "HashMap"]
+        );
+    }
+
+    #[test]
+    fn let_bindings_capture_annotation_and_rhs_types() {
+        let src = "use std::collections::HashMap as Map;\nfn f() { let a: Map<u64, u64> = Map::new(); let b = Map::with_capacity(4); let c = helper(); }\n";
+        let (toks, res) = setup(src);
+        let lets: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("let"))
+            .map(|(i, _)| i)
+            .collect();
+        let (a, _) = let_binding_at(&toks, lets[0], &res).unwrap();
+        assert!(a.ty.contains(&"HashMap".to_string()), "{:?}", a.ty);
+        let (b, _) = let_binding_at(&toks, lets[1], &res).unwrap();
+        assert!(b.ty.contains(&"HashMap".to_string()), "{:?}", b.ty);
+        let (c, _) = let_binding_at(&toks, lets[2], &res).unwrap();
+        assert!(c.ty.is_empty(), "{:?}", c.ty);
+    }
+
+    #[test]
+    fn bindings_respect_scopes_and_shadowing() {
+        let mut b = Bindings::default();
+        b.enter();
+        b.declare(Binding {
+            name: "m".into(),
+            line: 1,
+            ty: vec!["HashMap".into()],
+        });
+        b.enter();
+        b.declare(Binding {
+            name: "m".into(),
+            line: 2,
+            ty: vec!["BTreeMap".into()],
+        });
+        assert_eq!(b.lookup("m").unwrap().ty, vec!["BTreeMap"]);
+        b.exit();
+        assert_eq!(b.lookup("m").unwrap().ty, vec!["HashMap"]);
+        b.exit();
+        assert!(b.lookup("m").is_none());
+    }
+
+    #[test]
+    fn crate_attribution() {
+        assert_eq!(
+            crate_of(&PathBuf::from("crates/rt/src/executor.rs")).as_deref(),
+            Some("rt")
+        );
+        assert_eq!(crate_of(&PathBuf::from("tests/lint.rs")), None);
+        assert_eq!(dep_crate("smart-rnic").as_deref(), Some("rnic"));
+        assert_eq!(dep_crate("smart").as_deref(), Some("core"));
+        assert_eq!(dep_crate("serde"), None);
+    }
+}

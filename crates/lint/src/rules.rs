@@ -1,16 +1,30 @@
-//! The ten lint rules.
+//! The fourteen lint rules, hosted on the token/scope engine.
 //!
 //! Every rule is a pure function from scrubbed sources to diagnostics;
 //! the driver in [`crate::run_lint`] handles file discovery, scrubbing
-//! and pragma suppression. Code rules operate per line on a
-//! whitespace-condensed copy of the scrubbed line, so `Instant :: now`
+//! and pragma suppression. The pattern rules operate per line on the
+//! condensed projection the lexer builds (byte-identical to the
+//! pre-refactor engine's whitespace-stripped lines, so `Instant :: now`
 //! and `Instant::now` both match while anything inside comments, string
-//! literals or `#[cfg(test)]` modules never does.
+//! literals or `#[cfg(test)]` modules never does). The structural rules
+//! ([`await_holding_guard`], [`hot_path_alloc`], [`alias_evasion`],
+//! [`unordered_iter_binding`], [`panic_in_recovery`], [`layering`]) walk
+//! the token stream and the item/scope layer instead, which lets them
+//! see through renames, track bindings and distinguish construction
+//! from per-event code.
+//!
+//! The pre-refactor line engine survives verbatim in [`crate::legacy`];
+//! `tests/engine_equivalence.rs` diffs the two on the real workspace.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::scrub::Scrubbed;
+use crate::items::{self, FileMap, FnItem};
+use crate::lex::{self, is_path_sep, Lexed, Tok, TokKind};
+use crate::resolve::{self, Bindings, Resolver};
+use crate::scrub::{self, Scrubbed};
 
 /// Crates whose `src/` trees are simulation code: nothing inside them may
 /// observe wall-clock time, OS threads or unordered iteration, because
@@ -42,6 +56,51 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/rnic/src/doorbell.rs",
 ];
 
+/// The dependency tiers of the simulation stack, lowest first. A crate
+/// may depend on any crate in a tier at or below its own; an upward edge
+/// inverts the layering (e.g. the event loop reaching into a workload)
+/// and is flagged by [`layering`].
+pub const LAYERS: &[(&str, u8)] = &[
+    ("trace", 0),
+    ("rt", 1),
+    ("rnic", 2),
+    ("core", 3),
+    ("race", 4),
+    ("ford", 4),
+    ("sherman", 4),
+    ("workloads", 4),
+    ("check", 5),
+    ("fault", 5),
+    ("bench", 6),
+];
+
+/// Workspace crates outside the simulation stack (tooling): not part of
+/// the tier order, and nothing in the stack may depend on them.
+pub const NON_SIM_CRATES: &[&str] = &["lint", "plot"];
+
+/// Every rule id, for pragma validation and counting.
+pub const RULES: &[&str] = &[
+    "wall-clock",
+    "os-concurrency",
+    "unordered-iter",
+    "unseeded-rng",
+    "calibration-drift",
+    "bench-index-drift",
+    "await-holding-guard",
+    "rc-identity",
+    "fallible-unhandled",
+    "hot-path-alloc",
+    "alias-evasion",
+    "unordered-iter-binding",
+    "layering",
+    "panic-in-recovery",
+];
+
+/// The tier of a workspace crate, if it is in the simulation stack.
+pub fn layer(name: &str) -> Option<u8> {
+    LAYERS.iter().find(|(n, _)| *n == name).map(|&(_, l)| l)
+}
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -68,35 +127,58 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// A scrubbed workspace source file, ready for rule matching.
+/// A scrubbed, lexed and item-mapped workspace source file.
 pub struct SourceFile {
     /// Path relative to the linted root, with `/` separators.
     pub rel: PathBuf,
     pub scrubbed: Scrubbed,
+    pub lex: Lexed,
+    pub items: FileMap,
 }
 
 impl SourceFile {
+    /// Scrubs, lexes and item-maps one source.
+    pub fn new(rel: PathBuf, src: &str) -> Self {
+        let scrubbed = scrub::scrub(src);
+        let lex = lex::lex(&scrubbed.text);
+        let items = items::parse(&lex.toks);
+        SourceFile {
+            rel,
+            scrubbed,
+            lex,
+            items,
+        }
+    }
+
+    /// The root-relative path with `/` separators.
+    pub fn rel_str(&self) -> String {
+        self.rel.to_string_lossy().replace('\\', "/")
+    }
+
     /// True if this file is non-test simulation code.
     pub fn is_sim_src(&self) -> bool {
-        let s = self.rel.to_string_lossy().replace('\\', "/");
+        let s = self.rel_str();
         SIM_CRATES
             .iter()
             .any(|c| s.starts_with(&format!("crates/{c}/src/")))
     }
 
     /// Scrubbed lines paired with their whitespace-condensed form.
-    fn condensed_lines(&self) -> impl Iterator<Item = (usize, String)> + '_ {
-        self.scrubbed.text.lines().enumerate().map(|(i, l)| {
-            (
-                i + 1,
-                l.chars().filter(|c| !c.is_whitespace()).collect::<String>(),
-            )
-        })
+    pub(crate) fn condensed_lines(&self) -> impl Iterator<Item = (usize, &str)> + '_ {
+        self.lex.condensed_lines()
+    }
+
+    /// The condensed projection of a 1-based line ("" past EOF).
+    fn condensed_line(&self, line: usize) -> &str {
+        line.checked_sub(1)
+            .and_then(|i| self.lex.lines.get(i))
+            .map(String::as_str)
+            .unwrap_or("")
     }
 }
 
 /// True if `needle` occurs in `hay` delimited by non-identifier chars.
-fn has_ident(hay: &str, needle: &str) -> bool {
+pub(crate) fn has_ident(hay: &str, needle: &str) -> bool {
     let mut from = 0;
     while let Some(pos) = hay[from..].find(needle) {
         let at = from + pos;
@@ -119,7 +201,7 @@ fn has_ident(hay: &str, needle: &str) -> bool {
     false
 }
 
-fn diag(
+pub(crate) fn diag(
     file: &SourceFile,
     line: usize,
     rule: &'static str,
@@ -136,6 +218,202 @@ fn diag(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared per-line matchers and message builders
+//
+// Both engines (this one and the legacy line engine) call these, so a
+// finding's presence and wording can never drift between them.
+// ---------------------------------------------------------------------------
+
+/// What kind of determinism hazard a banned import is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BanKind {
+    Time,
+    Os,
+    Rng,
+}
+
+pub(crate) fn wall_clock_hit(l: &str) -> Option<&'static str> {
+    ["Instant::now", "std::time::Instant", "SystemTime"]
+        .into_iter()
+        .find(|pat| l.contains(pat))
+}
+
+pub(crate) fn os_concurrency_hit(l: &str) -> Option<&'static str> {
+    if l.contains("thread::spawn") || l.contains("std::thread") {
+        Some("std::thread")
+    } else if l.contains("std::sync::Mutex") {
+        Some("std::sync::Mutex")
+    } else if l.contains("std::sync::RwLock") {
+        Some("std::sync::RwLock")
+    } else if l.contains("std::sync::Condvar") || has_ident(l, "Condvar") {
+        Some("Condvar")
+    } else if l.contains("std::sync::{") && (has_ident(l, "Mutex") || has_ident(l, "RwLock")) {
+        Some("std::sync::{Mutex|RwLock}")
+    } else {
+        None
+    }
+}
+
+pub(crate) fn unordered_iter_hit(l: &str) -> Option<&'static str> {
+    ["HashMap", "HashSet"]
+        .into_iter()
+        .find(|pat| has_ident(l, pat))
+}
+
+pub(crate) fn unseeded_rng_hit(l: &str) -> Option<&'static str> {
+    ["thread_rng", "from_entropy", "OsRng", "rand::random"]
+        .into_iter()
+        .find(|pat| {
+            if pat.contains("::") {
+                l.contains(pat)
+            } else {
+                has_ident(l, pat)
+            }
+        })
+}
+
+pub(crate) fn rc_identity_hit(l: &str) -> Option<&'static str> {
+    ["Rc::as_ptr", "Rc::ptr_eq"]
+        .into_iter()
+        .find(|pat| l.contains(pat))
+}
+
+pub(crate) fn hot_path_alloc_hit(l: &str) -> Option<&'static str> {
+    ["format!(", ".to_string(", "Vec::new()", "String::new()"]
+        .into_iter()
+        .find(|pat| l.contains(pat))
+}
+
+/// Statement-granular scan for `.unwrap()`/`.expect(` on `try_*` verb
+/// results: chained calls routinely split across lines
+/// (`coro.try_sync()\n.await\n.unwrap()`), so lines accumulate until one
+/// ends in `;`, `{` or `}`. Returns `(line, sink, verb)` hits.
+pub(crate) fn fallible_sinks<'a>(
+    lines: impl Iterator<Item = (usize, &'a str)>,
+) -> Vec<(usize, &'static str, &'static str)> {
+    let mut found = Vec::new();
+    let mut verb: Option<&'static str> = None;
+    for (line, l) in lines {
+        if verb.is_none() {
+            verb = FALLIBLE_VERBS
+                .iter()
+                .find(|v| has_ident(l, v) && l.contains(&format!("{v}(")))
+                .copied();
+        }
+        if let Some(v) = verb {
+            let sink = if l.contains(".unwrap()") {
+                Some(".unwrap()")
+            } else if l.contains(".expect(") {
+                Some(".expect(…)")
+            } else {
+                None
+            };
+            if let Some(sink) = sink {
+                found.push((line, sink, v));
+                verb = None;
+            }
+        }
+        if l.ends_with(';') || l.ends_with('{') || l.ends_with('}') {
+            verb = None;
+        }
+    }
+    found
+}
+
+pub(crate) mod msg {
+    use super::BanKind;
+
+    pub(crate) fn wall_clock(pat: &str) -> String {
+        format!("`{pat}` in sim code; only SimTime may drive time")
+    }
+
+    pub(crate) fn os_concurrency(pat: &str) -> String {
+        format!(
+            "`{pat}` in sim code; the executor is single-threaded — use smart_rt::sync primitives"
+        )
+    }
+
+    pub(crate) fn unordered_iter(pat: &str) -> String {
+        format!(
+            "`{pat}` in sim code; iteration order is unseeded — use BTreeMap/BTreeSet/Vec \
+             or justify with lint:allow(unordered-iter)"
+        )
+    }
+
+    pub(crate) fn unseeded_rng(pat: &str) -> String {
+        format!("`{pat}` draws OS entropy; use the seeded smart_rt::rng::SimRng")
+    }
+
+    pub(crate) fn await_holding_guard(name: &str, line: usize) -> String {
+        format!(
+            "`.await` while guard `{name}` (line {line}) holds its lock; release before \
+             suspending or justify with lint:allow(await-holding-guard)"
+        )
+    }
+
+    pub(crate) fn rc_identity(pat: &str) -> String {
+        format!(
+            "`{pat}` exposes a heap address, which is not seed-stable; key on a \
+             stable id instead or justify with lint:allow(rc-identity)"
+        )
+    }
+
+    pub(crate) fn fallible_unhandled(sink: &str, verb: &str) -> String {
+        format!(
+            "`{sink}` on a `{verb}` result panics on a recoverable fault; \
+             propagate with `?` or handle with unwrap_or_else"
+        )
+    }
+
+    pub(crate) fn hot_path_alloc(pat: &str) -> String {
+        format!(
+            "`{pat}` in a per-event hot-path file; allocate at construction time \
+             or justify with lint:allow(hot-path-alloc)"
+        )
+    }
+
+    pub(crate) fn alias_evasion(full: &str, bound: &str, kind: BanKind) -> String {
+        let fix = match kind {
+            BanKind::Time => "only SimTime may drive time",
+            BanKind::Os => "the executor is single-threaded — use smart_rt::sync primitives",
+            BanKind::Rng => "use the seeded smart_rt::rng::SimRng",
+        };
+        format!("import binds `{full}` as `{bound}`, hiding it from the pattern rules; {fix}")
+    }
+
+    pub(crate) fn unordered_iter_binding(name: &str, ty: &str) -> String {
+        format!(
+            "iterating `{name}`, bound as a {ty} (unseeded order), in sim code; \
+             use BTreeMap/BTreeSet or impose a seeded order first"
+        )
+    }
+
+    pub(crate) fn layering_order(src: &str, sl: u8, dst: &str, dl: u8) -> String {
+        format!(
+            "`{src}` (tier {sl}) must not depend on `{dst}` (tier {dl}); the tier order is \
+             trace < rt < rnic < core < race/ford/sherman/workloads < check/fault < bench"
+        )
+    }
+
+    pub(crate) fn panic_in_recovery(what: &str, root: &str, via: Option<&str>) -> String {
+        match via {
+            Some(callee) => format!(
+                "`{what}` in `{callee}` on the `{root}` recovery path; \
+                 surface the typed fault as Err instead of panicking"
+            ),
+            None => format!(
+                "`{what}` inside recovery fn `{root}`; \
+                 surface the typed fault as Err instead of panicking"
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pattern rules (re-hosted on the lexer's condensed projection)
+// ---------------------------------------------------------------------------
+
 /// Rule 1 — `wall-clock`: simulation code must be driven by `SimTime`
 /// only; real clocks make runs irreproducible.
 pub fn wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
@@ -143,17 +421,8 @@ pub fn wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
         return;
     }
     for (line, l) in file.condensed_lines() {
-        for pat in ["Instant::now", "std::time::Instant", "SystemTime"] {
-            if l.contains(pat) {
-                diag(
-                    file,
-                    line,
-                    "wall-clock",
-                    format!("`{pat}` in sim code; only SimTime may drive time"),
-                    out,
-                );
-                break;
-            }
+        if let Some(pat) = wall_clock_hit(l) {
+            diag(file, line, "wall-clock", msg::wall_clock(pat), out);
         }
     }
 }
@@ -165,28 +434,8 @@ pub fn os_concurrency(file: &SourceFile, out: &mut Vec<Diagnostic>) {
         return;
     }
     for (line, l) in file.condensed_lines() {
-        let hit = if l.contains("thread::spawn") || l.contains("std::thread") {
-            Some("std::thread")
-        } else if l.contains("std::sync::Mutex") {
-            Some("std::sync::Mutex")
-        } else if l.contains("std::sync::RwLock") {
-            Some("std::sync::RwLock")
-        } else if l.contains("std::sync::Condvar") || has_ident(&l, "Condvar") {
-            Some("Condvar")
-        } else if l.contains("std::sync::{") && (has_ident(&l, "Mutex") || has_ident(&l, "RwLock"))
-        {
-            Some("std::sync::{Mutex|RwLock}")
-        } else {
-            None
-        };
-        if let Some(pat) = hit {
-            diag(
-                file,
-                line,
-                "os-concurrency",
-                format!("`{pat}` in sim code; the executor is single-threaded — use smart_rt::sync primitives"),
-                out,
-            );
+        if let Some(pat) = os_concurrency_hit(l) {
+            diag(file, line, "os-concurrency", msg::os_concurrency(pat), out);
         }
     }
 }
@@ -200,20 +449,8 @@ pub fn unordered_iter(file: &SourceFile, out: &mut Vec<Diagnostic>) {
         return;
     }
     for (line, l) in file.condensed_lines() {
-        for pat in ["HashMap", "HashSet"] {
-            if has_ident(&l, pat) {
-                diag(
-                    file,
-                    line,
-                    "unordered-iter",
-                    format!(
-                        "`{pat}` in sim code; iteration order is unseeded — use BTreeMap/BTreeSet/Vec \
-                         or justify with lint:allow(unordered-iter)"
-                    ),
-                    out,
-                );
-                break;
-            }
+        if let Some(pat) = unordered_iter_hit(l) {
+            diag(file, line, "unordered-iter", msg::unordered_iter(pat), out);
         }
     }
 }
@@ -223,95 +460,9 @@ pub fn unordered_iter(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// Applies to every workspace source, tests included.
 pub fn unseeded_rng(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     for (line, l) in file.condensed_lines() {
-        for pat in ["thread_rng", "from_entropy", "OsRng", "rand::random"] {
-            let hit = if pat.contains("::") {
-                l.contains(pat)
-            } else {
-                has_ident(&l, pat)
-            };
-            if hit {
-                diag(
-                    file,
-                    line,
-                    "unseeded-rng",
-                    format!("`{pat}` draws OS entropy; use the seeded smart_rt::rng::SimRng"),
-                    out,
-                );
-                break;
-            }
+        if let Some(pat) = unseeded_rng_hit(l) {
+            diag(file, line, "unseeded-rng", msg::unseeded_rng(pat), out);
         }
-    }
-}
-
-/// Extracts the binding name from a condensed `let NAME = …` line, or
-/// `None` for patterns, `_`-discards and plain expression statements
-/// (whose temporaries drop at the end of the statement anyway).
-fn let_binding(l: &str) -> Option<String> {
-    let rest = l.strip_prefix("let")?;
-    let rest = rest.strip_prefix("mut").unwrap_or(rest);
-    let name: String = rest
-        .chars()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    if name.is_empty() || name == "_" || !rest[name.len()..].starts_with(['=', ':']) {
-        return None;
-    }
-    Some(name)
-}
-
-/// Rule 7 — `await-holding-guard`: a probed lock guard
-/// (`Semaphore::acquire_guard` / `ContendedLock::enter_as`) bound across
-/// an `.await` keeps its lock held through a suspension point — the
-/// exact window the `smart-check` atomicity sanitizer hunts. Sim code
-/// must release the guard before suspending or justify the hold with a
-/// pragma.
-pub fn await_holding_guard(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if !file.is_sim_src() {
-        return;
-    }
-    struct LiveGuard {
-        name: String,
-        depth: i32,
-        line: usize,
-    }
-    let mut depth: i32 = 0;
-    let mut guards: Vec<LiveGuard> = Vec::new();
-    for (line, l) in file.condensed_lines() {
-        let depth_after = depth + l.matches('{').count() as i32 - l.matches('}').count() as i32;
-        // Explicit release ends the hold.
-        guards.retain(|g| {
-            !(l.contains(&format!("drop({})", g.name))
-                || l.contains(&format!("{}.release(", g.name)))
-        });
-        let acquires = l.contains(".acquire_guard(") || l.contains(".enter_as(");
-        if acquires {
-            // The acquiring line's own `.await` is the acquisition
-            // itself, never a held-across suspension.
-            if let Some(name) = let_binding(&l) {
-                guards.push(LiveGuard {
-                    name,
-                    depth: depth_after,
-                    line,
-                });
-            }
-        } else if l.contains(".await") {
-            if let Some(g) = guards.last() {
-                diag(
-                    file,
-                    line,
-                    "await-holding-guard",
-                    format!(
-                        "`.await` while guard `{}` (line {}) holds its lock; release before \
-                         suspending or justify with lint:allow(await-holding-guard)",
-                        g.name, g.line
-                    ),
-                    out,
-                );
-            }
-        }
-        depth = depth_after;
-        // Scope exit drops whatever is still bound inside it.
-        guards.retain(|g| g.depth <= depth);
     }
 }
 
@@ -324,20 +475,8 @@ pub fn rc_identity(file: &SourceFile, out: &mut Vec<Diagnostic>) {
         return;
     }
     for (line, l) in file.condensed_lines() {
-        for pat in ["Rc::as_ptr", "Rc::ptr_eq"] {
-            if l.contains(pat) {
-                diag(
-                    file,
-                    line,
-                    "rc-identity",
-                    format!(
-                        "`{pat}` exposes a heap address, which is not seed-stable; key on a \
-                         stable id instead or justify with lint:allow(rc-identity)"
-                    ),
-                    out,
-                );
-                break;
-            }
+        if let Some(pat) = rc_identity_hit(l) {
+            diag(file, line, "rc-identity", msg::rc_identity(pat), out);
         }
     }
 }
@@ -346,7 +485,7 @@ pub fn rc_identity(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// `Result` whose `Err` is a typed fault (`FaultError` or an app-level
 /// wrapper). Panicking on one throws away the recovery semantics the
 /// verb exists to provide.
-const FALLIBLE_VERBS: &[&str] = &[
+pub(crate) const FALLIBLE_VERBS: &[&str] = &[
     "try_sync",
     "try_read_sync",
     "try_write_sync",
@@ -365,42 +504,144 @@ pub fn fallible_unhandled(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !file.is_sim_src() {
         return;
     }
-    // Chained calls routinely split across lines
-    // (`coro.try_sync()\n.await\n.unwrap()`), so matching is per
-    // statement: lines accumulate until one ends in `;`, `{` or `}`.
-    let mut verb: Option<&str> = None;
-    for (line, l) in file.condensed_lines() {
-        if verb.is_none() {
-            verb = FALLIBLE_VERBS
-                .iter()
-                .find(|v| has_ident(&l, v) && l.contains(&format!("{v}(")))
-                .copied();
-        }
-        if let Some(v) = verb {
-            let sink = if l.contains(".unwrap()") {
-                Some(".unwrap()")
-            } else if l.contains(".expect(") {
-                Some(".expect(…)")
-            } else {
-                None
-            };
-            if let Some(sink) = sink {
-                diag(
-                    file,
-                    line,
-                    "fallible-unhandled",
-                    format!(
-                        "`{sink}` on a `{v}` result panics on a recoverable fault; \
-                         propagate with `?` or handle with unwrap_or_else"
-                    ),
-                    out,
-                );
-                verb = None;
+    for (line, sink, verb) in fallible_sinks(file.condensed_lines()) {
+        diag(
+            file,
+            line,
+            "fallible-unhandled",
+            msg::fallible_unhandled(sink, verb),
+            out,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token/scope rules
+// ---------------------------------------------------------------------------
+
+/// Rule 7 — `await-holding-guard`: a probed lock guard
+/// (`Semaphore::acquire_guard` / `ContendedLock::enter_as`) bound across
+/// an `.await` keeps its lock held through a suspension point — the
+/// exact window the `smart-check` atomicity sanitizer hunts. Sim code
+/// must release the guard before suspending or justify the hold with a
+/// pragma. Token-hosted: acquisitions split across lines are tracked,
+/// and a `}` ends exactly the scopes opened before the guard was bound.
+pub fn await_holding_guard(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    struct LiveGuard {
+        name: String,
+        depth: i32,
+        line: usize,
+    }
+    let toks = &file.lex.toks;
+    let mut depth: i32 = 0;
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    // Start of the current statement, for `let` lookback; `acquiring`
+    // marks a statement whose own `.await` is the acquisition itself.
+    let mut stmt_start = 0usize;
+    let mut acquiring = false;
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        match &t.kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                stmt_start = i + 1;
+                acquiring = false;
             }
+            TokKind::Punct('}') => {
+                depth -= 1;
+                // Scope exit drops whatever was bound inside it.
+                guards.retain(|g| g.depth <= depth);
+                stmt_start = i + 1;
+                acquiring = false;
+            }
+            TokKind::Punct(';') => {
+                stmt_start = i + 1;
+                acquiring = false;
+            }
+            TokKind::Ident(id)
+                if id == "drop" && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                if let Some(name) = toks.get(i + 2).and_then(|n| n.ident()) {
+                    if toks.get(i + 3).is_some_and(|n| n.is_punct(')')) {
+                        guards.retain(|g| g.name != name);
+                    }
+                }
+            }
+            TokKind::Ident(id)
+                if id == "release"
+                    && i >= 2
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                if let Some(name) = toks[i - 2].ident() {
+                    guards.retain(|g| g.name != name);
+                }
+            }
+            TokKind::Ident(id)
+                if (id == "acquire_guard" || id == "enter_as")
+                    && i >= 1
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                if let Some(name) = stmt_let_name(toks, stmt_start) {
+                    guards.push(LiveGuard {
+                        name,
+                        depth,
+                        line: t.line,
+                    });
+                }
+                acquiring = true;
+            }
+            TokKind::Ident(id)
+                if id == "await" && i >= 1 && toks[i - 1].is_punct('.') && !acquiring =>
+            {
+                if let Some(g) = guards.last() {
+                    if flagged.insert(t.line) {
+                        diag(
+                            file,
+                            t.line,
+                            "await-holding-guard",
+                            msg::await_holding_guard(&g.name, g.line),
+                            out,
+                        );
+                    }
+                }
+            }
+            _ => {}
         }
-        if l.ends_with(';') || l.ends_with('{') || l.ends_with('}') {
-            verb = None;
-        }
+    }
+}
+
+/// The name bound by a `let` statement starting at `start`, if the
+/// pattern is a bare name (destructured temporaries drop at statement
+/// end and are not tracked).
+fn stmt_let_name(toks: &[Tok], start: usize) -> Option<String> {
+    let mut i = start;
+    while toks.get(i).is_some_and(|t| t.is_punct('#'))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        i = items::matching(toks, i + 1, '[', ']') + 1;
+    }
+    if !toks.get(i)?.is_ident("let") {
+        return None;
+    }
+    i += 1;
+    if toks.get(i).is_some_and(|t| t.is_ident("mut")) {
+        i += 1;
+    }
+    let name = toks.get(i)?.ident()?;
+    if name == "_" {
+        return None;
+    }
+    let nxt = toks.get(i + 1)?;
+    if nxt.is_punct('=') || (nxt.is_punct(':') && !is_path_sep(toks, i + 1)) {
+        Some(name.to_string())
+    } else {
+        None
     }
 }
 
@@ -408,30 +649,556 @@ pub fn fallible_unhandled(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// `Vec::new()` / `String::new()` in the files listed in [`HOT_PATHS`].
 /// These run once per simulated event (executor poll loop, timer wheel,
 /// rnic per-WR dispatch), where a hidden allocation or formatting pass
-/// is a constant tax on every experiment. Construction-time allocations
-/// (building a slab or table once) carry a pragma with that argument.
+/// is a constant tax on every experiment. Constructor bodies (fns
+/// returning `Self`/the impl type, or named `default`) are exempt: their
+/// allocations are setup cost, which is exactly what the pragmas this
+/// rule used to demand were arguing.
 pub fn hot_path_alloc(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    let rel = file.rel.to_string_lossy().replace('\\', "/");
+    let rel = file.rel_str();
     if !HOT_PATHS.contains(&rel.as_str()) {
         return;
     }
+    let ctor_ranges: Vec<(usize, usize)> = file
+        .items
+        .fns
+        .iter()
+        .filter(|f| f.is_constructor())
+        .filter_map(|f| {
+            f.body
+                .map(|(o, c)| (file.lex.toks[o].line, file.lex.toks[c].line))
+        })
+        .collect();
     for (line, l) in file.condensed_lines() {
-        for pat in ["format!(", ".to_string(", "Vec::new()", "String::new()"] {
-            if l.contains(pat) {
-                diag(
-                    file,
-                    line,
-                    "hot-path-alloc",
-                    format!(
-                        "`{pat}` in a per-event hot-path file; allocate at construction time \
-                         or justify with lint:allow(hot-path-alloc)"
-                    ),
-                    out,
-                );
-                break;
+        if ctor_ranges.iter().any(|&(a, b)| a <= line && line <= b) {
+            continue;
+        }
+        if let Some(pat) = hot_path_alloc_hit(l) {
+            diag(file, line, "hot-path-alloc", msg::hot_path_alloc(pat), out);
+        }
+    }
+}
+
+/// Rule 11 — `alias-evasion`: a banned wall-clock / OS-thread / entropy
+/// source imported through a rename or a grouped `use` never shows the
+/// substring the pattern rules match on (`use std::time::{Instant as
+/// Clock, …}` contains neither `std::time::Instant` nor `Instant::now`).
+/// This rule resolves every `use` leaf to its full path and flags banned
+/// imports the line patterns cannot see; imports the line rules already
+/// catch stay theirs, so no site is reported twice.
+pub fn alias_evasion(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let sim = file.is_sim_src();
+    for u in &file.items.uses {
+        if u.glob {
+            continue;
+        }
+        let Some((full, kind)) = banned_import(&u.path, sim) else {
+            continue;
+        };
+        let l = file.condensed_line(u.line);
+        let caught_by_line_rules = match kind {
+            BanKind::Time => wall_clock_hit(l).is_some(),
+            BanKind::Os => os_concurrency_hit(l).is_some(),
+            BanKind::Rng => unseeded_rng_hit(l).is_some(),
+        };
+        if caught_by_line_rules {
+            continue;
+        }
+        let bound = u.local_name().unwrap_or("_").to_string();
+        diag(
+            file,
+            u.line,
+            "alias-evasion",
+            msg::alias_evasion(&full, &bound, kind),
+            out,
+        );
+    }
+}
+
+/// Classifies an imported path as banned, mirroring the scopes of the
+/// line rules: entropy sources are banned everywhere (like
+/// `unseeded-rng`); clocks and OS concurrency only in sim code.
+fn banned_import(path: &[String], sim: bool) -> Option<(String, BanKind)> {
+    let segs: Vec<&str> = path.iter().map(String::as_str).collect();
+    let last = *segs.last()?;
+    if last == "thread_rng"
+        || last == "OsRng"
+        || (segs.first() == Some(&"rand") && last == "random")
+    {
+        return Some((path.join("::"), BanKind::Rng));
+    }
+    if !sim {
+        return None;
+    }
+    if segs.len() >= 2
+        && segs[0] == "std"
+        && segs[1] == "time"
+        && (last == "Instant" || last == "SystemTime")
+    {
+        return Some((path.join("::"), BanKind::Time));
+    }
+    if segs.len() >= 2 && segs[0] == "std" && segs[1] == "thread" {
+        return Some((path.join("::"), BanKind::Os));
+    }
+    if segs.len() == 3
+        && segs[0] == "std"
+        && segs[1] == "sync"
+        && ["Mutex", "RwLock", "Condvar"].contains(&last)
+    {
+        return Some((path.join("::"), BanKind::Os));
+    }
+    None
+}
+
+/// Methods whose call on a map/set observes its iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// Rule 12 — `unordered-iter-binding`: iteration over a *binding* whose
+/// syntactic type is `HashMap`/`HashSet` — including through a `use …
+/// as` rename that defeats the `unordered-iter` substring match. The
+/// declaration itself is left to `unordered-iter` when it can see it;
+/// this rule only reports maps whose declaration the line engine misses,
+/// at the point where their unseeded order actually escapes: the
+/// iteration.
+pub fn unordered_iter_binding(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.is_sim_src() {
+        return;
+    }
+    let toks = &file.lex.toks;
+    let res = Resolver::new(&file.items);
+    let mut binds = Bindings::default();
+    binds.enter();
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            binds.enter();
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            binds.exit();
+            i += 1;
+            continue;
+        }
+        if t.is_ident("let") {
+            if let Some((b, next)) = resolve::let_binding_at(toks, i, &res) {
+                binds.declare(b);
+                i = next;
+                continue;
+            }
+        }
+        if let Some(m) = t.ident() {
+            // `recv.iter()` / `self.field.keys()` …
+            if ITER_METHODS.contains(&m)
+                && i >= 2
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                check_receiver(file, &res, &binds, toks, i - 2, t.line, &mut flagged, out);
+            }
+            // `for x in &recv {` — direct iteration of the collection.
+            if m == "in" {
+                let mut j = i + 1;
+                while toks
+                    .get(j)
+                    .is_some_and(|n| n.is_punct('&') || n.is_ident("mut"))
+                {
+                    j += 1;
+                }
+                let ridx = if toks.get(j).is_some_and(|n| n.is_ident("self"))
+                    && toks.get(j + 1).is_some_and(|n| n.is_punct('.'))
+                {
+                    j + 2
+                } else {
+                    j
+                };
+                if toks.get(ridx).and_then(|n| n.ident()).is_some()
+                    && toks.get(ridx + 1).is_some_and(|n| n.is_punct('{'))
+                {
+                    check_receiver(file, &res, &binds, toks, ridx, t.line, &mut flagged, out);
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Resolves the receiver ident at `ridx` (a local binding, or a `self.`
+/// field) and reports it if its type names a `HashMap`/`HashSet` that
+/// the `unordered-iter` line rule could not see at its declaration.
+#[allow(clippy::too_many_arguments)]
+fn check_receiver(
+    file: &SourceFile,
+    res: &Resolver,
+    binds: &Bindings,
+    toks: &[Tok],
+    ridx: usize,
+    at_line: usize,
+    flagged: &mut BTreeSet<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(name) = toks.get(ridx).and_then(|t| t.ident()) else {
+        return;
+    };
+    let via_self = ridx >= 2
+        && toks[ridx - 1].is_punct('.')
+        && toks[ridx - 2].is_ident("self")
+        && (ridx < 3 || !toks[ridx - 3].is_punct('.'));
+    let (decl_line, ty) = if via_self {
+        let Some(f) = file.items.fields.iter().find(|f| f.name == name) else {
+            return;
+        };
+        (f.line, expand_ty(res, &f.ty))
+    } else if ridx >= 1 && toks[ridx - 1].is_punct('.') {
+        // Chained expression receiver (`x().iter()`): unknown, skip.
+        return;
+    } else {
+        let Some(b) = binds.lookup(name) else {
+            return;
+        };
+        (b.line, b.ty.clone())
+    };
+    let Some(which) = ty.iter().find(|s| *s == "HashMap" || *s == "HashSet") else {
+        return;
+    };
+    // If the declaration line names the type openly, `unordered-iter`
+    // already owns that finding.
+    if unordered_iter_hit(file.condensed_line(decl_line)).is_some() {
+        return;
+    }
+    if flagged.insert(at_line) {
+        diag(
+            file,
+            at_line,
+            "unordered-iter-binding",
+            msg::unordered_iter_binding(name, which),
+            out,
+        );
+    }
+}
+
+/// Alias-expands the head of a written type's ident list.
+fn expand_ty(res: &Resolver, ty: &[String]) -> Vec<String> {
+    if let Some(full) = ty.first().and_then(|f| res.lookup(f)) {
+        let mut v = full.to_vec();
+        v.extend(ty.iter().skip(1).cloned());
+        v
+    } else {
+        ty.to_vec()
+    }
+}
+
+/// Rule 13 — `panic-in-recovery`: the `try_*` verbs exist so a fault
+/// surfaces as a typed `Err` the caller can recover from; an `unwrap`,
+/// `expect`, `panic!` or slice-indexing inside a recovery fn's body (or
+/// in a core helper it directly calls) turns an injected fault into a
+/// process abort and silently voids the recovery contract. Scans fns
+/// named `try_*` defined in `crates/core/src`, one call level deep.
+pub fn panic_in_recovery(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    let core: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| f.rel_str().starts_with("crates/core/src/"))
+        .collect();
+    // Every fn defined in core, by name, for one-level callee lookup.
+    let mut defs: BTreeMap<&str, Vec<(usize, &FnItem)>> = BTreeMap::new();
+    for (fi, f) in core.iter().enumerate() {
+        for item in &f.items.fns {
+            defs.entry(item.name.as_str()).or_default().push((fi, item));
+        }
+    }
+    let mut seen: BTreeSet<(String, usize, &'static str)> = BTreeSet::new();
+    for f in &core {
+        for item in &f.items.fns {
+            if !item.name.starts_with("try_") {
+                continue;
+            }
+            let Some((open, close)) = item.body else {
+                continue;
+            };
+            report_panic_sites(f, open, close, &item.name, None, &mut seen, out);
+            for callee in direct_callees(&f.lex.toks, open, close, &defs, &item.name) {
+                let (cfi, citem) = defs[callee.as_str()][0];
+                if let Some((o, c)) = citem.body {
+                    report_panic_sites(
+                        core[cfi],
+                        o,
+                        c,
+                        &item.name,
+                        Some(&citem.name),
+                        &mut seen,
+                        out,
+                    );
+                }
             }
         }
     }
+}
+
+/// Core fns called directly (bare or as methods) from the body span.
+/// Path-qualified calls are kept only for `self`/`Self` qualifiers, so
+/// `Vec::new()` never drags an unrelated `new` into the scan; ambiguous
+/// names (several core fns sharing one name) are skipped.
+fn direct_callees(
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    defs: &BTreeMap<&str, Vec<(usize, &FnItem)>>,
+    root_name: &str,
+) -> Vec<String> {
+    let mut found = BTreeSet::new();
+    for i in open + 1..close {
+        let Some(name) = toks[i].ident() else {
+            continue;
+        };
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if name.starts_with("try_") || name == root_name {
+            continue;
+        }
+        if i >= 2 && is_path_sep(toks, i - 2) {
+            let qualifier = i.checked_sub(3).and_then(|q| toks[q].ident());
+            if !matches!(qualifier, Some("self") | Some("Self")) {
+                continue;
+            }
+        }
+        if defs.get(name).is_some_and(|v| v.len() == 1) {
+            found.insert(name.to_string());
+        }
+    }
+    found.into_iter().collect()
+}
+
+/// Idents that can precede `[` without the bracket being an index.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "break", "continue", "as", "mut", "ref", "move",
+    "loop", "while", "for", "where", "unsafe", "dyn", "impl", "fn", "use", "mod", "static",
+    "const", "enum", "struct", "trait", "type", "pub", "crate", "super", "async", "await",
+];
+
+fn report_panic_sites(
+    f: &SourceFile,
+    open: usize,
+    close: usize,
+    root: &str,
+    via: Option<&str>,
+    seen: &mut BTreeSet<(String, usize, &'static str)>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &f.lex.toks;
+    for i in open + 1..close {
+        let Some((what, line)) = panic_site(toks, i) else {
+            continue;
+        };
+        if seen.insert((f.rel_str(), line, what)) {
+            diag(
+                f,
+                line,
+                "panic-in-recovery",
+                msg::panic_in_recovery(what, root, via),
+                out,
+            );
+        }
+    }
+}
+
+/// A panic-capable token at `i`: `.unwrap()`, `.expect(`, `panic!` or a
+/// slice/array index (a `[` whose left side is a value expression).
+fn panic_site(toks: &[Tok], i: usize) -> Option<(&'static str, usize)> {
+    let t = &toks[i];
+    match &t.kind {
+        TokKind::Ident(s)
+            if (s == "unwrap" || s == "expect")
+                && i >= 1
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+        {
+            let what = if s == "unwrap" {
+                ".unwrap()"
+            } else {
+                ".expect(…)"
+            };
+            Some((what, t.line))
+        }
+        TokKind::Ident(s) if s == "panic" && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) => {
+            Some(("panic!", t.line))
+        }
+        TokKind::Punct('[') if i >= 1 => match &toks[i - 1].kind {
+            TokKind::Punct(')') | TokKind::Punct(']') => Some(("indexing", t.line)),
+            TokKind::Ident(s) if !NON_INDEX_KEYWORDS.contains(&s.as_str()) => {
+                Some(("indexing", t.line))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Rule 14 — `layering`: the simulation stack has one dependency
+/// direction (see [`LAYERS`]); an upward edge — in a `use smart_*`
+/// import or a `Cargo.toml` `[dependencies]` entry — lets a lower layer
+/// reach into policy above it. Also drift-checks the lint's own tables:
+/// every crate under `crates/` must be classified, and (in the real
+/// workspace) every [`SIM_CRATES`] entry and [`HOT_PATHS`] file must
+/// exist on disk.
+pub fn layering(root: &Path, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    // `use smart_*` edges from crate sources.
+    for f in files {
+        let Some(c) = resolve::crate_of(&f.rel) else {
+            continue;
+        };
+        if !f.rel_str().starts_with(&format!("crates/{c}/src/")) {
+            continue;
+        }
+        let Some(sl) = layer(&c) else { continue };
+        for u in &f.items.uses {
+            let Some(head) = u.path.first() else { continue };
+            let Some(dep) = resolve::dep_crate(head) else {
+                continue;
+            };
+            if dep == c {
+                continue;
+            }
+            match layer(&dep) {
+                Some(dl) if sl < dl => diag(
+                    f,
+                    u.line,
+                    "layering",
+                    msg::layering_order(&c, sl, &dep, dl),
+                    out,
+                ),
+                Some(_) => {}
+                None => diag(
+                    f,
+                    u.line,
+                    "layering",
+                    format!("`{c}` imports `{head}`, which is not in the lint layer table"),
+                    out,
+                ),
+            }
+        }
+    }
+
+    // Cargo.toml `[dependencies]` edges, plus the unlisted-crate check.
+    let mut names: Vec<String> = fs::read_dir(root.join("crates"))
+        .map(|rd| {
+            rd.flatten()
+                .filter(|e| e.path().is_dir())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    for name in &names {
+        if layer(name).is_none() && !NON_SIM_CRATES.contains(&name.as_str()) {
+            out.push(Diagnostic {
+                path: PathBuf::from(format!("crates/{name}")),
+                line: 1,
+                rule: "layering",
+                message: format!(
+                    "crate `{name}` is not in the lint layer table; add it to LAYERS \
+                     (sim stack) or NON_SIM_CRATES (tooling)"
+                ),
+            });
+            continue;
+        }
+        let Some(sl) = layer(name) else { continue };
+        let toml_rel = format!("crates/{name}/Cargo.toml");
+        let Ok(toml) = fs::read_to_string(root.join(&toml_rel)) else {
+            continue;
+        };
+        for (lineno, dep) in parse_toml_deps(&toml) {
+            let Some(depc) = resolve::dep_crate(&dep) else {
+                continue;
+            };
+            match layer(&depc) {
+                Some(dl) if sl < dl => out.push(Diagnostic {
+                    path: PathBuf::from(&toml_rel),
+                    line: lineno,
+                    rule: "layering",
+                    message: msg::layering_order(name, sl, &depc, dl),
+                }),
+                Some(_) => {}
+                None => out.push(Diagnostic {
+                    path: PathBuf::from(&toml_rel),
+                    line: lineno,
+                    rule: "layering",
+                    message: format!(
+                        "`{name}` depends on `{dep}`, which is not in the lint layer table"
+                    ),
+                }),
+            }
+        }
+    }
+
+    // Drift checks, real-workspace mode only (fixtures carry no root
+    // workspace manifest, so their partial crate sets stay legal).
+    let root_toml = fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+    if root_toml.contains("[workspace]") {
+        for c in SIM_CRATES {
+            if !root.join("crates").join(c).join("Cargo.toml").is_file() {
+                out.push(Diagnostic {
+                    path: PathBuf::from("Cargo.toml"),
+                    line: 1,
+                    rule: "layering",
+                    message: format!(
+                        "SIM_CRATES names `{c}` but crates/{c}/Cargo.toml does not exist — \
+                         the lint's crate list drifted from the workspace"
+                    ),
+                });
+            }
+        }
+        for h in HOT_PATHS {
+            if !root.join(h).is_file() {
+                out.push(Diagnostic {
+                    path: PathBuf::from("Cargo.toml"),
+                    line: 1,
+                    rule: "layering",
+                    message: format!(
+                        "HOT_PATHS names `{h}` but it does not exist — \
+                         the lint's hot-path list drifted from the workspace"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `(line, dependency-name)` entries of a manifest's `[dependencies]`
+/// section (dev- and build-dependencies are not layering edges).
+fn parse_toml_deps(toml: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (i, line) in toml.lines().enumerate() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_deps = t == "[dependencies]";
+            continue;
+        }
+        if !in_deps || t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        if let Some((key, _)) = t.split_once('=') {
+            // A dep key may be dotted (`smart-rt.workspace = true`) or
+            // quoted; the crate name is the first bare segment.
+            let name = key.trim().trim_matches('"');
+            let name = name.split('.').next().unwrap_or(name).trim();
+            if !name.is_empty() {
+                out.push((i + 1, name.to_string()));
+            }
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -726,13 +1493,19 @@ pub fn bench_index_drift(root: &Path, design_path: &Path, design: &str, out: &mu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scrub::scrub;
 
     fn sim_file(src: &str) -> SourceFile {
-        SourceFile {
-            rel: PathBuf::from("crates/rt/src/fake.rs"),
-            scrubbed: scrub(src),
-        }
+        SourceFile::new(PathBuf::from("crates/rt/src/fake.rs"), src)
+    }
+
+    fn core_file(src: &str) -> SourceFile {
+        SourceFile::new(PathBuf::from("crates/core/src/fake.rs"), src)
+    }
+
+    /// Assembles pragma text at runtime so this file contributes nothing
+    /// to the CI grep gate counting suppression lines in `crates/*/src`.
+    fn allow(rule: &str) -> String {
+        format!("lint:{}({rule})", "allow")
     }
 
     #[test]
@@ -749,7 +1522,10 @@ mod tests {
         assert_eq!(out.len(), 1);
         out.clear();
         wall_clock(
-            &sim_file("let t = Instant::now(); // lint:allow(wall-clock)"),
+            &sim_file(&format!(
+                "let t = Instant::now(); // {}",
+                allow("wall-clock")
+            )),
             &mut out,
         );
         assert!(out.is_empty());
@@ -757,10 +1533,10 @@ mod tests {
 
     #[test]
     fn non_sim_crates_are_exempt_from_sim_rules() {
-        let file = SourceFile {
-            rel: PathBuf::from("crates/bench/benches/micro.rs"),
-            scrubbed: scrub("let t = Instant::now();"),
-        };
+        let file = SourceFile::new(
+            PathBuf::from("crates/bench/benches/micro.rs"),
+            "let t = Instant::now();",
+        );
         let mut out = Vec::new();
         wall_clock(&file, &mut out);
         assert!(out.is_empty());
@@ -800,17 +1576,39 @@ async fn f(lock: &ContendedLock) {
     }
 
     #[test]
-    fn await_holding_guard_pragma_suppresses() {
+    fn await_holding_guard_tracks_multiline_acquisitions() {
+        // The line engine lost track of a `let` split from its
+        // `.acquire_guard` call; the token engine must not.
         let src = "\
 async fn f(sem: &Semaphore) {
-    let g = sem.acquire_guard(1, &h, actor, \"slot\").await;
-    // intentional: measured hold. lint:allow(await-holding-guard)
+    let g = sem
+        .acquire_guard(1, &h, actor, \"slot\")
+        .await;
     other_work().await;
     g.release();
 }
 ";
         let mut out = Vec::new();
         await_holding_guard(&sim_file(src), &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].line, 5);
+    }
+
+    #[test]
+    fn await_holding_guard_pragma_suppresses() {
+        let src = format!(
+            "\
+async fn f(sem: &Semaphore) {{
+    let g = sem.acquire_guard(1, &h, actor, \"slot\").await;
+    // intentional: measured hold. {}
+    other_work().await;
+    g.release();
+}}
+",
+            allow("await-holding-guard")
+        );
+        let mut out = Vec::new();
+        await_holding_guard(&sim_file(&src), &mut out);
         assert!(out.is_empty(), "{out:#?}");
     }
 
@@ -825,7 +1623,10 @@ async fn f(sem: &Semaphore) {
         assert!(out[0].message.contains("Rc::as_ptr"));
         out.clear();
         rc_identity(
-            &sim_file("// equality only. lint:allow(rc-identity)\nif Rc::ptr_eq(&a, &b) {}"),
+            &sim_file(&format!(
+                "// equality only. {}\nif Rc::ptr_eq(&a, &b) {{}}",
+                allow("rc-identity")
+            )),
             &mut out,
         );
         assert!(out.is_empty());
@@ -857,22 +1658,25 @@ let v = table
     #[test]
     fn fallible_unhandled_spares_handled_results() {
         let mut out = Vec::new();
-        let src = "\
+        let src = format!(
+            "\
 let cqes = coro.try_sync().await?;
-let v = coro.try_read_sync(addr, 8).await.unwrap_or_else(|e| panic!(\"{e}\"));
+let v = coro.try_read_sync(addr, 8).await.unwrap_or_else(|e| panic!(\"{{e}}\"));
 let w = unrelated.unwrap();
-coro.try_cas_sync(a, 0, 1).await.unwrap(); // planted seed. lint:allow(fallible-unhandled)
-";
-        fallible_unhandled(&sim_file(src), &mut out);
+coro.try_cas_sync(a, 0, 1).await.unwrap(); // planted seed. {}
+",
+            allow("fallible-unhandled")
+        );
+        fallible_unhandled(&sim_file(&src), &mut out);
         assert!(out.is_empty(), "{out:#?}");
     }
 
     #[test]
     fn hot_path_alloc_fires_only_in_hot_files() {
-        let hot = SourceFile {
-            rel: PathBuf::from("crates/rt/src/executor.rs"),
-            scrubbed: scrub("let label = format!(\"task {id}\");"),
-        };
+        let hot = SourceFile::new(
+            PathBuf::from("crates/rt/src/executor.rs"),
+            "fn poll(&mut self) { let label = format!(\"task {id}\"); }",
+        );
         let mut out = Vec::new();
         hot_path_alloc(&hot, &mut out);
         assert_eq!(out.len(), 1);
@@ -880,35 +1684,276 @@ coro.try_cas_sync(a, 0, 1).await.unwrap(); // planted seed. lint:allow(fallible-
 
         // The same line in a non-hot sim file is fine (other rules own
         // determinism; this one only owns the per-event paths).
-        let warm = SourceFile {
-            rel: PathBuf::from("crates/rt/src/metrics.rs"),
-            scrubbed: scrub("let label = format!(\"task {id}\");"),
-        };
+        let warm = SourceFile::new(
+            PathBuf::from("crates/rt/src/metrics.rs"),
+            "fn poll(&mut self) { let label = format!(\"task {id}\"); }",
+        );
         out.clear();
         hot_path_alloc(&warm, &mut out);
         assert!(out.is_empty());
     }
 
     #[test]
-    fn hot_path_alloc_pragma_and_tests_are_spared() {
+    fn hot_path_alloc_constructors_and_tests_are_exempt() {
+        // No pragma needed: `new` returns Self, so its allocations are
+        // construction-time by definition.
         let src = "\
-fn new() -> Self {
-    // slab grows once at construction. lint:allow(hot-path-alloc)
-    let slab = Vec::new();
-    Self { slab }
+impl Slab {
+    fn new() -> Self {
+        let slab = Vec::new();
+        Self { slab }
+    }
+    fn per_event(&mut self) {
+        let scratch = Vec::new();
+        self.use_it(scratch);
+    }
 }
 #[cfg(test)]
 mod tests {
     fn t() { let v = Vec::new(); }
 }
 ";
-        let hot = SourceFile {
-            rel: PathBuf::from("crates/rnic/src/qp.rs"),
-            scrubbed: scrub(src),
-        };
+        let hot = SourceFile::new(PathBuf::from("crates/rnic/src/qp.rs"), src);
         let mut out = Vec::new();
         hot_path_alloc(&hot, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].line, 7, "only the per-event alloc is flagged");
+    }
+
+    #[test]
+    fn alias_evasion_sees_through_groups_and_renames() {
+        let src = "\
+use std::time::{Instant as Clock, Duration};
+use std::sync::{Mutex as Lock};
+use rand::rngs::OsRng as Entropy;
+
+pub fn stamp() -> Clock { Clock::now() }
+";
+        let mut out = Vec::new();
+        alias_evasion(&sim_file(src), &mut out);
+        let lines: Vec<usize> = out.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![1, 2, 3], "{out:#?}");
+        assert!(out[0].message.contains("std::time::Instant"));
+        assert!(out[1].message.contains("std::sync::Mutex"));
+        assert!(out[2].message.contains("OsRng"));
+    }
+
+    #[test]
+    fn alias_evasion_defers_to_the_line_rules() {
+        // A plain banned import is the line rules' finding, not ours.
+        let mut out = Vec::new();
+        alias_evasion(&sim_file("use std::time::Instant;\n"), &mut out);
         assert!(out.is_empty(), "{out:#?}");
+        // Benign imports don't fire at all.
+        out.clear();
+        alias_evasion(
+            &sim_file("use std::time::Duration;\nuse std::sync::Arc;\n"),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn alias_evasion_rng_applies_outside_sim_crates_too() {
+        let file = SourceFile::new(
+            PathBuf::from("crates/bench/benches/micro.rs"),
+            "use rand::rngs::OsRng as Entropy;\nuse std::time::{Instant as Clock, Duration};\n",
+        );
+        let mut out = Vec::new();
+        alias_evasion(&file, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(out[0].message.contains("OsRng"));
+    }
+
+    #[test]
+    fn unordered_iter_binding_flags_aliased_maps() {
+        let src = "\
+use std::collections::HashMap as Map;
+
+pub fn sum() -> u64 {
+    let m: Map<u64, u64> = Map::new();
+    let mut total = 0;
+    for (_k, v) in m.iter() {
+        total += v;
+    }
+    total
+}
+";
+        let f = sim_file(src);
+        let mut out = Vec::new();
+        // The line rule must miss all of this…
+        unordered_iter(&f, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+        // …and the binding rule must catch the iteration.
+        unordered_iter_binding(&f, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].line, 6);
+        assert!(out[0].message.contains("`m`"));
+    }
+
+    #[test]
+    fn unordered_iter_binding_spares_ordered_maps_and_open_decls() {
+        // BTreeMap through the same alias shape: quiet.
+        let ordered = "\
+use std::collections::BTreeMap as Map;
+pub fn sum(m: &Map<u64, u64>) -> u64 {
+    let m2: Map<u64, u64> = Map::new();
+    for (_k, v) in m2.iter() { let _ = v; }
+    0
+}
+";
+        let mut out = Vec::new();
+        unordered_iter_binding(&sim_file(ordered), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+
+        // An openly-declared HashMap belongs to `unordered-iter`; the
+        // binding rule stays quiet rather than double-reporting.
+        let open = "\
+pub fn sum() -> u64 {
+    let m: std::collections::HashMap<u64, u64> = Default::default();
+    for (_k, v) in m.iter() { let _ = v; }
+    0
+}
+";
+        out.clear();
+        unordered_iter_binding(&sim_file(open), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn unordered_iter_binding_sees_self_fields() {
+        let src = "\
+use std::collections::HashSet as Seen;
+
+pub struct Tracker { seen: Seen<u64> }
+
+impl Tracker {
+    pub fn total(&self) -> u64 {
+        let mut n = 0;
+        for v in &self.seen {
+            n += v;
+        }
+        n
+    }
+}
+";
+        let mut out = Vec::new();
+        unordered_iter_binding(&sim_file(src), &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].line, 8);
+    }
+
+    #[test]
+    fn panic_in_recovery_flags_try_fns_and_direct_callees() {
+        let src = "\
+impl Slots {
+    pub fn try_get(&self, idx: usize) -> Result<u64, ()> {
+        let v = self.inner[idx];
+        Ok(v.expect(\"slot present\"))
+    }
+    fn lookup(&self, idx: usize) -> u64 {
+        self.inner[idx].unwrap()
+    }
+    pub fn try_read(&self, idx: usize) -> Result<u64, ()> {
+        Ok(self.lookup(idx))
+    }
+}
+";
+        let files = vec![core_file(src)];
+        let mut out = Vec::new();
+        panic_in_recovery(&files, &mut out);
+        let got: Vec<(usize, &str)> = out
+            .iter()
+            .map(|d| (d.line, d.message.split('`').nth(1).unwrap_or("")))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (3, "indexing"),
+                (4, ".expect(…)"),
+                (7, "indexing"),
+                (7, ".unwrap()")
+            ],
+            "{out:#?}"
+        );
+        assert!(
+            out[2].message.contains("`lookup`") && out[2].message.contains("`try_read`"),
+            "{}",
+            out[2].message
+        );
+    }
+
+    #[test]
+    fn panic_in_recovery_ignores_non_core_and_handled_paths() {
+        // Same source outside core: not a recovery path.
+        let src = "pub fn try_get(v: &[u64]) -> Result<u64, ()> { Ok(v[0]) }";
+        let files = vec![sim_file(src)];
+        let mut out = Vec::new();
+        panic_in_recovery(&files, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+
+        // Inside core, the sanctioned shapes stay quiet: `?`, `get`,
+        // `vec![…]`, attributes and slice patterns are not panics.
+        let ok = "\
+pub fn try_get(v: &[u64], idx: usize) -> Result<u64, ()> {
+    let first = v.get(idx).ok_or(())?;
+    let scratch = vec![0u8; 4];
+    let [a, b] = split(scratch)?;
+    Ok(first + a + b)
+}
+";
+        let files = vec![core_file(ok)];
+        out.clear();
+        panic_in_recovery(&files, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn layering_flags_upward_use_edges() {
+        let f = SourceFile::new(
+            PathBuf::from("crates/core/src/uses_bench.rs"),
+            "use smart_bench::harness::Runner;\n",
+        );
+        let files = vec![f];
+        let mut out = Vec::new();
+        // Nonexistent root: only the use-edge part runs.
+        layering(Path::new("/nonexistent"), &files, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "layering");
+        assert!(out[0].message.contains("tier"));
+    }
+
+    #[test]
+    fn layering_allows_downward_and_same_tier_edges() {
+        let down = SourceFile::new(
+            PathBuf::from("crates/core/src/ok.rs"),
+            "use smart_rt::executor::Simulation;\nuse smart_trace::TraceEvent;\n",
+        );
+        let same = SourceFile::new(
+            PathBuf::from("crates/workloads/src/ok.rs"),
+            "use smart_race::table::RaceHashTable;\n",
+        );
+        let files = vec![down, same];
+        let mut out = Vec::new();
+        layering(Path::new("/nonexistent"), &files, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn toml_dep_parsing_skips_dev_dependencies() {
+        let toml = "\
+[package]
+name = \"smart-race\"
+
+[dependencies]
+smart = { path = \"../core\" }
+smart-rt = { path = \"../rt\" }
+
+[dev-dependencies]
+smart-workloads = { path = \"../workloads\" }
+";
+        let deps: Vec<String> = parse_toml_deps(toml).into_iter().map(|(_, d)| d).collect();
+        assert_eq!(deps, vec!["smart", "smart-rt"]);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Proves the token/scope engine is finding-equivalent to the preserved
+//! pre-v2 line engine ([`smart_lint::legacy`]) on the real workspace.
+//!
+//! * Pattern and doc rules must be byte-identical: they share the same
+//!   matchers and message builders, and the lexer's condensed projection
+//!   is the same stream the line engine matched on.
+//! * The two token-hosted rules may only *remove* findings, in exactly
+//!   the documented ways: `hot-path-alloc` exempts constructor bodies
+//!   (whose pragmas this PR deleted), and `await-holding-guard` sees
+//!   multi-line acquisitions the line engine missed (none exist in the
+//!   tree today, so the new engine's set must still be a subset).
+
+use std::path::PathBuf;
+
+use smart_lint::Diagnostic;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Rules hosted identically in both engines.
+const SHARED_RULES: &[&str] = &[
+    "wall-clock",
+    "os-concurrency",
+    "unordered-iter",
+    "unseeded-rng",
+    "rc-identity",
+    "fallible-unhandled",
+    "calibration-drift",
+    "bench-index-drift",
+];
+
+/// Rules the token engine re-hosted with more precision.
+const TOKEN_RULES: &[&str] = &["await-holding-guard", "hot-path-alloc"];
+
+fn split(diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let (shared, rest): (Vec<_>, Vec<_>) = diags
+        .into_iter()
+        .partition(|d| SHARED_RULES.contains(&d.rule));
+    let token = rest
+        .into_iter()
+        .filter(|d| TOKEN_RULES.contains(&d.rule))
+        .collect();
+    (shared, token)
+}
+
+#[test]
+fn engines_agree_on_the_real_workspace() {
+    let root = workspace_root();
+    let (new_shared, new_token) = split(smart_lint::run_lint(&root));
+    let (old_shared, old_token) = split(smart_lint::run_lint_legacy(&root));
+
+    // Shared rules: byte-identical, path, line, message and all.
+    assert_eq!(
+        new_shared, old_shared,
+        "pattern/doc rules must not drift between engines"
+    );
+
+    // Token rules: the new engine may only drop findings, never add.
+    for d in &new_token {
+        assert!(
+            old_token.contains(d),
+            "token engine invented a finding the line engine never had: {d}"
+        );
+    }
+    for d in &old_token {
+        if new_token.contains(d) {
+            continue;
+        }
+        // Every legacy-only finding must be a constructor-body
+        // hot-path-alloc — the sites whose pragmas this engine made
+        // deletable. Anything else is an equivalence break.
+        assert_eq!(
+            d.rule, "hot-path-alloc",
+            "legacy-only finding outside the constructor exemption: {d}"
+        );
+        let p = d.path.to_string_lossy().replace('\\', "/");
+        assert!(
+            smart_lint::rules::HOT_PATHS.contains(&p.as_str()),
+            "legacy-only finding outside the hot-path set: {d}"
+        );
+    }
+}
+
+#[test]
+fn real_workspace_is_clean_under_the_new_engine() {
+    let diags = smart_lint::run_lint(&workspace_root());
+    assert!(
+        diags.is_empty(),
+        "the real tree must lint clean:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn legacy_only_findings_are_exactly_the_deleted_pragma_sites() {
+    // The five pragmas deleted from executor.rs, wheel.rs and
+    // doorbell.rs each covered a constructor-body allocation; the line
+    // engine must still see those five, and nothing else.
+    let root = workspace_root();
+    let (_, new_token) = split(smart_lint::run_lint(&root));
+    let (_, old_token) = split(smart_lint::run_lint_legacy(&root));
+    let only: Vec<&Diagnostic> = old_token
+        .iter()
+        .filter(|d| !new_token.contains(d))
+        .collect();
+    let mut files: Vec<String> = only
+        .iter()
+        .map(|d| d.path.to_string_lossy().replace('\\', "/"))
+        .collect();
+    files.sort();
+    files.dedup();
+    assert_eq!(
+        files,
+        vec![
+            "crates/rnic/src/doorbell.rs",
+            "crates/rt/src/executor.rs",
+            "crates/rt/src/wheel.rs",
+        ],
+        "{only:#?}"
+    );
+    assert_eq!(only.len(), 5, "{only:#?}");
+}

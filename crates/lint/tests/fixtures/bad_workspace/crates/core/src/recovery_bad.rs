@@ -1,0 +1,25 @@
+pub struct Store {
+    inner: Vec<u64>,
+}
+
+impl Store {
+    // Panics on the recovery path: raw indexing and an `.expect` inside
+    // a `try_*` verb body, plus an `.unwrap` in a helper it calls.
+    pub fn try_get(&self, idx: usize) -> Result<u64, ()> {
+        let raw = self.inner[idx];
+        Ok(checked(raw).expect("slot occupied"))
+    }
+}
+
+fn checked(raw: u64) -> Option<u64> {
+    let v = decode(raw).unwrap();
+    Some(v)
+}
+
+fn decode(raw: u64) -> Option<u64> {
+    if raw == 0 {
+        None
+    } else {
+        Some(raw - 1)
+    }
+}

@@ -1,0 +1,6 @@
+// Upward edge: core (tier 3) reaching into bench (tier 6).
+use smart_bench::harness::Runner;
+
+pub fn run_inline(r: Runner) {
+    r.start();
+}

@@ -1,0 +1,3 @@
+// A crate directory the lint's layer table does not classify: the
+// layering rule must demand it be added to LAYERS or NON_SIM_CRATES.
+pub fn placeholder() {}

@@ -1,0 +1,15 @@
+// Banned sources smuggled in behind renames: no line below contains a
+// substring the per-line pattern rules match on.
+use std::time::{Instant as Clock, Duration};
+use std::sync::{Mutex as Lock};
+use rand::rngs::OsRng as Entropy;
+
+pub struct Pacer {
+    started: Clock,
+    budget: Duration,
+    shared: Lock<u64>,
+}
+
+pub fn entropy_source() -> Entropy {
+    Entropy
+}

@@ -1,0 +1,15 @@
+// The rename hides `HashMap` from the substring rule at the declaration;
+// the binding rule must still catch the iteration.
+use std::collections::HashMap as Map;
+
+pub fn drain(events: &[(u64, u64)]) -> u64 {
+    let mut m: Map<u64, u64> = Map::new();
+    for (k, v) in events {
+        m.insert(*k, *v);
+    }
+    let mut sum = 0;
+    for (_k, v) in m.iter() {
+        sum += v;
+    }
+    sum
+}

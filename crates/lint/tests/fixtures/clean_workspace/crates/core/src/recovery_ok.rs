@@ -1,0 +1,11 @@
+pub struct Store {
+    inner: Vec<u64>,
+}
+
+impl Store {
+    // The recovery path surfaces the fault as Err: checked access, no
+    // unwrap/expect/indexing anywhere try_get can reach.
+    pub fn try_get(&self, idx: usize) -> Result<u64, ()> {
+        self.inner.get(idx).copied().ok_or(())
+    }
+}

@@ -1,0 +1,15 @@
+// Iterating a renamed *ordered* map is fine: the binding rule resolves
+// the alias to BTreeMap and stays quiet.
+use std::collections::BTreeMap as Map;
+
+pub fn total(events: &[(u64, u64)]) -> u64 {
+    let mut m: Map<u64, u64> = Map::new();
+    for (k, v) in events {
+        m.insert(*k, *v);
+    }
+    let mut sum = 0;
+    for (_k, v) in m.iter() {
+        sum += v;
+    }
+    sum
+}

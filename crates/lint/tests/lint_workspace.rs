@@ -35,3 +35,24 @@ fn workspace_is_lint_clean() {
             .join("\n")
     );
 }
+
+#[test]
+fn pragma_budget_file_matches_the_tree() {
+    // CI gates `--pragmas` against this committed number; keep the two
+    // in lockstep so a deleted pragma also lowers the budget.
+    let root = workspace_root();
+    let budget: usize = std::fs::read_to_string(root.join("crates/lint/pragma-budget.txt"))
+        .expect("crates/lint/pragma-budget.txt exists")
+        .trim()
+        .parse()
+        .expect("budget file holds one number");
+    let count = smart_lint::count_pragmas(root);
+    assert!(
+        count <= budget,
+        "suppression pragmas grew: {count} in tree, budget {budget}"
+    );
+    assert_eq!(
+        count, budget,
+        "pragma count shrank to {count}; lower pragma-budget.txt to match"
+    );
+}

@@ -26,6 +26,10 @@ fn bad_workspace_trips_every_rule() {
         "rc-identity",
         "fallible-unhandled",
         "hot-path-alloc",
+        "alias-evasion",
+        "unordered-iter-binding",
+        "layering",
+        "panic-in-recovery",
         "calibration-drift",
         "bench-index-drift",
     ] {
@@ -66,7 +70,78 @@ fn bad_workspace_diagnostics_point_at_the_right_files() {
         .all(|p| p.ends_with("fallible_bad.rs")));
     let hot = at("hot-path-alloc");
     assert!(!hot.is_empty() && hot.iter().all(|p| p.ends_with("rt/src/executor.rs")));
+    assert!(at("alias-evasion")
+        .iter()
+        .all(|p| p.ends_with("alias_bad.rs")));
+    assert!(at("unordered-iter-binding")
+        .iter()
+        .all(|p| p.ends_with("iter_binding_bad.rs")));
+    assert!(at("panic-in-recovery")
+        .iter()
+        .all(|p| p.ends_with("recovery_bad.rs")));
+    assert!(at("layering")
+        .iter()
+        .all(|p| p.ends_with("uses_bench.rs") || p == "crates/qos"));
     assert!(at("bench-index-drift").iter().all(|p| p == "DESIGN.md"));
+}
+
+#[test]
+fn alias_evasion_fixture_catches_all_three_ban_kinds() {
+    let diags = rules_hit("bad_workspace");
+    let msgs: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.rule == "alias-evasion")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert_eq!(msgs.len(), 3, "{msgs:#?}");
+    assert!(msgs.iter().any(|m| m.contains("std::time::Instant")));
+    assert!(msgs.iter().any(|m| m.contains("std::sync::Mutex")));
+    assert!(msgs.iter().any(|m| m.contains("rand::rngs::OsRng")));
+}
+
+#[test]
+fn iter_binding_fixture_reports_the_iteration_site() {
+    let diags = rules_hit("bad_workspace");
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "unordered-iter-binding")
+        .collect();
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    // The finding sits on the `for … in m.iter()` line, not the decl.
+    assert_eq!(hits[0].line, 11);
+    assert!(hits[0].message.contains("HashMap"));
+}
+
+#[test]
+fn panic_in_recovery_fixture_covers_body_and_callee() {
+    let diags = rules_hit("bad_workspace");
+    let whats: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.rule == "panic-in-recovery")
+        .map(|d| d.message.split('`').nth(1).unwrap_or(""))
+        .collect();
+    assert_eq!(whats, vec!["indexing", ".expect(…)", ".unwrap()"]);
+    assert!(diags
+        .iter()
+        .any(|d| d.rule == "panic-in-recovery" && d.message.contains("`checked`")));
+}
+
+#[test]
+fn layering_fixture_flags_upward_edge_and_unlisted_crate() {
+    let diags = rules_hit("bad_workspace");
+    let layering: Vec<_> = diags.iter().filter(|d| d.rule == "layering").collect();
+    assert!(
+        layering.iter().any(|d| d
+            .message
+            .contains("`core` (tier 3) must not depend on `bench`")),
+        "{layering:#?}"
+    );
+    assert!(
+        layering.iter().any(|d| d
+            .message
+            .contains("crate `qos` is not in the lint layer table")),
+        "{layering:#?}"
+    );
 }
 
 #[test]
@@ -158,4 +233,68 @@ fn binary_exit_codes_reflect_violations() {
         "expected zero exit on clean fixture, stdout: {}",
         String::from_utf8_lossy(&clean.stdout)
     );
+}
+
+#[test]
+fn json_format_baseline_and_github_annotations() {
+    let bin = env!("CARGO_BIN_EXE_smart-lint");
+    let json = Command::new(bin)
+        .arg("--format=json")
+        .arg(fixture("bad_workspace"))
+        .output()
+        .expect("run smart-lint");
+    assert!(!json.status.success());
+    let body = String::from_utf8_lossy(&json.stdout);
+    assert!(!body.trim().is_empty());
+    for line in body.lines() {
+        assert!(
+            line.starts_with("{\"path\":\"") && line.ends_with("\"}"),
+            "not a single-line JSON object: {line}"
+        );
+        assert!(line.contains("\"line\":") && line.contains("\"rule\":"));
+    }
+
+    // Feeding the full JSON run back as a baseline suppresses everything.
+    let dir = std::env::temp_dir().join(format!("lint_baseline_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("baseline.jsonl");
+    std::fs::write(&base, body.as_bytes()).unwrap();
+    let filtered = Command::new(bin)
+        .arg("--baseline")
+        .arg(&base)
+        .arg(fixture("bad_workspace"))
+        .output()
+        .expect("run smart-lint");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        filtered.status.success(),
+        "baseline should suppress all recorded findings:\n{}",
+        String::from_utf8_lossy(&filtered.stdout)
+    );
+
+    let gh = Command::new(bin)
+        .arg("--format=github")
+        .arg(fixture("bad_workspace"))
+        .output()
+        .expect("run smart-lint");
+    let gh_body = String::from_utf8_lossy(&gh.stdout);
+    assert!(gh_body.lines().all(|l| l.starts_with("::error file=")));
+    assert!(
+        gh_body
+            .contains("::error file=crates/rt/src/clock.rs,line=3,title=smart-lint wall-clock::"),
+        "{gh_body}"
+    );
+}
+
+#[test]
+fn pragma_count_flag_reports_fixture_suppressions() {
+    let bin = env!("CARGO_BIN_EXE_smart-lint");
+    let out = Command::new(bin)
+        .arg("--pragmas")
+        .arg(fixture("bad_workspace"))
+        .output()
+        .expect("run smart-lint");
+    assert!(out.status.success());
+    let n: usize = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+    assert_eq!(n, 0, "bad fixture plants violations, not suppressions");
 }

@@ -165,7 +165,7 @@ pub enum DoorbellBinding {
 
 impl DoorbellTable {
     pub(crate) fn new(handle: &SimHandle, cfg: &RnicConfig) -> Self {
-        // Table built once per device context. lint:allow(hot-path-alloc)
+        // Table built once per device context.
         let mut doorbells = Vec::new();
         for i in 0..cfg.uar_low_latency {
             doorbells.push(Doorbell::new(

@@ -493,9 +493,9 @@ impl Simulation {
                     timers: RefCell::new(TimerWheel::new()),
                     ready: Arc::new(ReadyQueue::default()),
                     // Slab and free list grow once per distinct task
-                    // slot, never per event. lint:allow(hot-path-alloc)
+                    // slot, never per event.
                     tasks: RefCell::new(Vec::new()),
-                    free: RefCell::new(Vec::new()), // lint:allow(hot-path-alloc)
+                    free: RefCell::new(Vec::new()),
                     rng: RefCell::new(SimRng::new(seed)),
                     tracer: RefCell::new(None),
                     stats: ExecStats::default(),

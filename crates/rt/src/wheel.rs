@@ -113,9 +113,9 @@ impl TimerWheel {
             levels: [[NIL; SLOTS]; LEVELS],
             occupied: [0; LEVELS],
             // Slab and free list amortise to the high-water mark of
-            // live timers, not per event. lint:allow(hot-path-alloc)
+            // live timers, not per event.
             slab: Vec::new(),
-            free: Vec::new(), // lint:allow(hot-path-alloc)
+            free: Vec::new(),
             due: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
             live: 0,
