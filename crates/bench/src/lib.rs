@@ -15,6 +15,7 @@ pub mod sweep;
 
 pub use report::{banner, trace_requested, us, BenchTable, Mode};
 pub use runners::{
-    run_bt, run_dtx, run_ht, BtParams, BtVariant, DtxParams, DtxWorkload, HtParams, RunReport,
+    run_bt, run_dtx, run_ht, serve_spec, BtParams, BtVariant, DtxParams, DtxWorkload, HtParams,
+    RunReport,
 };
 pub use sweep::{parallel_map, parallel_map_with, run_jobs, worker_threads};

@@ -12,6 +12,7 @@ use smart_race::{RaceConfig, RaceHashTable};
 use smart_rnic::{BladeConfig, Cluster, ClusterConfig};
 use smart_rt::metrics::Counter;
 use smart_rt::{Duration, Simulation};
+use smart_serve::{AdmissionConfig, MembershipPlan, RatePlan, ServeSpec};
 use smart_sherman::{ShermanConfig, ShermanTree};
 use smart_trace::LogHistogram;
 use smart_workloads::latency::LatencyRecorder;
@@ -725,4 +726,33 @@ pub fn run_bt(p: &BtParams) -> RunReport {
     };
     chaos.fill(&mut report);
     report
+}
+
+/// The standard serve scenario at a given client population and offered
+/// load scale: a three-phase diurnal plan (ramp → steady → churn) whose
+/// rates are multiplied by `scale`, an admission controller provisioned
+/// at three quarters of the steady peak, and one blade leave+join window
+/// straddling the steady/churn boundary. `fig_serve` and the tier-1
+/// determinism gates in `tests/serve.rs` both run exactly this spec, so
+/// a regression in either shows up in both.
+pub fn serve_spec(clients: usize, scale: f64, seed: u64) -> ServeSpec {
+    let peak = 4_000_000.0 * scale;
+    let plan = RatePlan::new()
+        .phase("ramp", Duration::from_millis(5), 0.0, peak)
+        .phase("steady", Duration::from_millis(15), peak, peak)
+        .phase("churn", Duration::from_millis(10), peak, peak / 2.0);
+    let mut spec = ServeSpec::new(seed, clients, plan);
+    spec.threads = 8;
+    spec.depth = 16;
+    spec.blades = 3;
+    spec.shards = 24;
+    spec.accounts = 8_192;
+    spec.admission = Some(AdmissionConfig {
+        rate: (peak * 0.75) as u64,
+        burst: 512,
+        max_queue: 8_192,
+    });
+    spec.membership =
+        MembershipPlan::new().leave_at(Duration::from_millis(12), 1, Duration::from_millis(8));
+    spec
 }

@@ -1,0 +1,147 @@
+//! Admission-control primitives on the virtual clock.
+//!
+//! The serving layer decides *synchronously*, at each arrival, whether an
+//! operation enters the system; everything here is the mechanism for that
+//! decision. [`TokenBucket`] is a classic rate limiter re-read against
+//! simulated time: refills are computed lazily from the elapsed virtual
+//! nanoseconds in pure integer arithmetic, so the token sequence is a
+//! deterministic function of the arrival timestamps — no background task,
+//! no floating-point accumulation, no PRNG.
+
+use std::cell::Cell;
+
+use smart_rt::SimTime;
+
+/// Nano-tokens per token: refill math runs at 10⁻⁹-token granularity so
+/// arbitrary rates divide the nanosecond timeline without rounding drift.
+const NANO: u128 = 1_000_000_000;
+
+/// A lazily-refilled token bucket over virtual time.
+///
+/// Holds up to `burst` tokens; `rate` tokens accrue per virtual second.
+/// [`try_take`] refills from the elapsed time since the last call and
+/// consumes one token if a whole one is available. Calls must present
+/// monotonically non-decreasing timestamps (simulation time never runs
+/// backwards); a zero `rate` never refills, modelling a closed gate once
+/// the initial burst is spent.
+///
+/// [`try_take`]: TokenBucket::try_take
+#[derive(Debug)]
+pub struct TokenBucket {
+    rate: u64,
+    burst: u64,
+    /// Current fill in nano-tokens, capped at `burst * NANO`.
+    nano_tokens: Cell<u128>,
+    last_ns: Cell<u64>,
+    taken: Cell<u64>,
+    denied: Cell<u64>,
+}
+
+impl TokenBucket {
+    /// A bucket starting full at `burst` tokens, refilling at `rate`
+    /// tokens per virtual second.
+    pub fn new(rate: u64, burst: u64) -> TokenBucket {
+        TokenBucket {
+            rate,
+            burst,
+            nano_tokens: Cell::new(burst as u128 * NANO),
+            last_ns: Cell::new(0),
+            taken: Cell::new(0),
+            denied: Cell::new(0),
+        }
+    }
+
+    fn refill(&self, now: SimTime) {
+        let now_ns = now.as_nanos();
+        let elapsed = now_ns.saturating_sub(self.last_ns.get());
+        self.last_ns.set(now_ns);
+        if elapsed == 0 || self.rate == 0 {
+            return;
+        }
+        // elapsed_ns · rate_per_sec / 1e9 seconds · 1e9 nano-per-token
+        // cancels exactly: nano-tokens gained = elapsed · rate.
+        let gained = elapsed as u128 * self.rate as u128;
+        let cap = self.burst as u128 * NANO;
+        self.nano_tokens
+            .set((self.nano_tokens.get() + gained).min(cap));
+    }
+
+    /// Consumes one token if available at virtual time `now`.
+    pub fn try_take(&self, now: SimTime) -> bool {
+        self.refill(now);
+        let fill = self.nano_tokens.get();
+        if fill >= NANO {
+            self.nano_tokens.set(fill - NANO);
+            self.taken.set(self.taken.get() + 1);
+            true
+        } else {
+            self.denied.set(self.denied.get() + 1);
+            false
+        }
+    }
+
+    /// Whole tokens available at virtual time `now`, without consuming.
+    pub fn available(&self, now: SimTime) -> u64 {
+        self.refill(now);
+        (self.nano_tokens.get() / NANO) as u64
+    }
+
+    /// Tokens granted so far.
+    pub fn taken(&self) -> u64 {
+        self.taken.get()
+    }
+
+    /// Requests refused so far.
+    pub fn denied(&self) -> u64 {
+        self.denied.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn burst_drains_then_rate_governs() {
+        let b = TokenBucket::new(1_000_000, 3); // 1 token per µs, burst 3
+        for _ in 0..3 {
+            assert!(b.try_take(t(0)));
+        }
+        assert!(!b.try_take(t(0)), "burst exhausted");
+        assert!(!b.try_take(t(500)), "half a token is not a token");
+        assert!(b.try_take(t(1_000)), "1 µs refills one token");
+        assert!(!b.try_take(t(1_000)));
+        assert_eq!(b.taken(), 4);
+        assert_eq!(b.denied(), 3);
+    }
+
+    #[test]
+    fn fill_caps_at_burst() {
+        let b = TokenBucket::new(1_000_000_000, 2);
+        assert_eq!(b.available(t(1_000_000)), 2, "a long idle caps at burst");
+        assert!(b.try_take(t(1_000_000)));
+        assert!(b.try_take(t(1_000_000)));
+        assert!(!b.try_take(t(1_000_000)));
+    }
+
+    #[test]
+    fn zero_rate_never_refills() {
+        let b = TokenBucket::new(0, 1);
+        assert!(b.try_take(t(0)));
+        assert!(!b.try_take(t(u64::MAX / 2)));
+    }
+
+    #[test]
+    fn fractional_rates_accumulate_exactly() {
+        // ~1/3 token per ns: 9 ns accrue 2.999999997 tokens — floors to 2.
+        let b = TokenBucket::new(333_333_333, 3);
+        for _ in 0..3 {
+            assert!(b.try_take(t(0)));
+        }
+        assert_eq!(b.available(t(9)), 2);
+    }
+}

@@ -49,6 +49,7 @@
 //! assert_eq!(blade.read_u64(off), 9);
 //! ```
 
+pub mod admission;
 pub mod config;
 pub mod conflict;
 pub mod context;
@@ -57,10 +58,12 @@ pub mod hub;
 pub mod microbench;
 pub mod pool;
 pub mod report;
+pub mod route;
 pub mod stats;
 pub mod thread;
 pub mod throttle;
 
+pub use admission::TokenBucket;
 pub use config::{QpPolicy, RetryPolicy, SmartConfig};
 pub use conflict::ConflictControl;
 pub use context::SmartContext;
@@ -71,6 +74,7 @@ pub use microbench::{
 };
 pub use pool::QpPool;
 pub use report::{ContentionReport, DoorbellReport};
+pub use route::ShardRouter;
 pub use stats::ThreadStats;
 pub use thread::SmartThread;
 pub use throttle::WrThrottle;

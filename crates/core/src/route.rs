@@ -1,0 +1,161 @@
+//! Epoch-versioned shard-to-blade routing for elastic memory pools.
+//!
+//! A serving layer spreads its keyspace over a fixed number of *shards*
+//! and needs a deterministic answer to "which blade owns shard `s` right
+//! now?" even while blades leave and rejoin the pool. [`ShardRouter`]
+//! holds that membership view: the full blade roster is fixed at
+//! construction, a subset of it is *live*, and every membership change
+//! bumps a routing epoch so callers can tell stale placements from fresh
+//! ones (mirroring the MR-epoch mechanism `smart-rnic` blades use for
+//! crash recovery).
+//!
+//! Placement is intentionally simple — shard `s` maps to the live blade
+//! at index `s % live_count`, in roster order — because the simulation
+//! cares about *where requests land during churn*, not about minimizing
+//! data movement. The router never touches blade state; scripting the
+//! actual crash/restart is the fault layer's job.
+
+use std::cell::{Cell, RefCell};
+
+/// Deterministic shard → blade placement over an elastic blade roster.
+///
+/// Interior-mutable so a single router can be shared (behind an `Rc`)
+/// between a membership driver that mutates the view and the request
+/// paths that read it.
+#[derive(Debug)]
+pub struct ShardRouter {
+    blades: usize,
+    shards: usize,
+    /// Roster indices of the blades currently serving, in roster order.
+    live: RefCell<Vec<usize>>,
+    epoch: Cell<u64>,
+}
+
+impl ShardRouter {
+    /// A router over `blades` roster slots and `shards` shards, with the
+    /// whole roster initially live. Panics if either count is zero.
+    pub fn new(blades: usize, shards: usize) -> ShardRouter {
+        assert!(blades > 0, "router needs at least one blade");
+        assert!(shards > 0, "router needs at least one shard");
+        ShardRouter {
+            blades,
+            shards,
+            live: RefCell::new((0..blades).collect()),
+            epoch: Cell::new(0),
+        }
+    }
+
+    /// Number of roster slots (live or not).
+    pub fn blades(&self) -> usize {
+        self.blades
+    }
+
+    /// Number of shards being routed.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Current routing epoch; bumped by every [`leave`] / [`join`].
+    ///
+    /// [`leave`]: ShardRouter::leave
+    /// [`join`]: ShardRouter::join
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Number of blades currently live.
+    pub fn live_count(&self) -> usize {
+        self.live.borrow().len()
+    }
+
+    /// Whether roster slot `blade` is currently live.
+    pub fn is_live(&self, blade: usize) -> bool {
+        self.live.borrow().contains(&blade)
+    }
+
+    /// The roster index of the blade owning `shard` under the current
+    /// view.
+    pub fn home(&self, shard: usize) -> usize {
+        debug_assert!(shard < self.shards, "shard {shard} out of range");
+        let live = self.live.borrow();
+        live[shard % live.len()]
+    }
+
+    /// Removes roster slot `blade` from the live set (no-op if already
+    /// out) and bumps the epoch. Panics rather than route into the void
+    /// if the last live blade tries to leave.
+    pub fn leave(&self, blade: usize) {
+        let mut live = self.live.borrow_mut();
+        let before = live.len();
+        live.retain(|&b| b != blade);
+        assert!(!live.is_empty(), "cannot remove the last live blade");
+        if live.len() != before {
+            self.epoch.set(self.epoch.get() + 1);
+        }
+    }
+
+    /// Returns roster slot `blade` to the live set in roster order
+    /// (no-op if already live) and bumps the epoch.
+    pub fn join(&self, blade: usize) {
+        assert!(blade < self.blades, "blade {blade} not in the roster");
+        let mut live = self.live.borrow_mut();
+        if live.contains(&blade) {
+            return;
+        }
+        let pos = live.partition_point(|&b| b < blade);
+        live.insert(pos, blade);
+        self.epoch.set(self.epoch.get() + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_round_robin_over_live_blades() {
+        let r = ShardRouter::new(3, 8);
+        assert_eq!(
+            (0..8).map(|s| r.home(s)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2, 0, 1]
+        );
+        assert_eq!(r.epoch(), 0);
+    }
+
+    #[test]
+    fn leave_rehomes_and_join_restores_roster_order() {
+        let r = ShardRouter::new(3, 6);
+        r.leave(1);
+        assert_eq!(r.epoch(), 1);
+        assert_eq!(r.live_count(), 2);
+        assert!(!r.is_live(1));
+        assert_eq!(
+            (0..6).map(|s| r.home(s)).collect::<Vec<_>>(),
+            vec![0, 2, 0, 2, 0, 2]
+        );
+        r.join(1);
+        assert_eq!(r.epoch(), 2);
+        // Roster order restored, not append order.
+        assert_eq!(
+            (0..6).map(|s| r.home(s)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn duplicate_transitions_do_not_bump_the_epoch() {
+        let r = ShardRouter::new(2, 2);
+        r.join(1);
+        assert_eq!(r.epoch(), 0);
+        r.leave(0);
+        r.leave(0);
+        assert_eq!(r.epoch(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "last live blade")]
+    fn the_last_blade_cannot_leave() {
+        let r = ShardRouter::new(1, 1);
+        r.leave(0);
+    }
+}

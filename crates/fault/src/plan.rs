@@ -130,6 +130,35 @@ impl FaultPlan {
         self
     }
 
+    /// Folds another plan into this one: scheduled events concatenate
+    /// (the injector orders them by time anyway), and each per-WR
+    /// probability knob takes `other`'s value when set there, keeping
+    /// `self`'s otherwise.
+    ///
+    /// This lets a scripted timeline (say, a membership driver's blade
+    /// leave/join windows) compose with an orthogonal background-noise
+    /// plan without either side knowing about the other. When both plans
+    /// set the *same* probability knob, `other` wins — callers layering
+    /// two noise plans should pick one owner per knob.
+    #[must_use]
+    pub fn merge(mut self, other: &FaultPlan) -> Self {
+        self.events.extend(other.events.iter().cloned());
+        if other.loss_rate > 0.0 {
+            self.loss_rate = other.loss_rate;
+        }
+        if other.rnr_rate > 0.0 {
+            self.rnr_rate = other.rnr_rate;
+        }
+        if other.spike_rate > 0.0 {
+            self.spike_rate = other.spike_rate;
+            self.spike_extra = other.spike_extra;
+        }
+        if other.access_error_rate > 0.0 {
+            self.access_error_rate = other.access_error_rate;
+        }
+        self
+    }
+
     /// The scheduled events, in insertion order.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -267,6 +296,25 @@ mod tests {
                 assert!(ev.at <= h, "seed {seed} scheduled past horizon");
             }
         }
+    }
+
+    #[test]
+    fn merge_concatenates_events_and_overlays_rates() {
+        let timeline = FaultPlan::new()
+            .blade_crash_at(Duration::from_micros(10), 1, Duration::from_micros(5))
+            .with_packet_loss(0.25);
+        let noise = FaultPlan::new()
+            .qp_error_at(Duration::from_micros(3), 0, None)
+            .with_rnr(0.5);
+        let merged = timeline.clone().merge(&noise);
+        assert_eq!(merged.events().len(), 2);
+        assert_eq!(merged.events()[0], timeline.events()[0]);
+        assert_eq!(merged.events()[1], noise.events()[0]);
+        assert_eq!(merged.loss_rate(), 0.25, "unset knob keeps self's value");
+        assert_eq!(merged.rnr_rate(), 0.5, "other's set knob wins");
+        assert!(!merged.is_passive());
+        // Merging an empty plan changes nothing.
+        assert_eq!(timeline.clone().merge(&FaultPlan::new()), timeline);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub const SIM_CRATES: &[&str] = &[
     "workloads",
     "check",
     "fault",
+    "serve",
 ];
 
 /// Files on the simulator's per-event hot path: the executor's ready
@@ -71,7 +72,8 @@ pub const LAYERS: &[(&str, u8)] = &[
     ("workloads", 4),
     ("check", 5),
     ("fault", 5),
-    ("bench", 6),
+    ("serve", 6),
+    ("bench", 7),
 ];
 
 /// Workspace crates outside the simulation stack (tooling): not part of

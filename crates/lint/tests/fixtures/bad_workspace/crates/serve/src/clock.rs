@@ -1,0 +1,5 @@
+//! Fixture: wall-clock time inside the serving layer.
+
+pub fn naughty_serve_now() -> std::time::Instant {
+    Instant::now()
+}

@@ -1,0 +1,6 @@
+//! Fixture: entropy-seeded arrival jitter in the serving layer.
+
+pub fn naughty_arrival_jitter() -> u64 {
+    let mut r = rand::thread_rng();
+    r.gen()
+}

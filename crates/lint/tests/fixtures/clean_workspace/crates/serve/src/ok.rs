@@ -1,0 +1,6 @@
+//! Fixture: serve code using sim time and seeded randomness only.
+
+pub fn well_behaved_arrival(handle: &SimHandle, rng: &mut SimRng) -> u64 {
+    let _now = handle.now();
+    rng.next_u64()
+}

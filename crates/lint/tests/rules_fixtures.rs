@@ -86,6 +86,28 @@ fn bad_workspace_diagnostics_point_at_the_right_files() {
 }
 
 #[test]
+fn serve_crate_is_covered_by_the_sim_rules() {
+    // The serving layer is sim code: the determinism rules must fire on
+    // its fixture tree (and stay silent on the clean one, which the
+    // clean-workspace test covers).
+    let diags = rules_hit("bad_workspace");
+    let in_serve = |rule: &str| {
+        diags.iter().any(|d| {
+            d.rule == rule
+                && d.path
+                    .to_string_lossy()
+                    .replace('\\', "/")
+                    .contains("crates/serve/")
+        })
+    };
+    assert!(in_serve("wall-clock"), "wall-clock must cover crates/serve");
+    assert!(
+        in_serve("unseeded-rng"),
+        "unseeded-rng must cover crates/serve"
+    );
+}
+
+#[test]
 fn alias_evasion_fixture_catches_all_three_ban_kinds() {
     let diags = rules_hit("bad_workspace");
     let msgs: Vec<&str> = diags

@@ -930,6 +930,143 @@ impl Bandwidth {
     }
 }
 
+// ---------------------------------------------------------------------------
+// WorkQueue
+// ---------------------------------------------------------------------------
+
+struct WorkQueueInner<T> {
+    items: RefCell<VecDeque<T>>,
+    capacity: usize,
+    closed: Cell<bool>,
+    ready: Notify,
+    pushed: Cell<u64>,
+    popped: Cell<u64>,
+    high_water: Cell<usize>,
+}
+
+/// A bounded FIFO handoff queue for scheduling work onto a fixed pool of
+/// consumer tasks — the deterministic building block behind session pools
+/// that multiplex many logical producers onto few coroutines.
+///
+/// Producers call [`try_push`]; a full queue refuses the item (returning
+/// it) instead of blocking, which is exactly the shedding decision an
+/// open-loop admission controller needs to make synchronously. Consumers
+/// await [`recv`], which resolves in strict arrival order: waiting
+/// consumers are woken oldest-first by the underlying [`Notify`], so the
+/// mapping of items to consumers is a pure function of the schedule.
+/// [`close`] drains the remaining items to whoever asks and then resolves
+/// every `recv` with `None`.
+///
+/// [`try_push`]: WorkQueue::try_push
+/// [`recv`]: WorkQueue::recv
+/// [`close`]: WorkQueue::close
+pub struct WorkQueue<T> {
+    inner: Rc<WorkQueueInner<T>>,
+}
+
+impl<T> Clone for WorkQueue<T> {
+    fn clone(&self) -> Self {
+        WorkQueue {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for WorkQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkQueue")
+            .field("len", &self.len())
+            .field("capacity", &self.inner.capacity)
+            .field("closed", &self.inner.closed.get())
+            .finish()
+    }
+}
+
+impl<T> WorkQueue<T> {
+    /// Creates a queue holding at most `capacity` pending items
+    /// (`capacity` is clamped to at least 1).
+    pub fn bounded(capacity: usize) -> WorkQueue<T> {
+        WorkQueue {
+            inner: Rc::new(WorkQueueInner {
+                items: RefCell::new(VecDeque::new()),
+                capacity: capacity.max(1),
+                closed: Cell::new(false),
+                ready: Notify::new(),
+                pushed: Cell::new(0),
+                popped: Cell::new(0),
+                high_water: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Enqueues `item`, or hands it back if the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        if self.inner.closed.get() {
+            return Err(item);
+        }
+        let mut items = self.inner.items.borrow_mut();
+        if items.len() >= self.inner.capacity {
+            return Err(item);
+        }
+        items.push_back(item);
+        let depth = items.len();
+        drop(items);
+        self.inner.pushed.set(self.inner.pushed.get() + 1);
+        if depth > self.inner.high_water.get() {
+            self.inner.high_water.set(depth);
+        }
+        self.inner.ready.notify_one();
+        Ok(())
+    }
+
+    /// Waits for the next item in FIFO order; `None` once the queue is
+    /// closed **and** drained.
+    pub async fn recv(&self) -> Option<T> {
+        loop {
+            if let Some(item) = self.inner.items.borrow_mut().pop_front() {
+                self.inner.popped.set(self.inner.popped.get() + 1);
+                return Some(item);
+            }
+            if self.inner.closed.get() {
+                return None;
+            }
+            self.inner.ready.notified().await;
+        }
+    }
+
+    /// Closes the queue: pending items stay receivable, new pushes fail,
+    /// and every idle consumer wakes to observe the shutdown.
+    pub fn close(&self) {
+        self.inner.closed.set(true);
+        self.inner.ready.notify_all();
+    }
+
+    /// Number of items currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.items.borrow().len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total items ever accepted.
+    pub fn pushed(&self) -> u64 {
+        self.inner.pushed.get()
+    }
+
+    /// Total items ever delivered to a consumer.
+    pub fn popped(&self) -> u64 {
+        self.inner.popped.get()
+    }
+
+    /// Deepest backlog ever observed (for queue-depth reporting).
+    pub fn high_water(&self) -> usize {
+        self.inner.high_water.get()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1260,5 +1397,58 @@ mod tests {
         sim.run();
         assert_eq!(*done.borrow(), vec![100, 300, 600]);
         assert_eq!(link.transferred(), 600);
+    }
+
+    #[test]
+    fn work_queue_delivers_fifo_and_sheds_on_overflow() {
+        let q: WorkQueue<u64> = WorkQueue::bounded(3);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Ok(()));
+        assert_eq!(q.try_push(4), Err(4), "capacity 3 must refuse the 4th");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.high_water(), 3);
+
+        let mut sim = Simulation::new(0);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let (q2, seen2) = (q.clone(), Rc::clone(&seen));
+        sim.spawn(async move {
+            while let Some(v) = q2.recv().await {
+                seen2.borrow_mut().push(v);
+            }
+        });
+        sim.run();
+        q.close();
+        assert_eq!(q.try_push(9), Err(9), "closed queue refuses pushes");
+        sim.run();
+        assert_eq!(*seen.borrow(), vec![1, 2, 3]);
+        assert_eq!(q.pushed(), 3);
+        assert_eq!(q.popped(), 3);
+    }
+
+    #[test]
+    fn work_queue_wakes_waiting_consumers_oldest_first() {
+        let mut sim = Simulation::new(7);
+        let q: WorkQueue<u64> = WorkQueue::bounded(16);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for id in 0..3u64 {
+            let (q, order) = (q.clone(), Rc::clone(&order));
+            sim.spawn(async move {
+                while let Some(v) = q.recv().await {
+                    order.borrow_mut().push((id, v));
+                }
+            });
+        }
+        // Let all three consumers park before anything arrives, then feed
+        // one item per scheduling round: each goes to the oldest waiter,
+        // which re-parks behind the others afterwards.
+        sim.run();
+        for v in 10..14u64 {
+            assert_eq!(q.try_push(v), Ok(()));
+            sim.run();
+        }
+        q.close();
+        sim.run();
+        assert_eq!(*order.borrow(), vec![(0, 10), (1, 11), (2, 12), (0, 13)]);
     }
 }

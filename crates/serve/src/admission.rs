@@ -1,0 +1,126 @@
+//! The serving layer's admission policy: token-bucket rate limiting plus
+//! queue-depth shedding, decided synchronously at each arrival.
+//!
+//! Shedding at the door is what makes the tail of *admitted* operations
+//! meaningful: an overloaded open-loop system otherwise grows its queue
+//! without bound and every percentile degenerates to "how long did the
+//! run last". Rejections are typed ([`Rejected`]) so reports can separate
+//! rate-policy sheds from backlog sheds.
+
+use smart::TokenBucket;
+use smart_rt::SimTime;
+
+/// Why an arrival was turned away.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rejected {
+    /// The token bucket was empty: the offered rate exceeds the
+    /// provisioned admission rate.
+    Throttled,
+    /// The session queue was at capacity: admitted work is not draining
+    /// fast enough.
+    QueueFull,
+}
+
+impl Rejected {
+    /// Stable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rejected::Throttled => "throttled",
+            Rejected::QueueFull => "queue_full",
+        }
+    }
+}
+
+/// Admission policy knobs.
+#[derive(Clone, Debug)]
+pub struct AdmissionConfig {
+    /// Sustained admission rate, ops per virtual second.
+    pub rate: u64,
+    /// Token-bucket burst capacity.
+    pub burst: u64,
+    /// Maximum backlog (queued, not-yet-executing ops) before sheds.
+    pub max_queue: usize,
+}
+
+impl AdmissionConfig {
+    /// A controller that admits everything: the rate gate never engages
+    /// and the queue bound is effectively infinite. Wiring this must be
+    /// observationally identical to running with no controller at all —
+    /// `tests/serve.rs` holds that identity.
+    pub fn unlimited() -> AdmissionConfig {
+        AdmissionConfig {
+            rate: 0,
+            burst: 0,
+            max_queue: usize::MAX,
+        }
+    }
+
+    /// True when neither the rate gate nor the queue bound can ever
+    /// reject an arrival.
+    pub fn is_unlimited(&self) -> bool {
+        self.rate == 0 && self.max_queue == usize::MAX
+    }
+}
+
+/// The admission controller: applies [`AdmissionConfig`] at each arrival.
+#[derive(Debug)]
+pub struct AdmissionController {
+    bucket: Option<TokenBucket>,
+    max_queue: usize,
+}
+
+impl AdmissionController {
+    /// Builds the controller; a zero `rate` disables the token bucket
+    /// (queue-depth shedding may still apply).
+    pub fn new(cfg: &AdmissionConfig) -> AdmissionController {
+        AdmissionController {
+            bucket: (cfg.rate > 0).then(|| TokenBucket::new(cfg.rate, cfg.burst.max(1))),
+            max_queue: cfg.max_queue,
+        }
+    }
+
+    /// Decides one arrival given the current backlog depth. Queue
+    /// pressure is checked first: when the system is already drowning,
+    /// spending a token on an op we then drop would double-charge the
+    /// rate budget.
+    pub fn admit(&self, now: SimTime, queue_depth: usize) -> Result<(), Rejected> {
+        if queue_depth >= self.max_queue {
+            return Err(Rejected::QueueFull);
+        }
+        match &self.bucket {
+            Some(b) if !b.try_take(now) => Err(Rejected::Throttled),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn queue_pressure_wins_over_rate() {
+        let c = AdmissionController::new(&AdmissionConfig {
+            rate: 1_000_000,
+            burst: 1,
+            max_queue: 4,
+        });
+        assert_eq!(c.admit(t(0), 4), Err(Rejected::QueueFull));
+        assert_eq!(c.admit(t(0), 3), Ok(()));
+        assert_eq!(c.admit(t(0), 3), Err(Rejected::Throttled));
+        assert_eq!(c.admit(t(1_000), 3), Ok(()), "refilled after 1 µs");
+    }
+
+    #[test]
+    fn unlimited_never_rejects() {
+        let c = AdmissionController::new(&AdmissionConfig::unlimited());
+        assert!(AdmissionConfig::unlimited().is_unlimited());
+        for i in 0..10_000 {
+            assert_eq!(c.admit(t(0), i), Ok(()));
+        }
+    }
+}

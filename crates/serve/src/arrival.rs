@@ -1,0 +1,327 @@
+//! Seeded open-loop arrival engine: non-homogeneous Poisson arrivals
+//! over a piecewise-linear diurnal rate plan, with Zipf-skewed keys.
+//!
+//! The engine is a pure iterator over virtual time. Given a seed it emits
+//! the exact same request sequence whether or not anything downstream
+//! sheds, delays or drops the requests — that independence is what makes
+//! the workload *open-loop* and what lets the admission-identity test in
+//! `tests/serve.rs` compare runs with and without a controller.
+//!
+//! Non-homogeneous arrivals use Lewis–Shedler thinning: candidates are
+//! drawn from a homogeneous Poisson process at the plan's peak rate and
+//! accepted with probability `rate(t) / peak`, so the accepted process
+//! has exactly the plan's time-varying intensity while every draw comes
+//! from one forked [`SimRng`] stream.
+
+use smart_rt::rng::SimRng;
+use smart_rt::Duration;
+use smart_workloads::zipf::ScrambledZipfian;
+
+/// One segment of the diurnal rate plan: the offered load ramps linearly
+/// from `start_rate` to `end_rate` (arrivals per virtual second) over
+/// `dur`.
+#[derive(Clone, Debug)]
+pub struct PhaseSpec {
+    /// Phase label used in reports (`"ramp"`, `"steady"`, `"churn"`, …).
+    pub name: &'static str,
+    /// Length of the phase.
+    pub dur: Duration,
+    /// Offered load at the phase's first instant, arrivals/sec.
+    pub start_rate: f64,
+    /// Offered load at the phase's last instant, arrivals/sec.
+    pub end_rate: f64,
+}
+
+/// A piecewise-linear offered-load schedule.
+#[derive(Clone, Debug, Default)]
+pub struct RatePlan {
+    phases: Vec<PhaseSpec>,
+}
+
+impl RatePlan {
+    /// An empty plan; add segments with [`phase`](RatePlan::phase).
+    pub fn new() -> RatePlan {
+        RatePlan::default()
+    }
+
+    /// Appends a segment ramping from `start_rate` to `end_rate`
+    /// arrivals/sec over `dur`.
+    #[must_use]
+    pub fn phase(
+        mut self,
+        name: &'static str,
+        dur: Duration,
+        start_rate: f64,
+        end_rate: f64,
+    ) -> Self {
+        assert!(start_rate >= 0.0 && end_rate >= 0.0, "rates must be >= 0");
+        self.phases.push(PhaseSpec {
+            name,
+            dur,
+            start_rate,
+            end_rate,
+        });
+        self
+    }
+
+    /// The segments, in schedule order.
+    pub fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    /// Total schedule length.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|p| p.dur).sum()
+    }
+
+    /// Highest instantaneous rate anywhere in the plan.
+    pub fn peak_rate(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.start_rate.max(p.end_rate))
+            .fold(0.0, f64::max)
+    }
+
+    /// Index of the phase containing offset `t`, clamping past-the-end
+    /// times into the last phase.
+    pub fn phase_at(&self, t: Duration) -> usize {
+        let mut acc = Duration::ZERO;
+        for (i, p) in self.phases.iter().enumerate() {
+            acc += p.dur;
+            if t < acc {
+                return i;
+            }
+        }
+        self.phases.len().saturating_sub(1)
+    }
+
+    /// Instantaneous offered load at offset `t`, linearly interpolated
+    /// within the containing phase (0 past the end of the plan).
+    pub fn rate_at(&self, t: Duration) -> f64 {
+        let mut start = Duration::ZERO;
+        for p in &self.phases {
+            let end = start + p.dur;
+            if t < end {
+                let frac = if p.dur.is_zero() {
+                    0.0
+                } else {
+                    (t - start).as_secs_f64() / p.dur.as_secs_f64()
+                };
+                return p.start_rate + (p.end_rate - p.start_rate) * frac;
+            }
+            start = end;
+        }
+        0.0
+    }
+}
+
+/// What an arriving client wants done.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeOp {
+    /// Read the account's balance cell at its current home.
+    Probe {
+        /// Account to probe.
+        account: u64,
+    },
+    /// Move `amount` from `from` to `to` as a debit/credit FAA pair —
+    /// the SmallBank-style op whose global balance sum is conserved.
+    Transfer {
+        /// Debited account.
+        from: u64,
+        /// Credited account.
+        to: u64,
+        /// Amount moved.
+        amount: u64,
+    },
+}
+
+/// One open-loop arrival: who, what, and when.
+#[derive(Clone, Copy, Debug)]
+pub struct Arrival {
+    /// Offset from simulation start at which the request arrives.
+    pub at: Duration,
+    /// Logical client issuing the request.
+    pub client: u64,
+    /// Index of the rate-plan phase the arrival falls into.
+    pub phase: usize,
+    /// The requested operation.
+    pub op: ServeOp,
+}
+
+/// The seeded arrival stream.
+pub struct ArrivalEngine {
+    rng: SimRng,
+    plan: RatePlan,
+    peak: f64,
+    clients: u64,
+    zipf: ScrambledZipfian,
+    accounts: u64,
+    probe_pct: u32,
+    t: Duration,
+    emitted: u64,
+}
+
+impl ArrivalEngine {
+    /// An engine drawing from its own forked PRNG stream.
+    ///
+    /// `clients` logical clients issue requests against `accounts`
+    /// accounts with Zipf(θ = `theta`) popularity skew; `probe_pct` % of
+    /// requests are balance probes, the rest transfers.
+    pub fn new(
+        seed: u64,
+        plan: RatePlan,
+        clients: u64,
+        accounts: u64,
+        theta: f64,
+        probe_pct: u32,
+    ) -> ArrivalEngine {
+        assert!(clients > 0, "need at least one client");
+        assert!(accounts >= 2, "transfers need two distinct accounts");
+        let peak = plan.peak_rate();
+        assert!(peak > 0.0, "rate plan never offers load");
+        ArrivalEngine {
+            rng: SimRng::new(seed ^ 0x5eed_a11e_7a61_e5e5),
+            plan,
+            peak,
+            clients,
+            zipf: ScrambledZipfian::new(accounts, theta),
+            accounts,
+            probe_pct: probe_pct.min(100),
+            t: Duration::ZERO,
+            emitted: 0,
+        }
+    }
+
+    /// The schedule driving this engine.
+    pub fn plan(&self) -> &RatePlan {
+        &self.plan
+    }
+
+    /// Arrivals emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Draws an exponential interarrival at the peak rate.
+    fn exp_step(&mut self) -> Duration {
+        // Inverse CDF; clamp the uniform away from 0 so ln() is finite.
+        let u = self.rng.next_f64().max(f64::MIN_POSITIVE);
+        Duration::from_secs_f64((-u.ln()) / self.peak)
+    }
+
+    /// The next arrival, or `None` once the plan is exhausted.
+    pub fn next_arrival(&mut self) -> Option<Arrival> {
+        let horizon = self.plan.total();
+        loop {
+            let step = self.exp_step();
+            self.t += step;
+            if self.t >= horizon {
+                return None;
+            }
+            // Thinning: accept with probability rate(t)/peak.
+            let keep = self.rng.next_f64() * self.peak < self.plan.rate_at(self.t);
+            if !keep {
+                continue;
+            }
+            let client = self.rng.next_u64_below(self.clients);
+            let op = if self.rng.next_u64_below(100) < self.probe_pct as u64 {
+                ServeOp::Probe {
+                    account: self.zipf.next(&mut self.rng),
+                }
+            } else {
+                let from = self.zipf.next(&mut self.rng);
+                let mut to = self.zipf.next(&mut self.rng);
+                if to == from {
+                    to = (to + 1) % self.accounts;
+                }
+                ServeOp::Transfer {
+                    from,
+                    to,
+                    amount: 1 + self.rng.next_u64_below(100),
+                }
+            };
+            self.emitted += 1;
+            return Some(Arrival {
+                at: self.t,
+                client,
+                phase: self.plan.phase_at(self.t),
+                op,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> RatePlan {
+        RatePlan::new()
+            .phase("ramp", Duration::from_millis(2), 0.0, 1_000_000.0)
+            .phase("steady", Duration::from_millis(4), 1_000_000.0, 1_000_000.0)
+            .phase("churn", Duration::from_millis(4), 1_000_000.0, 500_000.0)
+    }
+
+    #[test]
+    fn rate_plan_interpolates_and_classifies() {
+        let p = plan();
+        assert_eq!(p.total(), Duration::from_millis(10));
+        assert_eq!(p.peak_rate(), 1_000_000.0);
+        assert_eq!(p.phase_at(Duration::from_millis(1)), 0);
+        assert_eq!(p.phase_at(Duration::from_millis(3)), 1);
+        assert_eq!(p.phase_at(Duration::from_millis(9)), 2);
+        assert_eq!(p.phase_at(Duration::from_millis(99)), 2);
+        let mid_ramp = p.rate_at(Duration::from_millis(1));
+        assert!(
+            (mid_ramp - 500_000.0).abs() < 1.0,
+            "ramp midpoint {mid_ramp}"
+        );
+        assert_eq!(p.rate_at(Duration::from_millis(5)), 1_000_000.0);
+        assert_eq!(p.rate_at(Duration::from_millis(20)), 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let stream = |seed| {
+            let mut e = ArrivalEngine::new(seed, plan(), 1_000, 64, 0.9, 50);
+            let mut v = Vec::new();
+            while let Some(a) = e.next_arrival() {
+                v.push(format!("{a:?}"));
+            }
+            v
+        };
+        assert_eq!(stream(7), stream(7));
+        assert_ne!(stream(7), stream(8));
+    }
+
+    #[test]
+    fn realized_rate_tracks_the_plan() {
+        let mut e = ArrivalEngine::new(3, plan(), 10_000, 1_000, 0.99, 50);
+        let (mut ramp, mut steady) = (0u64, 0u64);
+        while let Some(a) = e.next_arrival() {
+            match a.phase {
+                0 => ramp += 1,
+                1 => steady += 1,
+                _ => {}
+            }
+            assert!(a.at < plan().total());
+            assert!(a.client < 10_000);
+        }
+        // Expected: ramp integrates to 1000 arrivals, steady to 4000.
+        assert!((800..=1200).contains(&ramp), "ramp arrivals {ramp}");
+        assert!((3700..=4300).contains(&steady), "steady arrivals {steady}");
+    }
+
+    #[test]
+    fn transfers_never_self_transfer() {
+        let mut e = ArrivalEngine::new(11, plan(), 100, 2, 0.5, 0);
+        let mut seen = 0;
+        while let Some(a) = e.next_arrival() {
+            if let ServeOp::Transfer { from, to, .. } = a.op {
+                assert_ne!(from, to);
+                seen += 1;
+            }
+        }
+        assert!(seen > 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Deterministic SLO reporting for a serve run.
+//!
+//! Everything here is plain data filled by the engine: per-phase counts
+//! and latency/recovery histograms, whole-run audits, and a seeded
+//! digest of the admitted op stream. [`ServeReport::render`] is the
+//! byte-stable human-readable form (two same-seed runs must produce
+//! identical bytes — `tests/serve.rs` gates that), and
+//! [`ServeReport::stream_signature`] is the subset that must also be
+//! invariant between "no admission controller" and "controller that
+//! never sheds".
+
+use std::fmt::Write as _;
+
+use smart_trace::LogHistogram;
+
+/// Per-phase serving statistics, keyed by the rate plan's phases.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseStats {
+    /// Phase label from the rate plan.
+    pub name: &'static str,
+    /// Phase length in virtual nanoseconds.
+    pub dur_ns: u64,
+    /// Open-loop arrivals whose timestamp fell in this phase.
+    pub offered: u64,
+    /// Arrivals the admission controller let in.
+    pub admitted: u64,
+    /// Admitted ops that completed successfully.
+    pub completed: u64,
+    /// Admitted ops that surfaced a typed fault error.
+    pub failed: u64,
+    /// Arrivals shed by the token bucket.
+    pub shed_throttled: u64,
+    /// Arrivals shed by the queue-depth bound.
+    pub shed_queue: u64,
+    /// End-to-end latency (arrival → completion) of completed ops, ns.
+    pub latency: LogHistogram,
+    /// Fault-recovery delays observed during this phase's window, ns.
+    pub recovery: LogHistogram,
+}
+
+impl PhaseStats {
+    /// Arrivals shed for any reason.
+    pub fn shed(&self) -> u64 {
+        self.shed_throttled + self.shed_queue
+    }
+
+    /// Offered load over the phase window, ops/sec.
+    pub fn offered_rate(&self) -> f64 {
+        self.offered as f64 / (self.dur_ns as f64 / 1e9)
+    }
+
+    /// Completed-op throughput over the phase window, ops/sec.
+    pub fn goodput(&self) -> f64 {
+        self.completed as f64 / (self.dur_ns as f64 / 1e9)
+    }
+
+    /// Fraction of arrivals shed, in percent.
+    pub fn shed_pct(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed() as f64 * 100.0 / self.offered as f64
+        }
+    }
+
+    fn row(&self) -> String {
+        let q = |q: f64| self.latency.quantile(q) as f64 / 1_000.0;
+        let recov = if self.recovery.count() == 0 {
+            "-".to_string()
+        } else {
+            format!(
+                "{}x p99 {:.1}us",
+                self.recovery.count(),
+                self.recovery.quantile(0.99) as f64 / 1_000.0
+            )
+        };
+        format!(
+            "{:<8} {:>9} {:>9} {:>6.2}% {:>11.0} {:>11.0} {:>9.1} {:>9.1} {:>9.1}  {}",
+            self.name,
+            self.offered,
+            self.admitted,
+            self.shed_pct(),
+            self.offered_rate(),
+            self.goodput(),
+            q(0.50),
+            q(0.99),
+            q(0.999),
+            recov,
+        )
+    }
+}
+
+/// The complete, deterministic result of one serve run.
+#[derive(Clone, Debug, Default)]
+pub struct ServeReport {
+    /// Seed the run was driven by.
+    pub seed: u64,
+    /// Logical client population size.
+    pub clients: u64,
+    /// Distinct clients that completed at least one op.
+    pub distinct_served: u64,
+    /// Largest per-session completion count.
+    pub max_session_ops: u32,
+    /// Simulated threads × coroutines per thread.
+    pub workers: (usize, usize),
+    /// Human description of the admission policy (not part of the
+    /// stream signature — "none" and "unlimited" differ here on purpose).
+    pub admission_desc: String,
+    /// Scripted membership windows.
+    pub membership_windows: usize,
+    /// Router epoch after the run (2 × completed windows).
+    pub final_epoch: u64,
+    /// Deepest request backlog ever observed.
+    pub queue_high_water: usize,
+    /// Per-phase statistics in plan order.
+    pub phases: Vec<PhaseStats>,
+    /// FNV-1a digest over the admitted op stream (order-sensitive).
+    pub ops_digest: u64,
+    /// Faults injected by the fault layer.
+    pub faults_injected: u64,
+    /// Faults seen by the recovery layer.
+    pub faults_seen: u64,
+    /// Faults recovered by the recovery layer.
+    pub faults_recovered: u64,
+    /// Whole-run recovery-delay distribution, ns.
+    pub recovery: LogHistogram,
+    /// Invariant-audit failures; empty means every audit passed.
+    pub conservation: Vec<String>,
+    /// Scheduler events processed (simulator cost of the run).
+    pub sim_events: u64,
+}
+
+impl ServeReport {
+    /// Sum over phases of `f`.
+    fn total(&self, f: impl Fn(&PhaseStats) -> u64) -> u64 {
+        self.phases.iter().map(f).sum()
+    }
+
+    /// Total arrivals across phases.
+    pub fn offered(&self) -> u64 {
+        self.total(|p| p.offered)
+    }
+
+    /// Total admitted ops across phases.
+    pub fn admitted(&self) -> u64 {
+        self.total(|p| p.admitted)
+    }
+
+    /// Total completed ops across phases.
+    pub fn completed(&self) -> u64 {
+        self.total(|p| p.completed)
+    }
+
+    /// Total sheds across phases.
+    pub fn shed(&self) -> u64 {
+        self.total(|p| p.shed())
+    }
+
+    /// Total typed-fault failures across phases.
+    pub fn failed(&self) -> u64 {
+        self.total(|p| p.failed)
+    }
+
+    /// The phase rows plus the op-stream digest: everything that must be
+    /// byte-identical between a run with no admission controller and a
+    /// run with a controller that never sheds.
+    pub fn stream_signature(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "phase      offered  admitted  shed%     offer/s      good/s    p50us    p99us   p999us  recovery"
+        );
+        for p in &self.phases {
+            let _ = writeln!(s, "{}", p.row());
+        }
+        let _ = writeln!(
+            s,
+            "totals: offered {} admitted {} completed {} failed {} shed {}",
+            self.offered(),
+            self.admitted(),
+            self.completed(),
+            self.failed(),
+            self.shed()
+        );
+        let _ = writeln!(s, "ops digest {:#018x}", self.ops_digest);
+        s
+    }
+
+    /// The full human-readable report; a pure function of the spec and
+    /// seed, so two same-seed runs render byte-identical text.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "=== smart-serve report (seed {}) ===", self.seed);
+        let _ = writeln!(
+            s,
+            "clients {} (distinct served {}, max session ops {}), workers {} x {}",
+            self.clients,
+            self.distinct_served,
+            self.max_session_ops,
+            self.workers.0,
+            self.workers.1
+        );
+        let _ = writeln!(s, "admission: {}", self.admission_desc);
+        let _ = writeln!(
+            s,
+            "membership: {} scripted window(s), final epoch {}, queue high-water {}",
+            self.membership_windows, self.final_epoch, self.queue_high_water
+        );
+        s.push_str(&self.stream_signature());
+        let _ = writeln!(
+            s,
+            "faults: injected {} seen {} recovered {} (recovery p50 {:.1}us p99 {:.1}us over {})",
+            self.faults_injected,
+            self.faults_seen,
+            self.faults_recovered,
+            self.recovery.quantile(0.50) as f64 / 1_000.0,
+            self.recovery.quantile(0.99) as f64 / 1_000.0,
+            self.recovery.count()
+        );
+        if self.conservation.is_empty() {
+            let _ = writeln!(s, "audits: OK (balance ledger + credit conservation)");
+        } else {
+            for v in &self.conservation {
+                let _ = writeln!(s, "audit-violation: {v}");
+            }
+        }
+        s
+    }
+}
+
+/// Order-sensitive FNV-1a fold used for the admitted-op digest.
+pub fn digest_fold(digest: u64, word: u64) -> u64 {
+    let mut d = digest;
+    for b in word.to_le_bytes() {
+        d ^= b as u64;
+        d = d.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    d
+}
+
+/// FNV-1a offset basis: the digest's initial value.
+pub const DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = digest_fold(digest_fold(DIGEST_SEED, 1), 2);
+        let b = digest_fold(digest_fold(DIGEST_SEED, 2), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn render_is_stable_for_identical_data() {
+        let mk = || {
+            let mut p = PhaseStats {
+                name: "steady",
+                dur_ns: 1_000_000,
+                offered: 100,
+                admitted: 90,
+                completed: 88,
+                failed: 2,
+                shed_throttled: 7,
+                shed_queue: 3,
+                ..Default::default()
+            };
+            for v in 1..=88u64 {
+                p.latency.record(v * 100);
+            }
+            ServeReport {
+                seed: 9,
+                clients: 1000,
+                phases: vec![p],
+                ops_digest: 0xdead_beef,
+                admission_desc: "rate 1000/s burst 10 queue 64".into(),
+                ..Default::default()
+            }
+        };
+        assert_eq!(mk().render(), mk().render());
+        assert!(mk().render().contains("ops digest"));
+        assert_eq!(mk().shed(), 10);
+        assert_eq!(mk().offered(), 100);
+    }
+}

@@ -101,6 +101,32 @@ impl LogHistogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Bucket-wise difference against an earlier snapshot of the same
+    /// histogram: the samples recorded *after* `earlier` was cloned.
+    ///
+    /// Both histograms must describe the same monotonically growing
+    /// recorder (every bucket of `earlier` ≤ the corresponding bucket of
+    /// `self`); counts and sums subtract exactly. The true maximum of the
+    /// interval is not recoverable from bucket counts alone, so the
+    /// result's `max` is the low edge of its highest non-empty bucket
+    /// capped at `self.max()` — an upper bound consistent with the
+    /// resolution of every other query.
+    pub fn diff(&self, earlier: &LogHistogram) -> LogHistogram {
+        let mut out = LogHistogram::new();
+        let mut top = None;
+        for (i, (a, b)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            let d = a.saturating_sub(*b);
+            out.buckets[i] = d;
+            if d > 0 {
+                top = Some(i);
+            }
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out.max = top.map_or(0, |i| bucket_low_edge(i).min(self.max));
+        out
+    }
+
     /// The value at the given permille rank (`500` = p50, `999` = p99.9).
     ///
     /// Returns the low edge of the bucket containing the rank-th sample
@@ -119,6 +145,52 @@ impl LogHistogram {
             }
         }
         self.max
+    }
+
+    /// The value at quantile `q` ∈ [0, 1], linearly interpolated inside
+    /// the containing bucket.
+    ///
+    /// Where [`percentile`] answers with the low edge of the bucket that
+    /// holds the rank-th sample, `quantile` assumes the samples of that
+    /// bucket are spread uniformly across its width and interpolates the
+    /// fractional rank `q · (count − 1)` into it, so adjacent quantile
+    /// queries move smoothly instead of in bucket-width steps. The result
+    /// is clamped to the observed maximum; an empty histogram yields 0.
+    ///
+    /// [`percentile`]: LogHistogram::percentile
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Fractional rank into the sorted sample sequence, 0-based.
+        let rank = q * (self.count - 1) as f64;
+        let lo = rank.floor() as u64;
+        let frac = rank - lo as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            // Samples lo-rank .. acc + c - 1 live in bucket i.
+            if acc + c > lo {
+                let pos_in_bucket = (lo - acc) as f64 + frac;
+                let width = self.bucket_width(i);
+                let interp = bucket_low_edge(i) as f64 + width * (pos_in_bucket + 0.5) / c as f64;
+                return (interp as u64).min(self.max);
+            }
+            acc += c;
+        }
+        self.max
+    }
+
+    /// Width in value units of bucket `i` (distance to the next edge).
+    fn bucket_width(&self, i: usize) -> f64 {
+        if i + 1 < BUCKETS {
+            (bucket_low_edge(i + 1) - bucket_low_edge(i)) as f64
+        } else {
+            1.0
+        }
     }
 }
 
@@ -211,6 +283,98 @@ mod tests {
         assert_eq!(h.percentile(500), 0);
         assert_eq!(h.mean(), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = LogHistogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates_inside_a_single_bucket() {
+        // 12_345 lands in one log bucket; every quantile must stay inside
+        // that bucket's edges and never exceed the recorded maximum.
+        let mut h = LogHistogram::new();
+        for _ in 0..100 {
+            h.record(12_345);
+        }
+        let b = bucket_index(12_345);
+        let (lo, hi) = (bucket_low_edge(b), bucket_low_edge(b + 1));
+        let mut prev = 0;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.999, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= lo, "quantile({q}) = {v} below bucket edge {lo}");
+            assert!(v < hi, "quantile({q}) = {v} above bucket edge {hi}");
+            assert!(v <= h.max(), "quantile({q}) above observed max");
+            assert!(v >= prev, "quantile must be monotone in q");
+            prev = v;
+        }
+        // Out-of-range inputs clamp instead of panicking.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_tracks_uniform_ramp_within_bucket_error() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.10, 1_000.0), (0.50, 5_000.0), (0.90, 9_000.0)] {
+            let v = h.quantile(q) as f64;
+            let err = (v - expect).abs() / expect;
+            assert!(err <= 0.13, "quantile({q}) = {v}, expected ~{expect}");
+        }
+        assert_eq!(h.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn quantile_of_merged_equals_combined_recording() {
+        let (mut a, mut b, mut all) = (
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        );
+        for v in 1..=300u64 {
+            a.record(v * 5);
+            all.record(v * 5);
+        }
+        for v in 1..=700u64 {
+            b.record(v * 2);
+            all.record(v * 2);
+        }
+        a.merge(&b);
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn diff_recovers_the_samples_recorded_after_a_snapshot() {
+        let mut h = LogHistogram::new();
+        for v in 1..=400u64 {
+            h.record(v * 3);
+        }
+        let snap = h.clone();
+        let mut fresh = LogHistogram::new();
+        for v in 1..=250u64 {
+            h.record(v * 11);
+            fresh.record(v * 11);
+        }
+        let d = h.diff(&snap);
+        assert_eq!(d.count(), fresh.count());
+        assert_eq!(d.sum(), fresh.sum());
+        for p in [100, 500, 900, 990, 1000] {
+            assert_eq!(d.percentile(p), fresh.percentile(p), "permille {p}");
+        }
+        // Self-diff is empty; diff against an empty snapshot is identity.
+        assert_eq!(h.diff(&h).count(), 0);
+        let id = h.diff(&LogHistogram::new());
+        assert_eq!(id.count(), h.count());
+        assert_eq!(id.percentile(500), h.percentile(500));
     }
 
     #[test]

@@ -113,6 +113,9 @@ pub enum Category {
     /// completions, retry backoffs, QP re-establishment, blade
     /// crash/restart.
     Fault = 9,
+    /// Serving-layer lifecycle events (`smart-serve`): phase transitions,
+    /// admission decisions (sheds), and membership leave/join markers.
+    Serve = 10,
 }
 
 /// Number of categories that participate in latency attribution.
@@ -120,7 +123,7 @@ pub const ATTR_CATEGORIES: usize = 5;
 
 impl Category {
     /// All categories, in declaration order.
-    pub const ALL: [Category; 10] = [
+    pub const ALL: [Category; 11] = [
         Category::DbLock,
         Category::Credit,
         Category::Pipeline,
@@ -131,6 +134,7 @@ impl Category {
         Category::Op,
         Category::Sync,
         Category::Fault,
+        Category::Serve,
     ];
 
     /// The bit this category occupies in a filter mask.
@@ -169,6 +173,7 @@ impl Category {
             Category::Op => "op",
             Category::Sync => "sync",
             Category::Fault => "fault",
+            Category::Serve => "serve",
         }
     }
 }

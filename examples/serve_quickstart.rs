@@ -1,0 +1,36 @@
+//! Minimal smart-serve tour: a three-phase diurnal rate plan over 20k
+//! logical clients, an admission controller that sheds at the door, and
+//! a blade that leaves and rejoins the roster mid-run.
+//!
+//! Run with: `cargo run --release --example serve_quickstart`
+
+use smart_lab::smart_rt::Duration;
+use smart_lab::smart_serve::{run_serve, AdmissionConfig, MembershipPlan, RatePlan, ServeSpec};
+
+fn main() {
+    let plan = RatePlan::new()
+        .phase("ramp", Duration::from_millis(4), 0.0, 2_000_000.0)
+        .phase("steady", Duration::from_millis(8), 2_000_000.0, 2_000_000.0)
+        .phase("churn", Duration::from_millis(8), 2_000_000.0, 1_000_000.0);
+
+    let mut spec = ServeSpec::new(7, 20_000, plan);
+    spec.threads = 4;
+    spec.depth = 16;
+    spec.admission = Some(AdmissionConfig {
+        rate: 1_500_000,
+        burst: 256,
+        max_queue: 4_096,
+    });
+    // Blade 1 announces departure at 8 ms and rejoins 6 ms later, in the
+    // middle of the steady phase.
+    spec.membership =
+        MembershipPlan::new().leave_at(Duration::from_millis(8), 1, Duration::from_millis(6));
+
+    let report = run_serve(&spec);
+    print!("{}", report.render());
+    assert!(
+        report.conservation.is_empty(),
+        "audit violations: {:?}",
+        report.conservation
+    );
+}

@@ -8,6 +8,7 @@ pub use smart_ford;
 pub use smart_race;
 pub use smart_rnic;
 pub use smart_rt;
+pub use smart_serve;
 pub use smart_sherman;
 pub use smart_trace;
 pub use smart_workloads;
