@@ -77,12 +77,22 @@ pub struct FieldDecl {
     pub ty: Vec<String>,
 }
 
+/// One nominal type declaration (`struct` or `enum`), recorded so
+/// cross-file passes can attribute a written type name to the crate that
+/// defines it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDecl {
+    pub name: String,
+    pub line: usize,
+}
+
 /// The item map of one file.
 #[derive(Debug, Default)]
 pub struct FileMap {
     pub uses: Vec<UseDecl>,
     pub fns: Vec<FnItem>,
     pub fields: Vec<FieldDecl>,
+    pub types: Vec<TypeDecl>,
 }
 
 impl FileMap {
@@ -118,7 +128,7 @@ pub fn matching(toks: &[Tok], open: usize, open_c: char, close_c: char) -> usize
 /// Skips a balanced generic argument list starting at `<`, returning the
 /// index just past the matching `>`. Tolerates `>>` (two puncts) since
 /// the lexer emits single chars.
-fn skip_generics(toks: &[Tok], mut i: usize) -> usize {
+pub(crate) fn skip_generics(toks: &[Tok], mut i: usize) -> usize {
     let mut depth = 0i64;
     while i < toks.len() {
         if toks[i].is_punct('<') {
@@ -180,8 +190,18 @@ pub fn parse(toks: &[Tok]) -> FileMap {
                 i = parse_fn(toks, i, impl_type, &mut map.fns);
                 saw_pub = false;
             }
-            TokKind::Ident(kw) if kw == "struct" => {
-                i = parse_struct(toks, i + 1, &mut map.fields);
+            TokKind::Ident(kw) if kw == "struct" || kw == "enum" => {
+                if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
+                    map.types.push(TypeDecl {
+                        name: name.to_string(),
+                        line: toks[i + 1].line,
+                    });
+                }
+                if kw == "struct" {
+                    i = parse_struct(toks, i + 1, &mut map.fields);
+                } else {
+                    i += 1;
+                }
                 saw_pub = false;
             }
             _ => {
@@ -535,6 +555,14 @@ fn free() -> Result<u32, Error> { Ok(0) }
         let toks = lex(&scrub(src).text).toks;
         let mark = toks.iter().position(|t| t.is_ident("mark")).unwrap();
         assert_eq!(m.enclosing_fn(mark).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn type_decls_cover_structs_and_enums() {
+        let m = map("pub struct Doorbell { pub idx: u32 }\nenum WrState { Posted, Done }\npub struct Unit;\n");
+        let names: Vec<&str> = m.types.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["Doorbell", "WrState", "Unit"]);
+        assert_eq!(m.types[1].line, 2);
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //! the per-line condensed projection; the item mapper ([`items`]) finds
 //! `use` declarations, fn items with brace-matched body spans, and
 //! struct fields, which [`resolve`] turns into alias resolution and
-//! scoped `let`-binding tracking. Pattern rules match the projection
-//! (exactly what the pre-v2 line engine saw — kept in [`legacy`] and
-//! proven equivalent by `tests/engine_equivalence.rs`); structural rules
-//! walk the tokens and items.
+//! scoped `let`-binding tracking. Pattern rules match the projection;
+//! structural rules walk the tokens and items; the `smart-flow` pass
+//! ([`flow`]) builds a workspace call graph on top and infers
+//! per-function effect signatures ([`effects`]) to a fixed point.
+//! `tests/golden_findings.rs` pins the full raw finding set on the real
+//! tree against a committed snapshot.
 //!
 //! | rule | enforces |
 //! |---|---|
@@ -31,6 +33,9 @@
 //! | `unordered-iter-binding` | no iterating a binding whose declared type is an aliased `HashMap`/`HashSet` |
 //! | `layering` | crate deps follow the tier order trace < rt < rnic < core < apps < check/fault < bench |
 //! | `panic-in-recovery` | no `unwrap`/`expect`/`panic!`/indexing on `try_*` recovery paths in `core` |
+//! | `cross-domain-shared-state` | no interior-mutable state shared across scheduling domains outside the fabric |
+//! | `rc-escape` | no `Rc` handle to another domain's state captured across a spawn boundary |
+//! | `effect-drift` | inferred effect signatures of pinned entry points match `crates/lint/EFFECTS.json` |
 //! | `calibration-drift` | DESIGN.md §4 constants match config defaults |
 //! | `bench-index-drift` | DESIGN.md §3 bench targets exist on disk |
 //!
@@ -42,12 +47,16 @@
 //!
 //! Run it with `cargo run -p smart-lint` (non-zero exit on violations);
 //! `--format=json` emits one JSON object per finding, `--format=github`
-//! emits workflow error annotations, and `--baseline <file>` filters
-//! out findings recorded in a previous JSON run.
+//! emits workflow error annotations, `--baseline <file>` filters out
+//! findings recorded in a previous JSON run, and `--effects` prints the
+//! inferred effect table (`--effects-out <dir>` additionally writes the
+//! call-graph and effects JSONL artifacts; `--update-effects` rewrites
+//! the `EFFECTS.json` baseline from the current tree).
 //! `tests/lint_workspace.rs` wires the same pass into `cargo test`.
 
+pub mod effects;
+pub mod flow;
 pub mod items;
-pub mod legacy;
 pub mod lex;
 pub mod resolve;
 pub mod rules;
@@ -123,6 +132,7 @@ fn design_rules(root: &Path, out: &mut Vec<Diagnostic>) {
                     rule: "calibration-drift",
                     message: "missing crates/rnic/src/config.rs or crates/core/src/config.rs"
                         .into(),
+                    suppressed: false,
                 }),
             }
             rules::bench_index_drift(root, design_rel, &design, out);
@@ -132,16 +142,18 @@ fn design_rules(root: &Path, out: &mut Vec<Diagnostic>) {
             line: 1,
             rule: "calibration-drift",
             message: "DESIGN.md not found — calibration cannot be checked".into(),
+            suppressed: false,
         }),
     }
 }
 
-/// Runs the whole lint pass over the workspace at `root`.
+/// Runs every rule over the workspace at `root` and keeps
+/// pragma-suppressed findings in the stream (`Diagnostic::suppressed`).
 ///
 /// Diagnostics come back sorted by path and line. An unreadable
 /// DESIGN.md or config source is itself a diagnostic — the pass must
 /// never silently skip the files it exists to check.
-pub fn run_lint(root: &Path) -> Vec<Diagnostic> {
+pub fn run_lint_raw(root: &Path) -> Vec<Diagnostic> {
     let files = load_all(root);
     let mut out = Vec::new();
     for file in &files {
@@ -158,30 +170,24 @@ pub fn run_lint(root: &Path) -> Vec<Diagnostic> {
     }
     rules::panic_in_recovery(&files, &mut out);
     rules::layering(root, &files, &mut out);
+    flow::flow_pass(root, &files, &mut out);
     design_rules(root, &mut out);
     out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
 }
 
-/// Runs the preserved pre-v2 line engine ([`legacy`]) over the workspace
-/// at `root`: the original eight code rules plus the DESIGN.md doc
-/// rules. Exists only for `tests/engine_equivalence.rs`.
-pub fn run_lint_legacy(root: &Path) -> Vec<Diagnostic> {
-    let files = load_all(root);
-    let mut out = Vec::new();
-    for file in &files {
-        legacy::wall_clock(file, &mut out);
-        legacy::os_concurrency(file, &mut out);
-        legacy::unordered_iter(file, &mut out);
-        legacy::unseeded_rng(file, &mut out);
-        legacy::await_holding_guard(file, &mut out);
-        legacy::rc_identity(file, &mut out);
-        legacy::fallible_unhandled(file, &mut out);
-        legacy::hot_path_alloc(file, &mut out);
-    }
-    design_rules(root, &mut out);
-    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+/// Runs the whole lint pass over the workspace at `root`, dropping
+/// pragma-suppressed findings — what the CLI and the tier-1 gates report.
+pub fn run_lint(root: &Path) -> Vec<Diagnostic> {
+    let mut out = run_lint_raw(root);
+    out.retain(|d| !d.suppressed);
     out
+}
+
+/// Builds the `smart-flow` effect graph over the workspace at `root`
+/// (for `--effects` reporting and the CI artifacts).
+pub fn effect_graph(root: &Path) -> flow::FlowGraph {
+    flow::build_graph(&load_all(root))
 }
 
 /// Counts suppression pragmas (`lint:allow` / `lint:allow-file`) naming
@@ -253,6 +259,7 @@ mod tests {
             line: 7,
             rule: "wall-clock",
             message: "has \"quotes\" and\nnewline".into(),
+            suppressed: false,
         };
         assert_eq!(
             to_json(&d),

@@ -18,6 +18,14 @@
 //!   reflects only the remaining findings.
 //! * `--pragmas` — print the suppression-pragma count for the workspace
 //!   and exit 0; CI compares it against the committed budget.
+//! * `--effects` — run the full lint, then print the `smart-flow` effect
+//!   table (one line per fn with its fixed-point effect signature); exit
+//!   status still reflects the findings.
+//! * `--effects-out <dir>` — with `--effects`, also write
+//!   `effects.jsonl` and `callgraph.jsonl` artifacts into `<dir>`.
+//! * `--update-effects` — rewrite the `crates/lint/EFFECTS.json` entries
+//!   from the current tree's inferred signatures and exit (reviewing the
+//!   resulting diff is the drift-acceptance step).
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -43,7 +51,8 @@ enum Format {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: smart-lint [--format=text|json|github] [--baseline <file>] [--pragmas] [<root>]"
+        "usage: smart-lint [--format=text|json|github] [--baseline <file>] [--pragmas] \
+         [--effects] [--effects-out <dir>] [--update-effects] [<root>]"
     );
     ExitCode::FAILURE
 }
@@ -52,6 +61,9 @@ fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut baseline: Option<PathBuf> = None;
     let mut pragmas = false;
+    let mut effects = false;
+    let mut effects_out: Option<PathBuf> = None;
+    let mut update_effects = false;
     let mut root: Option<PathBuf> = None;
 
     let mut argv = std::env::args().skip(1);
@@ -68,8 +80,17 @@ fn main() -> ExitCode {
                 Some(p) => baseline = Some(PathBuf::from(p)),
                 None => return usage(),
             }
+        } else if arg == "--effects-out" {
+            match argv.next() {
+                Some(p) => effects_out = Some(PathBuf::from(p)),
+                None => return usage(),
+            }
         } else if arg == "--pragmas" {
             pragmas = true;
+        } else if arg == "--effects" {
+            effects = true;
+        } else if arg == "--update-effects" {
+            update_effects = true;
         } else if arg.starts_with("--") {
             return usage();
         } else if root.is_none() {
@@ -83,6 +104,20 @@ fn main() -> ExitCode {
     if pragmas {
         println!("{}", smart_lint::count_pragmas(&root));
         return ExitCode::SUCCESS;
+    }
+
+    if update_effects {
+        let g = smart_lint::effect_graph(&root);
+        return match smart_lint::flow::update_effects_file(&root, &g) {
+            Ok(rendered) => {
+                print!("{rendered}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("smart-lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let known: BTreeSet<String> = match &baseline {
@@ -100,6 +135,23 @@ fn main() -> ExitCode {
         .into_iter()
         .filter(|d| !known.contains(&smart_lint::to_json(d)))
         .collect();
+
+    if effects {
+        let g = smart_lint::effect_graph(&root);
+        print!("{}", g.render_table());
+        if let Some(dir) = &effects_out {
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join("effects.jsonl"), g.effects_jsonl()))
+                .and_then(|()| std::fs::write(dir.join("callgraph.jsonl"), g.callgraph_jsonl()))
+            {
+                eprintln!(
+                    "smart-lint: cannot write artifacts to {}: {e}",
+                    dir.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     for d in &diags {
         match format {

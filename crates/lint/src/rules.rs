@@ -1,4 +1,4 @@
-//! The fourteen lint rules, hosted on the token/scope engine.
+//! The seventeen lint rules, hosted on the token/scope engine.
 //!
 //! Every rule is a pure function from scrubbed sources to diagnostics;
 //! the driver in [`crate::run_lint`] handles file discovery, scrubbing
@@ -11,10 +11,13 @@
 //! [`unordered_iter_binding`], [`panic_in_recovery`], [`layering`]) walk
 //! the token stream and the item/scope layer instead, which lets them
 //! see through renames, track bindings and distinguish construction
-//! from per-event code.
+//! from per-event code. The domain-isolation rules
+//! (`cross-domain-shared-state`, `rc-escape`, `effect-drift`) live in
+//! [`crate::flow`] on top of the workspace call graph and the effect
+//! lattice in [`crate::effects`].
 //!
-//! The pre-refactor line engine survives verbatim in [`crate::legacy`];
-//! `tests/engine_equivalence.rs` diffs the two on the real workspace.
+//! `tests/golden_findings.rs` pins the full raw finding set on the real
+//! workspace against a committed snapshot.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -96,6 +99,9 @@ pub const RULES: &[&str] = &[
     "unordered-iter-binding",
     "layering",
     "panic-in-recovery",
+    "cross-domain-shared-state",
+    "rc-escape",
+    "effect-drift",
 ];
 
 /// The tier of a workspace crate, if it is in the simulation stack.
@@ -114,6 +120,10 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// True when a `lint:allow` pragma covers the site. Suppressed
+    /// findings are kept in the raw stream (for the golden snapshot and
+    /// `--pragmas` auditing) and filtered before reporting.
+    pub suppressed: bool,
 }
 
 impl fmt::Display for Diagnostic {
@@ -210,14 +220,13 @@ pub(crate) fn diag(
     message: String,
     out: &mut Vec<Diagnostic>,
 ) {
-    if !file.scrubbed.allowed(rule, line) {
-        out.push(Diagnostic {
-            path: file.rel.clone(),
-            line,
-            rule,
-            message,
-        });
-    }
+    out.push(Diagnostic {
+        path: file.rel.clone(),
+        line,
+        rule,
+        message,
+        suppressed: file.scrubbed.allowed(rule, line),
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -1111,6 +1120,7 @@ pub fn layering(root: &Path, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
                     "crate `{name}` is not in the lint layer table; add it to LAYERS \
                      (sim stack) or NON_SIM_CRATES (tooling)"
                 ),
+                suppressed: false,
             });
             continue;
         }
@@ -1129,6 +1139,7 @@ pub fn layering(root: &Path, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
                     line: lineno,
                     rule: "layering",
                     message: msg::layering_order(name, sl, &depc, dl),
+                    suppressed: false,
                 }),
                 Some(_) => {}
                 None => out.push(Diagnostic {
@@ -1138,6 +1149,7 @@ pub fn layering(root: &Path, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
                     message: format!(
                         "`{name}` depends on `{dep}`, which is not in the lint layer table"
                     ),
+                    suppressed: false,
                 }),
             }
         }
@@ -1157,6 +1169,7 @@ pub fn layering(root: &Path, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
                         "SIM_CRATES names `{c}` but crates/{c}/Cargo.toml does not exist — \
                          the lint's crate list drifted from the workspace"
                     ),
+                    suppressed: false,
                 });
             }
         }
@@ -1170,6 +1183,7 @@ pub fn layering(root: &Path, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
                         "HOT_PATHS names `{h}` but it does not exist — \
                          the lint's hot-path list drifted from the workspace"
                     ),
+                    suppressed: false,
                 });
             }
         }
@@ -1336,6 +1350,7 @@ pub fn calibration_drift(
                 line: 1,
                 rule: "calibration-drift",
                 message: format!("could not find {anchor} in DESIGN.md — doc and lint drifted"),
+                suppressed: false,
             });
             return;
         }
@@ -1365,6 +1380,7 @@ pub fn calibration_drift(
                     "could not parse default `{field}` out of {}",
                     file.rel.display()
                 ),
+                suppressed: false,
             }),
         }
     }
@@ -1390,6 +1406,7 @@ pub fn calibration_drift(
             line: 1,
             rule: "calibration-drift",
             message: "could not parse default `base_service`".into(),
+            suppressed: false,
         }),
     }
     // Doorbell count is the sum of the low-latency and medium pools.
@@ -1419,6 +1436,7 @@ pub fn calibration_drift(
             line: 1,
             rule: "calibration-drift",
             message: "could not parse default `uar_low_latency`/`uar_medium`".into(),
+            suppressed: false,
         }),
     }
     check(
@@ -1463,6 +1481,7 @@ pub fn calibration_drift(
             line: 1,
             rule: "calibration-drift",
             message: "could not parse default `one_way_latency`".into(),
+            suppressed: false,
         }),
     }
 }
@@ -1485,6 +1504,7 @@ pub fn bench_index_drift(root: &Path, design_path: &Path, design: &str, out: &mu
                     message: format!(
                         "experiment index names `{rel}` but crates/{rel} does not exist"
                     ),
+                    suppressed: false,
                 });
             }
             rest = &tail[end + 3..];
@@ -1510,6 +1530,12 @@ mod tests {
         format!("lint:{}({rule})", "allow")
     }
 
+    /// Drops pragma-suppressed findings, as `run_lint` does before
+    /// reporting.
+    fn visible(out: &[Diagnostic]) -> Vec<&Diagnostic> {
+        out.iter().filter(|d| !d.suppressed).collect()
+    }
+
     #[test]
     fn ident_matching_respects_boundaries() {
         assert!(!has_ident("useHashMap;", "HashMap"));
@@ -1530,7 +1556,8 @@ mod tests {
             )),
             &mut out,
         );
-        assert!(out.is_empty());
+        assert!(visible(&out).is_empty());
+        assert!(out.iter().all(|d| d.suppressed), "{out:#?}");
     }
 
     #[test]
@@ -1611,7 +1638,7 @@ async fn f(sem: &Semaphore) {{
         );
         let mut out = Vec::new();
         await_holding_guard(&sim_file(&src), &mut out);
-        assert!(out.is_empty(), "{out:#?}");
+        assert!(visible(&out).is_empty(), "{out:#?}");
     }
 
     #[test]
@@ -1631,7 +1658,7 @@ async fn f(sem: &Semaphore) {{
             )),
             &mut out,
         );
-        assert!(out.is_empty());
+        assert!(visible(&out).is_empty());
     }
 
     #[test]
@@ -1670,7 +1697,7 @@ coro.try_cas_sync(a, 0, 1).await.unwrap(); // planted seed. {}
             allow("fallible-unhandled")
         );
         fallible_unhandled(&sim_file(&src), &mut out);
-        assert!(out.is_empty(), "{out:#?}");
+        assert!(visible(&out).is_empty(), "{out:#?}");
     }
 
     #[test]

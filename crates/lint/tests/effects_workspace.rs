@@ -1,0 +1,60 @@
+//! Real-tree gates for the smart-flow effect pass.
+//!
+//! Determinism is the whole point of the effect table: CI diffs the
+//! rendered artifacts across runs and the drift rule diffs them across
+//! commits, so two builds of the same tree must be byte-identical.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint → crates → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has two ancestors")
+}
+
+#[test]
+fn effect_table_is_deterministic_across_builds() {
+    let root = workspace_root();
+    let a = smart_lint::effect_graph(root);
+    let b = smart_lint::effect_graph(root);
+    assert_eq!(a.render_table(), b.render_table());
+    assert_eq!(a.effects_jsonl(), b.effects_jsonl());
+    assert_eq!(a.callgraph_jsonl(), b.callgraph_jsonl());
+}
+
+#[test]
+fn effect_graph_covers_the_workspace() {
+    let g = smart_lint::effect_graph(workspace_root());
+    let header = g.render_table();
+    let header = header.lines().next().unwrap_or_default().to_string();
+    assert!(header.starts_with("smart-flow effect table —"), "{header}");
+    // The tree holds hundreds of sim fns; a collapse to near-zero means
+    // file discovery or fn parsing broke, not that the code shrank.
+    assert!(g.nodes.len() > 300, "only {} fns found", g.nodes.len());
+    assert!(g.edge_count() > 400, "only {} edges", g.edge_count());
+}
+
+#[test]
+fn committed_effects_baseline_parses_and_matches_the_tree() {
+    let root = workspace_root();
+    let path = root.join(smart_lint::effects::EFFECTS_PATH);
+    let text = std::fs::read_to_string(&path).expect("crates/lint/EFFECTS.json is committed");
+    let pins = smart_lint::effects::parse_effects_json(&text).expect("EFFECTS.json parses");
+    assert!(!pins.is_empty(), "baseline pins at least one entry point");
+
+    // `--update-effects` on an unchanged tree must be a no-op, i.e. the
+    // committed file is exactly what the tree infers today.
+    let g = smart_lint::effect_graph(root);
+    for pin in &pins {
+        let inferred = g
+            .effects_of(&pin.entry)
+            .unwrap_or_else(|| panic!("pinned entry `{}` no longer resolves", pin.entry));
+        assert_eq!(
+            inferred, pin.effects,
+            "pinned entry `{}` drifted; run `smart-lint --update-effects .`",
+            pin.entry
+        );
+    }
+}

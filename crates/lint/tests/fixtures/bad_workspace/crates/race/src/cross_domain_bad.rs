@@ -1,0 +1,11 @@
+//! Planted cross-domain-shared-state violation: a thread-domain fn
+//! mutates fabric-owned state through a shared Rc handle with no fabric
+//! verb in scope.
+
+use std::rc::Rc;
+
+use smart_rnic::fabric_state::FabricCounter;
+
+pub fn tally(counter: &Rc<FabricCounter>) {
+    counter.hits.set(7);
+}

@@ -1,0 +1,15 @@
+//! Planted rc-escape violation: an Rc handle to fabric-domain state is
+//! captured across a spawn boundary (reads only, so this file trips
+//! exactly one rule).
+
+use std::rc::Rc;
+
+use smart_rnic::fabric_state::FabricCounter;
+use smart_rt::SimHandle;
+
+pub fn leak(h: &SimHandle, counter: &Rc<FabricCounter>) {
+    let stash: Rc<FabricCounter> = Rc::clone(counter);
+    h.spawn(async move {
+        let _ = stash.hits.get();
+    });
+}

@@ -1,0 +1,13 @@
+//! Planted alias-evasion violation in a multi-line `use` group: the
+//! banned leaf and its rename never share a line with the `std::time`
+//! prefix, so the pattern rules cannot see it.
+
+use std::time::{
+    Instant as FastClock,
+    Duration,
+};
+
+pub fn stamp(window: Duration) -> FastClock {
+    let _ = window;
+    FastClock::now()
+}

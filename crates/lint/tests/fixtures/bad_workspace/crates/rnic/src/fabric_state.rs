@@ -1,0 +1,16 @@
+//! Fabric-domain state for the cross-domain fixtures: mutating this
+//! from a thread-domain crate without a verb in scope is the planted
+//! violation.
+
+use std::cell::Cell;
+
+pub struct FabricCounter {
+    pub hits: Cell<u64>,
+}
+
+impl FabricCounter {
+    /// Domain-local mutation: the fabric may touch its own state.
+    pub fn bump(&self) {
+        self.hits.set(self.hits.get() + 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Clean counterparts for the domain-isolation rules: domain-local
+//! mutation, fabric-mediated mutation, and a same-domain Rc capture
+//! across a spawn — all quiet.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use smart_rnic::fabric_state::{
+    FabricCounter,
+    FabricQp,
+};
+use smart_rt::SimHandle;
+
+/// Thread-domain state: core mutating it is domain-local.
+pub struct LocalTally {
+    pub hits: Cell<u64>,
+}
+
+pub fn bump(tally: &Rc<LocalTally>) {
+    tally.hits.set(1);
+}
+
+/// The counter update rides the same fn as the verb submission, so the
+/// cross-domain effect travels as WR traffic.
+pub fn submit(qp: &Rc<FabricQp>, counter: &Rc<FabricCounter>) {
+    counter.hits.set(1);
+    qp.post_send(0);
+}
+
+/// Same-domain handle across a spawn boundary.
+pub fn respawn(h: &SimHandle, tally: &Rc<LocalTally>) {
+    let stash: Rc<LocalTally> = Rc::clone(tally);
+    h.spawn(async move {
+        stash.hits.set(2);
+    });
+}

@@ -1,0 +1,78 @@
+//! Golden snapshot of the raw (pre-suppression) finding stream on the
+//! real workspace.
+//!
+//! This replaces the retired legacy-engine equivalence test: instead of
+//! diffing two engines against each other, we pin the one engine's full
+//! output — every pragma-suppressed site included — so any behavioural
+//! change in a rule, the scrubber, or the effect pass shows up as a
+//! reviewable diff in the committed snapshot.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! SMART_LINT_UPDATE_GOLDENS=1 cargo test -p smart-lint --test golden_findings
+//! ```
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint → crates → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has two ancestors")
+}
+
+fn render_raw(root: &Path) -> String {
+    let mut out = String::new();
+    for d in smart_lint::run_lint_raw(root) {
+        let tag = if d.suppressed { " (suppressed)" } else { "" };
+        out.push_str(&format!(
+            "{}:{} [{}]{} {}\n",
+            d.path.to_string_lossy().replace('\\', "/"),
+            d.line,
+            d.rule,
+            tag,
+            d.message
+        ));
+    }
+    out
+}
+
+#[test]
+fn raw_findings_match_the_committed_golden() {
+    let root = workspace_root();
+    let golden = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/workspace_findings.txt");
+    let actual = render_raw(root);
+
+    if std::env::var_os("SMART_LINT_UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, &actual).unwrap();
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&golden)
+        .expect("tests/goldens/workspace_findings.txt is committed; regenerate with SMART_LINT_UPDATE_GOLDENS=1");
+    assert_eq!(
+        actual, expected,
+        "raw finding stream drifted from the golden snapshot;\n\
+         if the change is intentional rerun with SMART_LINT_UPDATE_GOLDENS=1 \
+         and commit the diff"
+    );
+}
+
+#[test]
+fn golden_only_contains_suppressed_findings() {
+    // The visible stream is gated to empty by `workspace_is_lint_clean`;
+    // the golden therefore pins exactly the pragma'd sites. If a line
+    // without "(suppressed)" ever lands here, the clean gate broke first
+    // — this assert just keeps the snapshot honest on its own.
+    let golden = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/workspace_findings.txt");
+    let text = std::fs::read_to_string(&golden).expect("golden snapshot committed");
+    for line in text.lines() {
+        assert!(
+            line.contains("(suppressed)"),
+            "unsuppressed finding in the golden: {line}"
+        );
+    }
+}

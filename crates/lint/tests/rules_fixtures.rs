@@ -30,6 +30,9 @@ fn bad_workspace_trips_every_rule() {
         "unordered-iter-binding",
         "layering",
         "panic-in-recovery",
+        "cross-domain-shared-state",
+        "rc-escape",
+        "effect-drift",
         "calibration-drift",
         "bench-index-drift",
     ] {
@@ -72,7 +75,16 @@ fn bad_workspace_diagnostics_point_at_the_right_files() {
     assert!(!hot.is_empty() && hot.iter().all(|p| p.ends_with("rt/src/executor.rs")));
     assert!(at("alias-evasion")
         .iter()
-        .all(|p| p.ends_with("alias_bad.rs")));
+        .all(|p| p.ends_with("alias_bad.rs") || p.ends_with("use_multiline_bad.rs")));
+    assert!(at("cross-domain-shared-state")
+        .iter()
+        .all(|p| p.ends_with("cross_domain_bad.rs")));
+    assert!(at("rc-escape")
+        .iter()
+        .all(|p| p.ends_with("rc_escape_bad.rs")));
+    assert!(at("effect-drift")
+        .iter()
+        .all(|p| p == "crates/lint/EFFECTS.json"));
     assert!(at("unordered-iter-binding")
         .iter()
         .all(|p| p.ends_with("iter_binding_bad.rs")));
@@ -115,10 +127,75 @@ fn alias_evasion_fixture_catches_all_three_ban_kinds() {
         .filter(|d| d.rule == "alias-evasion")
         .map(|d| d.message.as_str())
         .collect();
-    assert_eq!(msgs.len(), 3, "{msgs:#?}");
-    assert!(msgs.iter().any(|m| m.contains("std::time::Instant")));
+    // Three single-line kinds plus the multi-line group regression.
+    assert_eq!(msgs.len(), 4, "{msgs:#?}");
     assert!(msgs.iter().any(|m| m.contains("std::sync::Mutex")));
     assert!(msgs.iter().any(|m| m.contains("rand::rngs::OsRng")));
+    assert_eq!(
+        msgs.iter()
+            .filter(|m| m.contains("std::time::Instant"))
+            .count(),
+        2,
+        "single-line rename AND multi-line group must both resolve"
+    );
+}
+
+#[test]
+fn multiline_use_group_reports_the_banned_leaf_line() {
+    // The `Instant as FastClock` leaf sits on its own line inside a
+    // `use std::time::{…}` group spanning several lines; the finding
+    // must land on the leaf, not the group header.
+    let diags = rules_hit("bad_workspace");
+    let hit = diags
+        .iter()
+        .find(|d| {
+            d.rule == "alias-evasion"
+                && d.path
+                    .to_string_lossy()
+                    .replace('\\', "/")
+                    .ends_with("use_multiline_bad.rs")
+        })
+        .expect("multi-line use fixture must fire");
+    assert_eq!(hit.line, 6, "{hit:#?}");
+    assert!(hit.message.contains("`FastClock`"), "{}", hit.message);
+}
+
+#[test]
+fn cross_domain_and_rc_escape_fixtures_fire_once_each() {
+    let diags = rules_hit("bad_workspace");
+    let cross: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "cross-domain-shared-state")
+        .collect();
+    assert_eq!(cross.len(), 1, "{cross:#?}");
+    assert_eq!(cross[0].line, 10);
+    assert!(cross[0].message.contains("`FabricCounter`"));
+    assert!(cross[0].message.contains("thread-domain"));
+
+    let escapes: Vec<_> = diags.iter().filter(|d| d.rule == "rc-escape").collect();
+    assert_eq!(escapes.len(), 1, "{escapes:#?}");
+    assert_eq!(escapes[0].line, 12, "finding sits on the spawn site");
+    assert!(escapes[0].message.contains("`stash`"));
+}
+
+#[test]
+fn effect_drift_fixture_reports_drift_and_missing_entries() {
+    let diags = rules_hit("bad_workspace");
+    let drift: Vec<_> = diags.iter().filter(|d| d.rule == "effect-drift").collect();
+    assert_eq!(drift.len(), 2, "{drift:#?}");
+    assert!(
+        drift
+            .iter()
+            .any(|d| d.message.contains("`race::tally`") && d.message.contains("[SharedMut]")),
+        "{drift:#?}"
+    );
+    assert!(
+        drift
+            .iter()
+            .any(|d| d.message.contains("`race::vanished`")
+                && d.message.contains("no longer resolves")),
+        "{drift:#?}"
+    );
 }
 
 #[test]
