@@ -16,7 +16,11 @@
 //! soft warning, since shared runners make wall clocks noisy).
 //!
 //! Env knobs: `SMART_PERF_REPS` (default 3, best-of wins),
-//! `SMART_PERF_OUT` (output path override), `SMART_PERF_STRICT`.
+//! `SMART_PERF_OUT` (output path override), `SMART_PERF_STRICT`,
+//! `SMART_SIM_WORKERS` (simulation worker threads for the pinned
+//! configs; default 4 — results are byte-identical at any count, only
+//! wall clocks differ, and on single-core hosts hosting cannot beat the
+//! inline run, which the recorded `host_cpus` field makes legible).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -53,6 +57,17 @@ fn reps() -> u32 {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or(3)
+}
+
+/// Simulation worker threads for the pinned configs: `SMART_SIM_WORKERS`
+/// override, default 4. Reports are byte-identical at any worker count
+/// (the PDES contract), so this only moves wall clocks.
+fn sim_workers() -> usize {
+    smart_rt::pdes::env_workers(4)
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Runs `run` `reps()` times and keeps the fastest wall clock (the rep
@@ -97,6 +112,7 @@ fn fig03() -> PerfResult {
         spec.op = MicroOp::Read(8);
         spec.warmup = Duration::from_millis(1);
         spec.measure = Duration::from_millis(4);
+        spec.workers = sim_workers();
         let (report, metrics) = run_microbench_metered(&spec);
         (metrics.events(), report.mops)
     })
@@ -107,6 +123,7 @@ fn fig07_params(seed: u64) -> HtParams {
     p.warmup = Duration::from_millis(1);
     p.measure = Duration::from_millis(2);
     p.seed = seed;
+    p.workers = sim_workers();
     p
 }
 
@@ -131,6 +148,7 @@ fn fig14() -> PerfResult {
         let mut p = HtParams::new(cfg, 96, 100_000, Mix::UpdateOnly);
         p.warmup = Duration::from_millis(1);
         p.measure = Duration::from_millis(2);
+        p.workers = sim_workers();
         let r = run_ht(&p);
         (r.sim_events, r.mops)
     })
@@ -237,8 +255,10 @@ fn field_f64(line: &str, key: &str) -> Option<f64> {
 fn render_json(results: &[PerfResult], sweep: &SweepResult) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"smart-bench-sim-perf/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"smart-bench-sim-perf/v2\",");
     let _ = writeln!(s, "  \"reps\": {},", reps());
+    let _ = writeln!(s, "  \"host_cpus\": {},", host_cpus());
+    let _ = writeln!(s, "  \"sim_workers\": {},", sim_workers());
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = writeln!(
@@ -269,9 +289,20 @@ fn render_json(results: &[PerfResult], sweep: &SweepResult) -> String {
 
 fn main() {
     eprintln!(
-        "=== simulator wall-clock perf harness ({} reps, best-of) ===",
-        reps()
+        "=== simulator wall-clock perf harness ({} reps, best-of, {} sim workers, {} host cpus) ===",
+        reps(),
+        sim_workers(),
+        host_cpus()
     );
+    if host_cpus() < sim_workers() {
+        eprintln!(
+            "perf-note: host has {} cpu(s) but {} sim workers requested; \
+             results stay byte-identical, but hosted runs cannot beat the \
+             inline wall clock without real cores",
+            host_cpus(),
+            sim_workers()
+        );
+    }
     let results = [fig03(), fig07(), fig14()];
     let sweep = sweep_speedup();
 

@@ -1,0 +1,334 @@
+//! OS-thread hosting for complete benchmark runs, with optional in-thread
+//! tracing.
+//!
+//! The runners drive their simulations imperatively through warmup,
+//! measure and drain phases, so they do not decompose into the epoch loop
+//! of [`smart_rt::pdes::PdesBuilder`]. Instead they use the degenerate
+//! one-domain form of the same contract — [`smart_rt::pdes::host`]: the
+//! whole run executes on a dedicated worker thread, and because the run
+//! is a pure function of its parameters, the hosted result is
+//! byte-identical to the inline one. The differential matrix in
+//! `tests/scheduler_equiv.rs` asserts exactly that, at workers 1/2/4, for
+//! every pinned bench config including full trace JSON.
+//!
+//! [`smart_trace::TraceSink`] is not `Send`, so a sink created by the
+//! caller cannot cross into the worker thread. These wrappers therefore
+//! take a `with_trace` flag, create the sink *inside* the hosted job, and
+//! return the rendered Chrome JSON as a plain (`Send`) `String`.
+
+use smart::{run_microbench_metered, MicrobenchReport, MicrobenchSpec};
+use smart_rt::metrics::ExecutorMetrics;
+use smart_rt::pdes::host;
+use smart_serve::{run_serve, ServeReport, ServeSpec};
+use smart_trace::TraceSink;
+
+use crate::runners::{
+    run_bt_inline, run_dtx_inline, run_ht_inline, BtParams, DtxParams, HtParams, RunReport,
+};
+
+/// Ring capacity for hosted trace sinks, matching the equivalence
+/// goldens in `tests/scheduler_equiv.rs`.
+pub const HOSTED_TRACE_EVENTS: usize = 1024;
+
+fn sink_for(with_trace: bool) -> Option<TraceSink> {
+    with_trace.then(|| TraceSink::with_capacity(HOSTED_TRACE_EVENTS))
+}
+
+fn export(sink: Option<TraceSink>) -> Option<String> {
+    sink.map(|s| s.chrome_json())
+}
+
+/// Runs [`crate::run_ht`] hosted on `p.workers` simulation workers
+/// (inline when `workers <= 1`), optionally with an in-thread trace sink;
+/// returns the report plus the Chrome JSON export.
+///
+/// # Panics
+///
+/// Panics if `p.trace` is already set — a caller-held sink cannot cross
+/// the thread boundary; use `with_trace` instead.
+pub fn run_ht_hosted(p: &HtParams, with_trace: bool) -> (RunReport, Option<String>) {
+    assert!(
+        p.trace.is_none(),
+        "hosted runs own their trace sink; leave p.trace empty and pass with_trace"
+    );
+    let HtParams {
+        smart,
+        compute_nodes,
+        blades,
+        threads,
+        depth,
+        keys,
+        theta,
+        mix,
+        pace,
+        warmup,
+        measure,
+        seed,
+        trace: _,
+        fault,
+        workers,
+    } = p.clone();
+    host(workers, move || {
+        let sink = sink_for(with_trace);
+        let p = HtParams {
+            smart,
+            compute_nodes,
+            blades,
+            threads,
+            depth,
+            keys,
+            theta,
+            mix,
+            pace,
+            warmup,
+            measure,
+            seed,
+            trace: sink.clone(),
+            fault,
+            workers,
+        };
+        (run_ht_inline(&p), export(sink))
+    })
+}
+
+/// Runs [`crate::run_dtx`] hosted on `p.workers` simulation workers;
+/// see [`run_ht_hosted`].
+///
+/// # Panics
+///
+/// Panics if `p.trace` is already set.
+pub fn run_dtx_hosted(p: &DtxParams, with_trace: bool) -> (RunReport, Option<String>) {
+    assert!(
+        p.trace.is_none(),
+        "hosted runs own their trace sink; leave p.trace empty and pass with_trace"
+    );
+    let DtxParams {
+        smart,
+        threads,
+        depth,
+        workload,
+        rows,
+        pace,
+        warmup,
+        measure,
+        seed,
+        trace: _,
+        fault,
+        workers,
+    } = p.clone();
+    host(workers, move || {
+        let sink = sink_for(with_trace);
+        let p = DtxParams {
+            smart,
+            threads,
+            depth,
+            workload,
+            rows,
+            pace,
+            warmup,
+            measure,
+            seed,
+            trace: sink.clone(),
+            fault,
+            workers,
+        };
+        (run_dtx_inline(&p), export(sink))
+    })
+}
+
+/// Runs [`crate::run_bt`] hosted on `p.workers` simulation workers;
+/// see [`run_ht_hosted`].
+///
+/// # Panics
+///
+/// Panics if `p.trace` is already set.
+pub fn run_bt_hosted(p: &BtParams, with_trace: bool) -> (RunReport, Option<String>) {
+    assert!(
+        p.trace.is_none(),
+        "hosted runs own their trace sink; leave p.trace empty and pass with_trace"
+    );
+    let BtParams {
+        variant,
+        compute_nodes,
+        threads,
+        depth,
+        keys,
+        mix,
+        theta,
+        tree_override,
+        warmup,
+        measure,
+        seed,
+        trace: _,
+        fault,
+        workers,
+    } = p.clone();
+    host(workers, move || {
+        let sink = sink_for(with_trace);
+        let p = BtParams {
+            variant,
+            compute_nodes,
+            threads,
+            depth,
+            keys,
+            mix,
+            theta,
+            tree_override,
+            warmup,
+            measure,
+            seed,
+            trace: sink.clone(),
+            fault,
+            workers,
+        };
+        (run_bt_inline(&p), export(sink))
+    })
+}
+
+/// Runs a microbench spec hosted on `spec.workers` simulation workers,
+/// optionally with an in-thread trace sink; returns the report, executor
+/// metrics and the Chrome JSON export.
+///
+/// # Panics
+///
+/// Panics if `spec.trace` is already set.
+pub fn run_microbench_hosted(
+    spec: &MicrobenchSpec,
+    with_trace: bool,
+) -> (MicrobenchReport, ExecutorMetrics, Option<String>) {
+    assert!(
+        spec.trace.is_none(),
+        "hosted runs own their trace sink; leave spec.trace empty and pass with_trace"
+    );
+    let MicrobenchSpec {
+        smart,
+        threads,
+        depth,
+        op,
+        blades,
+        region_bytes,
+        warmup,
+        measure,
+        seed,
+        dynamic,
+        rnic,
+        trace: _,
+        schedule,
+        workers,
+    } = spec.clone();
+    host(workers, move || {
+        let sink = sink_for(with_trace);
+        let spec = MicrobenchSpec {
+            smart,
+            threads,
+            depth,
+            op,
+            blades,
+            region_bytes,
+            warmup,
+            measure,
+            seed,
+            dynamic,
+            rnic,
+            trace: sink.clone(),
+            schedule,
+            // The run is already hosted here; keep the inner call inline
+            // so it does not re-host (and does not reject the sink).
+            workers: 1,
+        };
+        let (report, metrics) = run_microbench_metered(&spec);
+        (report, metrics, export(sink))
+    })
+}
+
+/// Runs a serve scenario hosted on `spec.workers` simulation workers,
+/// optionally with an in-thread trace sink; returns the report plus the
+/// Chrome JSON export.
+///
+/// # Panics
+///
+/// Panics if `spec.trace` is already set.
+pub fn run_serve_hosted(spec: &ServeSpec, with_trace: bool) -> (ServeReport, Option<String>) {
+    assert!(
+        spec.trace.is_none(),
+        "hosted runs own their trace sink; leave spec.trace empty and pass with_trace"
+    );
+    let ServeSpec {
+        seed,
+        clients,
+        threads,
+        depth,
+        blades,
+        shards,
+        accounts,
+        theta,
+        probe_pct,
+        initial_balance,
+        plan,
+        admission,
+        membership,
+        chaos,
+        trace: _,
+        drain,
+        workers,
+    } = spec.clone();
+    host(workers, move || {
+        let sink = sink_for(with_trace);
+        let spec = ServeSpec {
+            seed,
+            clients,
+            threads,
+            depth,
+            blades,
+            shards,
+            accounts,
+            theta,
+            probe_pct,
+            initial_balance,
+            plan,
+            admission,
+            membership,
+            chaos,
+            trace: sink.clone(),
+            drain,
+            // Already hosted; the inner call must run inline (a sink is
+            // installed, which run_serve would reject when re-hosting).
+            workers: 1,
+        };
+        (run_serve(&spec), export(sink))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runners::serve_spec;
+    use smart::SmartConfig;
+    use smart_rt::Duration;
+    use smart_workloads::ycsb::Mix;
+
+    #[test]
+    fn hosted_ht_matches_inline_bytes_and_trace() {
+        let mut p = HtParams::new(SmartConfig::smart_full(2), 2, 500, Mix::ReadHeavy);
+        p.warmup = Duration::from_micros(300);
+        p.measure = Duration::from_millis(1);
+        let (seq, seq_trace) = run_ht_hosted(&p, true);
+        p.workers = 4;
+        let (par, par_trace) = run_ht_hosted(&p, true);
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+        let (seq_trace, par_trace) = (seq_trace.unwrap(), par_trace.unwrap());
+        assert!(seq_trace.len() > 500, "trace export implausibly small");
+        assert_eq!(seq_trace, par_trace);
+    }
+
+    #[test]
+    fn hosted_serve_matches_inline_bytes() {
+        let mut spec = serve_spec(500, 0.02, 11);
+        spec.threads = 2;
+        spec.depth = 4;
+        let (seq, _) = run_serve_hosted(&spec, false);
+        spec.workers = 2;
+        let (par, _) = run_serve_hosted(&spec, false);
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+}

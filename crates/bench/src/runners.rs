@@ -9,7 +9,7 @@ use smart::{SmartConfig, SmartContext, SmartThread};
 use smart_fault::{FaultInjector, FaultPlan};
 use smart_ford::{backoff_after_abort, SmallBank, Tatp};
 use smart_race::{RaceConfig, RaceHashTable};
-use smart_rnic::{BladeConfig, Cluster, ClusterConfig};
+use smart_rnic::{BladeConfig, Cluster, ClusterConfig, DomainPlan};
 use smart_rt::metrics::Counter;
 use smart_rt::{Duration, Simulation};
 use smart_serve::{AdmissionConfig, MembershipPlan, RatePlan, ServeSpec};
@@ -198,6 +198,12 @@ pub struct HtParams {
     /// Optional chaos schedule injected into the run (must eventually
     /// heal; permanent errors would abort the benchmark workers).
     pub fault: Option<FaultPlan>,
+    /// Simulation worker threads (`1` = inline sequential run). Larger
+    /// values host the run on a dedicated OS thread via
+    /// [`smart_rt::pdes::host`] with a [`DomainPlan::for_workers`]
+    /// partition — byte-identical results either way (the PDES contract,
+    /// gated by `tests/scheduler_equiv.rs`).
+    pub workers: usize,
 }
 
 impl HtParams {
@@ -218,6 +224,7 @@ impl HtParams {
             seed: 42,
             trace: None,
             fault: None,
+            workers: 1,
         }
     }
 }
@@ -237,14 +244,23 @@ fn ht_table_config(keys: u64) -> RaceConfig {
     }
 }
 
-/// Runs a hash-table experiment.
+/// Runs a hash-table experiment. `p.workers > 1` hosts the run on a
+/// dedicated OS thread (see [`crate::hosted`]); results are
+/// byte-identical to the inline run.
 pub fn run_ht(p: &HtParams) -> RunReport {
+    if p.workers > 1 {
+        return crate::hosted::run_ht_hosted(p, false).0;
+    }
+    run_ht_inline(p)
+}
+
+pub(crate) fn run_ht_inline(p: &HtParams) -> RunReport {
     let mut sim = Simulation::new(p.seed);
     if let Some(sink) = &p.trace {
         sim.handle().install_tracer(sink.clone());
     }
     let region = 64 * 1024 * 1024 + p.keys * 96;
-    let cluster = Cluster::new(
+    let cluster = Cluster::new_with_plan(
         sim.handle(),
         ClusterConfig {
             compute_nodes: p.compute_nodes,
@@ -255,6 +271,7 @@ pub fn run_ht(p: &HtParams) -> RunReport {
             },
             ..Default::default()
         },
+        DomainPlan::for_workers(p.workers, p.compute_nodes as u32, p.blades as u32),
     );
     let chaos = FaultProbe::install(&cluster, &p.fault);
     let table = RaceHashTable::create(cluster.blades(), ht_table_config(p.keys));
@@ -386,6 +403,9 @@ pub struct DtxParams {
     /// Optional chaos schedule injected into the run (must eventually
     /// heal; permanent errors would abort the benchmark workers).
     pub fault: Option<FaultPlan>,
+    /// Simulation worker threads (`1` = inline sequential run); see
+    /// [`HtParams::workers`].
+    pub workers: usize,
 }
 
 impl DtxParams {
@@ -403,17 +423,26 @@ impl DtxParams {
             seed: 7,
             trace: None,
             fault: None,
+            workers: 1,
         }
     }
 }
 
 /// Runs a transaction experiment (always 2 memory blades, as in §6.2.2).
+/// `p.workers > 1` hosts the run on a dedicated OS thread.
 pub fn run_dtx(p: &DtxParams) -> RunReport {
+    if p.workers > 1 {
+        return crate::hosted::run_dtx_hosted(p, false).0;
+    }
+    run_dtx_inline(p)
+}
+
+pub(crate) fn run_dtx_inline(p: &DtxParams) -> RunReport {
     let mut sim = Simulation::new(p.seed);
     if let Some(sink) = &p.trace {
         sim.handle().install_tracer(sink.clone());
     }
-    let cluster = Cluster::new(
+    let cluster = Cluster::new_with_plan(
         sim.handle(),
         ClusterConfig {
             compute_nodes: 1,
@@ -424,6 +453,7 @@ pub fn run_dtx(p: &DtxParams) -> RunReport {
             },
             ..Default::default()
         },
+        DomainPlan::for_workers(p.workers, 1, 2),
     );
     let chaos = FaultProbe::install(&cluster, &p.fault);
     enum App {
@@ -603,6 +633,9 @@ pub struct BtParams {
     /// Optional chaos schedule injected into the run (must eventually
     /// heal; permanent errors would abort the benchmark workers).
     pub fault: Option<FaultPlan>,
+    /// Simulation worker threads (`1` = inline sequential run); see
+    /// [`HtParams::workers`].
+    pub workers: usize,
 }
 
 impl BtParams {
@@ -622,19 +655,28 @@ impl BtParams {
             seed: 13,
             trace: None,
             fault: None,
+            workers: 1,
         }
     }
 }
 
 /// Runs a B+Tree experiment. Blades mirror compute nodes (the paper
-/// co-locates a memory blade with every server).
+/// co-locates a memory blade with every server). `p.workers > 1` hosts
+/// the run on a dedicated OS thread.
 pub fn run_bt(p: &BtParams) -> RunReport {
+    if p.workers > 1 {
+        return crate::hosted::run_bt_hosted(p, false).0;
+    }
+    run_bt_inline(p)
+}
+
+pub(crate) fn run_bt_inline(p: &BtParams) -> RunReport {
     let mut sim = Simulation::new(p.seed);
     if let Some(sink) = &p.trace {
         sim.handle().install_tracer(sink.clone());
     }
     let blades = p.compute_nodes.max(2);
-    let cluster = Cluster::new(
+    let cluster = Cluster::new_with_plan(
         sim.handle(),
         ClusterConfig {
             compute_nodes: p.compute_nodes,
@@ -645,6 +687,7 @@ pub fn run_bt(p: &BtParams) -> RunReport {
             },
             ..Default::default()
         },
+        DomainPlan::for_workers(p.workers, p.compute_nodes as u32, blades as u32),
     );
     let chaos = FaultProbe::install(&cluster, &p.fault);
     let (mut tree_cfg, smart_cfg) = p.variant.configs(p.threads);

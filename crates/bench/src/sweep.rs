@@ -29,13 +29,25 @@ use std::thread;
 /// Number of worker threads a sweep of `jobs` independent runs should
 /// use: every available core (`SMART_BENCH_THREADS` overrides, `1`
 /// forces the sequential path), capped by the job count.
+///
+/// When the environment does not pin a count, multi-job sweeps always get
+/// at least 2 workers, even on hosts that report a single hardware
+/// thread: narrow CI containers used to silently collapse every sweep to
+/// the sequential loop, so the parallel path — thread spawning, the
+/// work-stealing cursor, slot merging — went completely unexercised
+/// there. Oversubscribing a 1-core host costs a few percent; never
+/// running the code CI exists to cover costs a lot more.
 pub fn worker_threads(jobs: usize) -> usize {
     let hw = thread::available_parallelism().map_or(1, |n| n.get());
-    let cap = std::env::var("SMART_BENCH_THREADS")
+    let cap = match std::env::var("SMART_BENCH_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or(hw);
+    {
+        Some(pinned) => pinned,
+        None if jobs > 1 => hw.max(2),
+        None => hw,
+    };
     cap.min(jobs.max(1))
 }
 
@@ -169,5 +181,14 @@ mod tests {
         assert_eq!(worker_threads(0), 1);
         assert_eq!(worker_threads(1), 1);
         assert!(worker_threads(4) <= 4);
+    }
+
+    #[test]
+    fn multi_job_sweeps_get_at_least_two_workers_unless_pinned() {
+        // Regardless of how many hardware threads this host reports, an
+        // unpinned multi-job sweep must exercise the parallel path.
+        if std::env::var("SMART_BENCH_THREADS").is_err() {
+            assert!(worker_threads(8) >= 2);
+        }
     }
 }

@@ -9,6 +9,8 @@
 
 use std::time::Duration;
 
+use smart_rnic::{BladeId, NodeId};
+use smart_rt::pdes::DomainId;
 use smart_rt::rng::SimRng;
 
 /// A scheduled fault at an absolute virtual time.
@@ -234,6 +236,34 @@ impl FaultPlan {
         plan
     }
 
+    /// Lowers the plan onto a scheduling-domain partition: scheduled
+    /// events land on the domain owning their target (QP errors with the
+    /// node, blade crashes with the blade), while per-work-request
+    /// probability knobs replicate into every domain — they are drawn at
+    /// the posting site, which always lives with the node.
+    ///
+    /// Returns one `(domain, plan)` entry per domain of the partition, in
+    /// domain order, so a PDES coordinator can install each sub-plan when
+    /// it builds that domain. The concatenation of all sub-plans' events
+    /// preserves the original insertion order within each domain.
+    pub fn lower_onto(&self, plan: &smart_rnic::DomainPlan) -> Vec<(DomainId, FaultPlan)> {
+        let mut out: Vec<(DomainId, FaultPlan)> = (0..plan.domains())
+            .map(|d| {
+                let mut sub = self.clone();
+                sub.events.clear();
+                (DomainId(d), sub)
+            })
+            .collect();
+        for ev in &self.events {
+            let owner = match ev.kind {
+                FaultEventKind::QpError { node, .. } => plan.node_domain(NodeId(node)),
+                FaultEventKind::BladeCrash { blade, .. } => plan.blade_domain(BladeId(blade)),
+            };
+            out[owner.index()].1.events.push(ev.clone());
+        }
+        out
+    }
+
     /// One-line human-readable summary (for findings reports).
     pub fn describe(&self) -> String {
         format!(
@@ -315,6 +345,35 @@ mod tests {
         assert!(!merged.is_passive());
         // Merging an empty plan changes nothing.
         assert_eq!(timeline.clone().merge(&FaultPlan::new()), timeline);
+    }
+
+    #[test]
+    fn lower_onto_routes_events_to_owning_domains() {
+        let plan = FaultPlan::new()
+            .with_packet_loss(0.1)
+            .qp_error_at(Duration::from_micros(3), 0, None)
+            .blade_crash_at(Duration::from_micros(10), 1, Duration::from_micros(5))
+            .blade_crash_at(Duration::from_micros(20), 0, Duration::from_micros(5));
+        let part = smart_rnic::DomainPlan::per_blade(1, 2);
+        let lowered = plan.lower_onto(&part);
+        assert_eq!(lowered.len(), 3);
+        // QP error stays with node 0's domain (0); blade crashes follow
+        // their blades (blade 0 → domain 1, blade 1 → domain 2).
+        assert_eq!(lowered[0].1.events().len(), 1);
+        assert_eq!(lowered[1].1.events().len(), 1);
+        assert_eq!(lowered[2].1.events().len(), 1);
+        assert!(matches!(
+            lowered[2].1.events()[0].kind,
+            FaultEventKind::BladeCrash { blade: 1, .. }
+        ));
+        // Probability knobs replicate everywhere.
+        for (_, sub) in &lowered {
+            assert_eq!(sub.loss_rate(), 0.1);
+        }
+        // The single-domain lowering is the plan itself.
+        let single = plan.lower_onto(&smart_rnic::DomainPlan::single(1, 2));
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].1, plan);
     }
 
     #[test]

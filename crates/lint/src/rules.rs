@@ -60,6 +60,16 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/rnic/src/doorbell.rs",
 ];
 
+/// The PDES engine files: the one place inside the simulation stack that
+/// *implements* OS-thread hosting (worker threads, cross-domain
+/// channels, the epoch coordinator), so `os-concurrency` — including its
+/// alias-evasion arm — does not apply there. Everything the engine hosts
+/// still runs single-threaded per domain and stays under the full rule
+/// set; this list is deliberately file-granular (not crate-granular) so
+/// the rest of `smart-rt` keeps the ban. Like [`HOT_PATHS`], entries are
+/// drift-checked against the workspace by [`layering`].
+pub const PDES_ENGINE_FILES: &[&str] = &["crates/rt/src/pdes.rs"];
+
 /// The dependency tiers of the simulation stack, lowest first. A crate
 /// may depend on any crate in a tier at or below its own; an upward edge
 /// inverts the layering (e.g. the event loop reaching into a workload)
@@ -173,6 +183,13 @@ impl SourceFile {
         SIM_CRATES
             .iter()
             .any(|c| s.starts_with(&format!("crates/{c}/src/")))
+    }
+
+    /// True if this file is the PDES engine itself (see
+    /// [`PDES_ENGINE_FILES`]): exempt from the OS-concurrency ban, and
+    /// nothing else.
+    pub fn is_pdes_engine(&self) -> bool {
+        PDES_ENGINE_FILES.contains(&self.rel_str().as_str())
     }
 
     /// Scrubbed lines paired with their whitespace-condensed form.
@@ -439,9 +456,11 @@ pub fn wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 }
 
 /// Rule 2 — `os-concurrency`: the executor is single-threaded; OS
-/// threads and blocking sync primitives mask scheduling bugs.
+/// threads and blocking sync primitives mask scheduling bugs. The PDES
+/// engine files ([`PDES_ENGINE_FILES`]) are the sanctioned exception —
+/// they implement the hosting layer the ban exists to protect.
 pub fn os_concurrency(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if !file.is_sim_src() {
+    if !file.is_sim_src() || file.is_pdes_engine() {
         return;
     }
     for (line, l) in file.condensed_lines() {
@@ -705,6 +724,10 @@ pub fn alias_evasion(file: &SourceFile, out: &mut Vec<Diagnostic>) {
         let Some((full, kind)) = banned_import(&u.path, sim) else {
             continue;
         };
+        if kind == BanKind::Os && file.is_pdes_engine() {
+            // The engine's OS-thread exemption covers aliased imports too.
+            continue;
+        }
         let l = file.condensed_line(u.line);
         let caught_by_line_rules = match kind {
             BanKind::Time => wall_clock_hit(l).is_some(),
@@ -1182,6 +1205,20 @@ pub fn layering(root: &Path, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
                     message: format!(
                         "HOT_PATHS names `{h}` but it does not exist — \
                          the lint's hot-path list drifted from the workspace"
+                    ),
+                    suppressed: false,
+                });
+            }
+        }
+        for p in PDES_ENGINE_FILES {
+            if !root.join(p).is_file() {
+                out.push(Diagnostic {
+                    path: PathBuf::from("Cargo.toml"),
+                    line: 1,
+                    rule: "layering",
+                    message: format!(
+                        "PDES_ENGINE_FILES names `{p}` but it does not exist — \
+                         the OS-concurrency exemption would silently cover nothing"
                     ),
                     suppressed: false,
                 });

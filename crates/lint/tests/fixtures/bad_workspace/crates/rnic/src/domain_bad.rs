@@ -1,0 +1,12 @@
+//! Planted violation at the cross-domain seam: a sim crate "hosting" a
+//! scheduling domain by spawning its own OS thread instead of handing
+//! the domain to the PDES engine. Only `crates/rt/src/pdes.rs` may touch
+//! OS threads; this file is not on that allowlist, so `os-concurrency`
+//! must fire.
+
+pub fn host_blade_domain_by_hand() {
+    std::thread::spawn(|| {
+        // Pretend to run a blade domain outside the engine's epoch
+        // barrier: no lookahead, no merge order, no determinism.
+    });
+}

@@ -1,0 +1,22 @@
+//! Fixture: the PDES engine file itself. This path is on
+//! `PDES_ENGINE_FILES`, so its OS-thread machinery — direct
+//! `std::thread` use, `std::sync` primitives and aliased imports of
+//! either — must produce **no** findings even inside the seeded-bad
+//! tree. Everything outside this file keeps the ban (see
+//! `crates/rnic/src/domain_bad.rs` in this same fixture).
+
+use std::sync::mpsc;
+use std::sync::Mutex as SlotLock;
+use std::thread;
+
+pub fn host_domain(job: impl FnOnce() + Send + 'static) {
+    let slot = SlotLock::new(());
+    let (tx, rx) = mpsc::channel::<()>();
+    let worker = thread::spawn(move || {
+        let _guard = slot.lock().unwrap();
+        job();
+        drop(tx);
+    });
+    let _ = rx.recv();
+    worker.join().unwrap();
+}

@@ -1,0 +1,18 @@
+//! Clean counterpart for the cross-domain seam: sim code talks to other
+//! scheduling domains through declared channel endpoints (pure-data
+//! tokens bound inside the owning domain), never by spawning threads or
+//! sharing locks. Nothing here should fire.
+
+pub struct VerbEndpoints {
+    pub req_chan: u32,
+    pub cpl_chan: u32,
+}
+
+/// Declaring a link is pure bookkeeping: record the channel ids and let
+/// the engine deliver envelopes in merge order.
+pub fn declare_link(next_chan: &mut u32) -> VerbEndpoints {
+    let req_chan = *next_chan;
+    let cpl_chan = *next_chan + 1;
+    *next_chan += 2;
+    VerbEndpoints { req_chan, cpl_chan }
+}

@@ -1,0 +1,19 @@
+//! Clean fixture: the PDES engine file. `PDES_ENGINE_FILES` exempts
+//! exactly this path from `os-concurrency` (worker threads and blocking
+//! sync are what the hosting layer is made of), so a clean tree carrying
+//! a thread-built engine stays clean.
+
+use std::sync::Mutex;
+use std::thread;
+
+pub fn run_domains(jobs: Vec<Box<dyn FnOnce() + Send>>) {
+    let done = Mutex::new(0usize);
+    thread::scope(|s| {
+        for job in jobs {
+            s.spawn(|| {
+                job();
+                *done.lock().unwrap() += 1;
+            });
+        }
+    });
+}

@@ -61,7 +61,7 @@ fn bad_workspace_diagnostics_point_at_the_right_files() {
     assert!(at("wall-clock").iter().all(|p| p.ends_with("clock.rs")));
     assert!(at("os-concurrency")
         .iter()
-        .all(|p| p.ends_with("threads.rs")));
+        .all(|p| p.ends_with("threads.rs") || p.ends_with("domain_bad.rs")));
     assert!(at("unordered-iter").iter().all(|p| p.ends_with("maps.rs")));
     assert!(at("unseeded-rng").iter().all(|p| p.ends_with("rng_bad.rs")));
     assert!(at("await-holding-guard")
@@ -95,6 +95,38 @@ fn bad_workspace_diagnostics_point_at_the_right_files() {
         .iter()
         .all(|p| p.ends_with("uses_bench.rs") || p == "crates/qos"));
     assert!(at("bench-index-drift").iter().all(|p| p == "DESIGN.md"));
+}
+
+#[test]
+fn pdes_engine_file_is_exempt_and_the_seam_is_not() {
+    // The bad tree carries two OS-thread offenders: the engine file
+    // itself (`crates/rt/src/pdes.rs`, on PDES_ENGINE_FILES — its worker
+    // threads, locks and aliased sync imports are the sanctioned
+    // implementation of hosting) and a sim crate hosting a domain by
+    // hand (`crates/rnic/src/domain_bad.rs`). Exactly the second one
+    // may fire.
+    let diags = rules_hit("bad_workspace");
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.path.to_string_lossy().replace('\\', "/") == "crates/rt/src/pdes.rs"),
+        "the PDES engine file must be exempt from every OS-concurrency arm:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        diags.iter().any(|d| {
+            d.rule == "os-concurrency"
+                && d.path
+                    .to_string_lossy()
+                    .replace('\\', "/")
+                    .ends_with("crates/rnic/src/domain_bad.rs")
+        }),
+        "hand-hosting a domain outside the engine must still fire os-concurrency"
+    );
 }
 
 #[test]

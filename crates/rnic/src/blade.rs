@@ -34,6 +34,8 @@ pub struct MemoryBlade {
     ops: Counter,
     crashed: Cell<bool>,
     epoch: Cell<u64>,
+    /// Raw scheduling-domain id the cluster's plan assigns this blade.
+    domain: Cell<u32>,
 }
 
 impl std::fmt::Debug for MemoryBlade {
@@ -70,7 +72,18 @@ impl MemoryBlade {
             ops: Counter::new(),
             crashed: Cell::new(false),
             epoch: Cell::new(0),
+            domain: Cell::new(0),
         })
+    }
+
+    /// The scheduling domain this blade is assigned to (domain 0 — the
+    /// sequential default — until a cluster plan tags it).
+    pub fn domain(&self) -> smart_rt::pdes::DomainId {
+        smart_rt::pdes::DomainId(self.domain.get())
+    }
+
+    pub(crate) fn set_domain(&self, d: smart_rt::pdes::DomainId) {
+        self.domain.set(d.0);
     }
 
     /// This blade's id.

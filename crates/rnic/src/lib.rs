@@ -62,6 +62,7 @@ pub mod blade;
 pub mod cluster;
 pub mod config;
 pub mod device;
+pub mod domain;
 pub mod doorbell;
 pub mod inject;
 pub mod lru;
@@ -75,6 +76,7 @@ pub use blade::MemoryBlade;
 pub use cluster::Cluster;
 pub use config::{BladeConfig, ClusterConfig, FabricConfig, RnicConfig};
 pub use device::DeviceContext;
+pub use domain::{verb_link, DomainPlan, VerbCompletion, VerbLink};
 pub use doorbell::{Doorbell, DoorbellBinding, DoorbellKind};
 pub use inject::{FaultHook, InjectDecision};
 pub use node::{ComputeNode, NodeCounters};

@@ -612,6 +612,60 @@ impl Simulation {
         while self.step(None) {}
     }
 
+    /// The virtual time of the earliest pending work: `now` when a task
+    /// is ready to poll, otherwise the earliest timer deadline, `None`
+    /// when the simulation is fully quiescent.
+    ///
+    /// This is the PDES coordinator's lower-bound probe (see
+    /// [`crate::pdes`]): a scheduling domain reports its next event time
+    /// and the coordinator derives the conservative horizon from the
+    /// minimum across domains.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        if self.handle.inner.ready.with(|q| !q.is_empty()) {
+            return Some(self.handle.now());
+        }
+        self.handle
+            .inner
+            .timers
+            .borrow_mut()
+            .peek_at()
+            .map(SimTime::from_nanos)
+    }
+
+    /// Processes every event strictly before `limit` and stops, leaving
+    /// the clock at the last fired event (it is **not** forced forward to
+    /// `limit`, unlike [`Self::run_until`]).
+    ///
+    /// This is the PDES epoch-advance primitive: a domain must not
+    /// observe time `limit` itself, because a cross-domain event may
+    /// still be delivered exactly there by another domain.
+    pub fn run_events_before(&mut self, limit: SimTime) {
+        loop {
+            if let Some(id) = self.handle.inner.ready.pop() {
+                self.poll_task(id);
+                continue;
+            }
+            let fired = {
+                let mut timers = self.handle.inner.timers.borrow_mut();
+                match timers.peek_at() {
+                    Some(at) if at < limit.as_nanos() => Some(timers.pop().expect("peeked")),
+                    _ => None,
+                }
+            };
+            match fired {
+                Some((at, waker)) => {
+                    let at = SimTime::from_nanos(at);
+                    debug_assert!(at >= self.handle.now());
+                    let stats = &self.handle.inner.stats;
+                    stats.timers_fired.set(stats.timers_fired.get() + 1);
+                    self.handle.inner.now.set(at);
+                    waker.wake();
+                }
+                None => break,
+            }
+        }
+    }
+
     /// Runs until virtual time `deadline`: every event at or before the
     /// deadline is processed, then the clock is set to the deadline.
     pub fn run_until(&mut self, deadline: SimTime) {

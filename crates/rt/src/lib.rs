@@ -22,7 +22,10 @@
 //!   reproducible from one seed.
 //!
 //! Everything is deterministic: tasks are woken in FIFO order, timers break
-//! ties by registration order, and no real time or OS threads are involved.
+//! ties by registration order, and no real time enters the model. The
+//! [`pdes`] module scales this out: it partitions a simulation into
+//! scheduling domains hosted on OS threads, synchronized conservatively on
+//! the fixed fabric latency, with results byte-identical to sequential.
 //!
 //! ## Example
 //!
@@ -41,6 +44,7 @@
 mod executor;
 mod join;
 pub mod metrics;
+pub mod pdes;
 pub mod rng;
 pub mod sync;
 mod time;
