@@ -15,7 +15,8 @@ pub mod runners;
 pub mod sweep;
 
 pub use hosted::{
-    run_bt_hosted, run_dtx_hosted, run_ht_hosted, run_microbench_hosted, run_serve_hosted,
+    run_bt_hosted, run_dtx_hosted, run_ht_decomposed, run_ht_hosted, run_microbench_hosted,
+    run_serve_hosted, DecomposedHt,
 };
 pub use report::{banner, trace_requested, us, BenchTable, Mode};
 pub use runners::{

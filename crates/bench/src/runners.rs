@@ -69,15 +69,15 @@ pub struct RunReport {
 }
 
 /// Shared per-run measurement plumbing.
-struct Probe {
-    ops: Counter,
-    measuring: Rc<Cell<bool>>,
-    stop: Rc<Cell<bool>>,
-    latency: Rc<RefCell<LatencyRecorder>>,
+pub(crate) struct Probe {
+    pub(crate) ops: Counter,
+    pub(crate) measuring: Rc<Cell<bool>>,
+    pub(crate) stop: Rc<Cell<bool>>,
+    pub(crate) latency: Rc<RefCell<LatencyRecorder>>,
 }
 
 impl Probe {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Probe {
             ops: Counter::new(),
             measuring: Rc::new(Cell::new(false)),
@@ -92,29 +92,29 @@ impl Probe {
 /// credit-conservation audit in [`FaultProbe::fill`] is meaningful (and
 /// generous enough to cover a pending fault-recovery backoff or a blade
 /// crash window from a chaos plan).
-const DRAIN: Duration = Duration::from_millis(5);
+pub(crate) const DRAIN: Duration = Duration::from_millis(5);
 
 /// Chaos-layer plumbing: installs the injector (when the run has a fault
 /// plan) and tracks every thread so recovery outcomes can be aggregated
 /// into the report after the run.
-struct FaultProbe {
+pub(crate) struct FaultProbe {
     injector: Option<Rc<FaultInjector>>,
     threads: RefCell<Vec<Rc<SmartThread>>>,
 }
 
 impl FaultProbe {
-    fn install(cluster: &Cluster, plan: &Option<FaultPlan>) -> Self {
+    pub(crate) fn install(cluster: &Cluster, plan: &Option<FaultPlan>) -> Self {
         FaultProbe {
             injector: plan.clone().map(|pl| FaultInjector::install(cluster, pl)),
             threads: RefCell::new(Vec::new()),
         }
     }
 
-    fn track(&self, thread: &Rc<SmartThread>) {
+    pub(crate) fn track(&self, thread: &Rc<SmartThread>) {
         self.threads.borrow_mut().push(Rc::clone(thread));
     }
 
-    fn fill(&self, report: &mut RunReport) {
+    pub(crate) fn fill(&self, report: &mut RunReport) {
         let mut hist = LogHistogram::new();
         for th in self.threads.borrow().iter() {
             report.faults_seen += th.stats().faults_seen.get();
@@ -139,7 +139,7 @@ impl FaultProbe {
 /// stable phase fits the run, and the warm-up is extended to cover the
 /// first update phase (measuring inside it would observe the probing
 /// candidates rather than the tuned `C_max`).
-fn tune_for_window(
+pub(crate) fn tune_for_window(
     cfg: &SmartConfig,
     warmup: Duration,
     measure: Duration,
@@ -229,7 +229,7 @@ impl HtParams {
     }
 }
 
-fn ht_table_config(keys: u64) -> RaceConfig {
+pub(crate) fn ht_table_config(keys: u64) -> RaceConfig {
     // Size for ~50 % slot occupancy: slots = 2^depth × buckets × 8.
     let buckets_per_subtable = 1 << 12;
     let slots_per_subtable = (buckets_per_subtable * 8) as u64;

@@ -189,14 +189,20 @@ impl ConflictControl {
 }
 
 /// The per-thread controller loop: samples γ every `gamma_interval` and
-/// steers `c_max`/`t_max`. Runs forever; spawn once per thread.
+/// steers `c_max`/`t_max`. Spawn once per thread; it runs until
+/// `quiesce` is set (checked after each sample sleep) — see
+/// [`SmartContext::quiesce_controllers`](crate::SmartContext::quiesce_controllers).
 pub async fn run_conflict_controller(
     handle: SimHandle,
     control: Rc<ConflictControl>,
     interval: Duration,
+    quiesce: Rc<std::cell::Cell<bool>>,
 ) {
     loop {
         handle.sleep(interval).await;
+        if quiesce.get() {
+            return;
+        }
         control.step();
         handle.with_tracer(|t| {
             let ns = handle.now().as_nanos();

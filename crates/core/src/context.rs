@@ -33,6 +33,9 @@ pub struct SmartContext {
     shared_hubs: RefCell<BTreeMap<usize, Rc<CompletionHub>>>,
     next_thread: Cell<usize>,
     next_wr: Cell<u64>,
+    /// Set by [`SmartContext::quiesce_controllers`]; every periodic
+    /// controller coroutine exits at its next wake-up once set.
+    quiesce: Rc<Cell<bool>>,
 }
 
 impl std::fmt::Debug for SmartContext {
@@ -80,7 +83,18 @@ impl SmartContext {
             shared_hubs: RefCell::new(BTreeMap::new()),
             next_thread: Cell::new(0),
             next_wr: Cell::new(1),
+            quiesce: Rc::new(Cell::new(false)),
         })
+    }
+
+    /// Tells every periodic controller coroutine this context spawned
+    /// (the `C_max` tuner and the γ conflict controller) to exit at its
+    /// next wake-up. The classic runners never need this — they stop the
+    /// clock with `run_for` — but a decomposed run executes until the
+    /// whole simulation quiesces, and a forever-ticking controller would
+    /// keep virtual time advancing unboundedly.
+    pub fn quiesce_controllers(&self) {
+        self.quiesce.set(true);
     }
 
     /// The framework configuration.
@@ -237,6 +251,7 @@ impl SmartContext {
                 Rc::clone(&throttle),
                 stats.rdma_completed.clone(),
                 self.cfg.clone(),
+                Rc::clone(&self.quiesce),
             ));
         }
         if self.cfg.conflict_backoff
@@ -246,6 +261,7 @@ impl SmartContext {
                 self.handle.clone(),
                 Rc::clone(&conflict),
                 self.cfg.gamma_interval,
+                Rc::clone(&self.quiesce),
             ));
         }
 

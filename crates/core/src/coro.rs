@@ -7,6 +7,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use smart_rnic::{Cqe, CqeError, OneSidedOp, RemoteAddr, WorkRequest};
+use smart_rt::detmap::DetMap;
 use smart_rt::SimTime;
 use smart_trace::{Actor, Args, Category};
 
@@ -51,7 +52,9 @@ pub struct SmartCoro {
     unsynced: RefCell<Vec<u64>>,
     /// Posted-but-unacknowledged work requests, retained so the recovery
     /// layer can repost them when their completions come back as errors.
-    in_flight: RefCell<BTreeMap<u64, WorkRequest>>,
+    /// Point-lookup only (insert/get/remove by wr_id) — [`DetMap`] keeps
+    /// the hot path O(1) without exposing any iteration order.
+    in_flight: RefCell<DetMap<WorkRequest>>,
     backoff_attempt: Cell<u32>,
     holds_slot: Cell<bool>,
     in_op: Cell<bool>,
@@ -94,7 +97,7 @@ impl SmartCoro {
             actor,
             pending: RefCell::new(Vec::new()),
             unsynced: RefCell::new(Vec::new()),
-            in_flight: RefCell::new(BTreeMap::new()),
+            in_flight: RefCell::new(DetMap::new()),
             backoff_attempt: Cell::new(0),
             holds_slot: Cell::new(false),
             in_op: Cell::new(false),
@@ -344,8 +347,8 @@ impl SmartCoro {
         let cfg = thread.context().config().clone();
         let handle = thread.handle().clone();
         let start = handle.now();
-        let mut done: BTreeMap<u64, Cqe> = BTreeMap::new();
-        let mut fault_since: BTreeMap<u64, SimTime> = BTreeMap::new();
+        let mut done: DetMap<Cqe> = DetMap::new();
+        let mut fault_since: DetMap<SimTime> = DetMap::new();
         let mut wait: Vec<u64> = ids.to_vec();
         let mut rounds: u32 = 0;
         loop {
@@ -390,7 +393,7 @@ impl SmartCoro {
             let now = handle.now();
             for (id, _) in &failed {
                 thread.stats().faults_seen.incr();
-                fault_since.entry(*id).or_insert(now);
+                fault_since.get_or_insert_with(*id, || now);
             }
             let budget_spent = cfg.retry.max_retries.is_some_and(|m| rounds > m)
                 || cfg.retry.deadline.is_some_and(|d| now - start > d);

@@ -5,11 +5,11 @@
 //! coroutine for each thread to poll CQs" (§5.1).
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Duration;
 
 use smart_rnic::{Cq, Cqe};
+use smart_rt::detmap::DetMap;
 use smart_rt::sync::{FifoResource, Notify};
 use smart_rt::SimHandle;
 
@@ -19,7 +19,9 @@ use crate::throttle::WrThrottle;
 /// coroutines.
 pub struct CompletionHub {
     cq: Rc<Cq>,
-    map: RefCell<BTreeMap<u64, Cqe>>,
+    /// wr_id → completion. Point-lookup only (insert/contains/remove) —
+    /// [`DetMap`] keeps claims O(1) and exposes no iteration order.
+    map: RefCell<DetMap<Cqe>>,
     notify: Notify,
 }
 
@@ -53,7 +55,7 @@ impl CompletionHub {
     ) -> Rc<Self> {
         let hub = Rc::new(CompletionHub {
             cq: Rc::clone(&cq),
-            map: RefCell::new(BTreeMap::new()),
+            map: RefCell::new(DetMap::new()),
             notify: Notify::new(),
         });
         let pump = Rc::clone(&hub);

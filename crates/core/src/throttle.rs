@@ -181,14 +181,18 @@ impl WrThrottle {
 
 /// The epoch-based tuner (Algorithm 1 lines 14–24): probes each candidate
 /// `C_max` for Δ, keeps the best, then sleeps through the stable phase.
-/// Runs forever; spawn it once per thread.
+/// Spawn it once per thread; it runs until `quiesce` is set (checked at
+/// each epoch boundary), which run-to-quiescence engines use to let the
+/// simulation terminate — see
+/// [`SmartContext::quiesce_controllers`](crate::SmartContext::quiesce_controllers).
 pub async fn run_c_max_tuner(
     handle: SimHandle,
     throttle: Rc<WrThrottle>,
     completed: Counter,
     cfg: SmartConfig,
+    quiesce: Rc<std::cell::Cell<bool>>,
 ) {
-    loop {
+    while !quiesce.get() {
         let mut best_score = 0u64;
         let mut best_target = throttle.c_max();
         for &target in &cfg.c_max_candidates {
@@ -337,6 +341,7 @@ mod tests {
             Rc::clone(&t),
             completed,
             cfg.clone(),
+            Rc::new(std::cell::Cell::new(false)),
         ));
         // Run through one full update phase.
         sim.run_for(cfg.probe_interval * 6);

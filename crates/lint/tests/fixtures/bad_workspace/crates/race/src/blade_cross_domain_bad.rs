@@ -1,0 +1,11 @@
+//! Planted cross-domain-shared-state violation on the blade-domain verb
+//! path: a thread-domain fn pokes a blade port's inflight counter
+//! directly instead of letting the update travel as a WorkRequest.
+
+use std::rc::Rc;
+
+use smart_rnic::fabric_state::BladePort;
+
+pub fn steal_credit(port: &Rc<BladePort>) {
+    port.inflight.set(3);
+}

@@ -14,3 +14,16 @@ impl FabricCounter {
         self.hits.set(self.hits.get() + 1);
     }
 }
+
+/// Blade-domain verb endpoint: the compute side may only reach its
+/// counters through the WR channel, never by direct mutation.
+pub struct BladePort {
+    pub inflight: Cell<u64>,
+}
+
+impl BladePort {
+    /// The verb path itself: the blade port owns its counters.
+    pub fn roundtrip(&self) {
+        self.inflight.set(self.inflight.get() + 1);
+    }
+}

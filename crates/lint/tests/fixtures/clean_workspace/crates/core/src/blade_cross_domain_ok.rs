@@ -1,0 +1,15 @@
+//! Clean blade-domain counterpart: the inflight bump rides the same fn
+//! as the verb submission, so the cross-domain effect travels as WR
+//! traffic over the blade channel.
+
+use std::rc::Rc;
+
+use smart_rnic::fabric_state::{
+    BladePort,
+    FabricQp,
+};
+
+pub fn roundtrip_via_verb(qp: &Rc<FabricQp>, port: &Rc<BladePort>) {
+    port.inflight.set(1);
+    qp.post_send(0);
+}

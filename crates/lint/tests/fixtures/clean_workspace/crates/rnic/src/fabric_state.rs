@@ -12,3 +12,15 @@ pub struct FabricQp;
 impl FabricQp {
     pub fn post_send(&self, _wr: u64) {}
 }
+
+/// Blade-domain verb endpoint for the clean counterparts.
+pub struct BladePort {
+    pub inflight: Cell<u64>,
+}
+
+impl BladePort {
+    /// The verb path itself: the blade port owns its counters.
+    pub fn roundtrip(&self) {
+        self.inflight.set(self.inflight.get() + 1);
+    }
+}

@@ -199,10 +199,21 @@ fn cross_domain_and_rc_escape_fixtures_fire_once_each() {
         .iter()
         .filter(|d| d.rule == "cross-domain-shared-state")
         .collect();
-    assert_eq!(cross.len(), 1, "{cross:#?}");
-    assert_eq!(cross[0].line, 10);
-    assert!(cross[0].message.contains("`FabricCounter`"));
-    assert!(cross[0].message.contains("thread-domain"));
+    // One finding per planted mutation: the FabricCounter poke and the
+    // blade-port credit steal on the decomposed verb path.
+    assert_eq!(cross.len(), 2, "{cross:#?}");
+    let counter = cross
+        .iter()
+        .find(|d| d.message.contains("`FabricCounter`"))
+        .expect("FabricCounter violation must fire");
+    assert_eq!(counter.line, 10);
+    assert!(counter.message.contains("thread-domain"));
+    let blade = cross
+        .iter()
+        .find(|d| d.message.contains("`BladePort`"))
+        .expect("BladePort violation must fire");
+    assert_eq!(blade.line, 10);
+    assert!(blade.message.contains("thread-domain"));
 
     let escapes: Vec<_> = diags.iter().filter(|d| d.rule == "rc-escape").collect();
     assert_eq!(escapes.len(), 1, "{escapes:#?}");
@@ -214,7 +225,7 @@ fn cross_domain_and_rc_escape_fixtures_fire_once_each() {
 fn effect_drift_fixture_reports_drift_and_missing_entries() {
     let diags = rules_hit("bad_workspace");
     let drift: Vec<_> = diags.iter().filter(|d| d.rule == "effect-drift").collect();
-    assert_eq!(drift.len(), 2, "{drift:#?}");
+    assert_eq!(drift.len(), 3, "{drift:#?}");
     assert!(
         drift
             .iter()
@@ -226,6 +237,15 @@ fn effect_drift_fixture_reports_drift_and_missing_entries() {
             .iter()
             .any(|d| d.message.contains("`race::vanished`")
                 && d.message.contains("no longer resolves")),
+        "{drift:#?}"
+    );
+    // The blade-domain verb is pinned pure but mutates its inflight
+    // counter — the decomposed verb path stays under the drift gate.
+    assert!(
+        drift
+            .iter()
+            .any(|d| d.message.contains("`rnic::BladePort::roundtrip`")
+                && d.message.contains("[SharedMut]")),
         "{drift:#?}"
     );
 }

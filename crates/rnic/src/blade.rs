@@ -14,6 +14,7 @@ use smart_rt::sync::{Bandwidth, FifoResource};
 use smart_rt::SimHandle;
 
 use crate::config::{BladeConfig, FabricConfig, RnicConfig};
+use crate::engine::RemotePort;
 use crate::types::BladeId;
 
 /// A memory blade: region bytes + responder-side RNIC resources.
@@ -36,6 +37,10 @@ pub struct MemoryBlade {
     epoch: Cell<u64>,
     /// Raw scheduling-domain id the cluster's plan assigns this blade.
     domain: Cell<u32>,
+    /// Requester-side port to this blade's engine domain, when the blade
+    /// is a domain-0 shadow in a decomposed run. `None` (the default)
+    /// keeps the classic same-domain verb path.
+    remote: RefCell<Option<Rc<RemotePort>>>,
 }
 
 impl std::fmt::Debug for MemoryBlade {
@@ -73,7 +78,30 @@ impl MemoryBlade {
             crashed: Cell::new(false),
             epoch: Cell::new(0),
             domain: Cell::new(0),
+            remote: RefCell::new(None),
         })
+    }
+
+    /// Attaches the requester-side [`RemotePort`] to this (shadow) blade:
+    /// from now on the verb lifecycle routes execution to the blade's
+    /// engine domain instead of this copy's memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a port is already attached.
+    pub fn attach_remote(&self, port: Rc<RemotePort>) {
+        let mut slot = self.remote.borrow_mut();
+        assert!(
+            slot.is_none(),
+            "blade {} already has a remote port attached",
+            self.id.0
+        );
+        *slot = Some(port);
+    }
+
+    /// The attached remote port, if this blade is a decomposed shadow.
+    pub fn remote_port(&self) -> Option<Rc<RemotePort>> {
+        self.remote.borrow().clone()
     }
 
     /// The scheduling domain this blade is assigned to (domain 0 — the

@@ -203,6 +203,14 @@ mod tests {
         });
         assert_eq!(c.cross_domain_wrs(), 1);
 
+        // The crossing counter is diagnostics-only: NodeCounters feeds
+        // golden-byte comparisons, so it must never surface there.
+        let counters = format!("{:?}", node.counters());
+        assert!(
+            !counters.contains("cross_domain"),
+            "cross_domain_wrs leaked into golden-visible NodeCounters: {counters}"
+        );
+
         // The default single-domain plan never counts anything.
         let sim2 = Simulation::new(5);
         let c2 = Cluster::new(sim2.handle(), ClusterConfig::new(1, 2));

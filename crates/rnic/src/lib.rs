@@ -64,6 +64,7 @@ pub mod config;
 pub mod device;
 pub mod domain;
 pub mod doorbell;
+pub mod engine;
 pub mod inject;
 pub mod lru;
 pub mod node;
@@ -78,6 +79,7 @@ pub use config::{BladeConfig, ClusterConfig, FabricConfig, RnicConfig};
 pub use device::DeviceContext;
 pub use domain::{verb_link, DomainPlan, VerbCompletion, VerbLink};
 pub use doorbell::{Doorbell, DoorbellBinding, DoorbellKind};
+pub use engine::{blade_link, spawn_blade_engine, BladeLink, BladeReply, BladeRequest, RemotePort};
 pub use inject::{FaultHook, InjectDecision};
 pub use node::{ComputeNode, NodeCounters};
 pub use qp::{Cq, Qp};

@@ -163,114 +163,162 @@ pub(crate) async fn lifecycle(qp: Rc<Qp>, wr: WorkRequest, actor: Actor) {
                 .await;
         }
     }
-    let req_wire = header + req_payload;
-    if req_wire >= cfg.small_payload_cutoff {
-        blade
-            .ingress
-            .transfer_as(req_wire, actor, Category::Fabric, "ingress")
-            .await;
-    }
-    let flight = one_way + extra_latency;
-    handle.with_tracer(|t| {
-        t.span(
-            handle.now().as_nanos(),
-            flight.as_nanos() as u64,
-            actor,
-            Category::Fabric,
-            "net_req",
-            Args::NONE,
-        );
-    });
-    handle.sleep(flight).await;
-
-    // A QP error transition while this request was in flight flushes it
-    // before execution; a crashed blade never answers, so the request
-    // burns the retransmit budget and surfaces as a timeout. Both checks
-    // sit before stage 3: the failed request did not execute.
-    if qp.is_errored() {
-        handle
-            .sleep(error_delay(&cfg, one_way, CqeError::FlushErr))
-            .await;
-        complete_error(&node, &qp, wr.wr_id, CqeError::FlushErr, actor);
-        return;
-    }
-    if blade.is_crashed() {
-        handle
-            .sleep(error_delay(&cfg, one_way, CqeError::Timeout))
-            .await;
-        complete_error(&node, &qp, wr.wr_id, CqeError::Timeout, actor);
-        return;
-    }
-
-    // --- 3. responder -----------------------------------------------------
-    blade
-        .responder
-        .use_for_as(
-            cfg.responder_service,
-            actor,
-            Category::Pipeline,
-            "responder",
-        )
-        .await;
-    if wr.op.is_atomic() {
-        blade
-            .atomic_unit
-            .use_for_as(cfg.atomic_service, actor, Category::Pipeline, "atomic_unit")
-            .await;
-    }
-    let result = match &wr.op {
-        OneSidedOp::Read { addr, len } => {
-            OpResult::Read(blade.read_bytes(addr.offset_bytes, *len as u64))
+    let resp_payload = wr.op.response_payload();
+    let result = if let Some(port) = blade.remote_port() {
+        // Decomposed path: the blade lives in its own engine domain. The
+        // request crosses on the [`BladeRequest`] channel (which pays the
+        // one-way fabric latency — exactly the plan's lookahead) and the
+        // blade domain models ingress/responder/atomic/egress contention
+        // plus the crash check before replying; the reply channel pays
+        // the return leg. The in-flight QP-error flush of the classic
+        // path is not re-checked here — an errored QP flushes every
+        // subsequent post at stage 0, so recovery semantics (and the
+        // "error ⇒ not executed" invariant, enforced blade-side) hold.
+        if extra_latency > Duration::ZERO {
+            handle.sleep(extra_latency).await;
         }
-        OneSidedOp::Write {
-            addr,
-            data,
-            persistent,
-        } => {
-            blade.write_bytes(addr.offset_bytes, data);
-            if *persistent {
-                let nvm = blade.nvm_write_latency;
+        handle.with_tracer(|t| {
+            t.span(
+                handle.now().as_nanos(),
+                one_way.as_nanos() as u64,
+                actor,
+                Category::Fabric,
+                "net_req",
+                Args::NONE,
+            );
+        });
+        match port.roundtrip(wr.op.clone(), actor).await {
+            Ok(result) => {
                 handle.with_tracer(|t| {
                     t.span(
-                        handle.now().as_nanos(),
-                        nvm.as_nanos() as u64,
+                        handle.now().as_nanos() - one_way.as_nanos() as u64,
+                        one_way.as_nanos() as u64,
                         actor,
-                        Category::Pipeline,
-                        "nvm_write",
+                        Category::Fabric,
+                        "net_resp",
                         Args::NONE,
                     );
                 });
-                handle.sleep(nvm).await;
+                result
             }
-            OpResult::Write
+            Err(err) => {
+                complete_error(&node, &qp, wr.wr_id, err, actor);
+                return;
+            }
         }
-        OneSidedOp::Cas { addr, expect, swap } => {
-            OpResult::Atomic(blade.cas_u64(addr.offset_bytes, *expect, *swap))
+    } else {
+        let req_wire = header + req_payload;
+        if req_wire >= cfg.small_payload_cutoff {
+            blade
+                .ingress
+                .transfer_as(req_wire, actor, Category::Fabric, "ingress")
+                .await;
         }
-        OneSidedOp::Faa { addr, add } => OpResult::Atomic(blade.faa_u64(addr.offset_bytes, *add)),
-    };
-    blade.count_op();
+        let flight = one_way + extra_latency;
+        handle.with_tracer(|t| {
+            t.span(
+                handle.now().as_nanos(),
+                flight.as_nanos() as u64,
+                actor,
+                Category::Fabric,
+                "net_req",
+                Args::NONE,
+            );
+        });
+        handle.sleep(flight).await;
 
-    // --- 4. response leg --------------------------------------------------
-    let resp_payload = wr.op.response_payload();
-    let resp_wire = header + resp_payload;
-    if resp_wire >= cfg.small_payload_cutoff {
+        // A QP error transition while this request was in flight flushes
+        // it before execution; a crashed blade never answers, so the
+        // request burns the retransmit budget and surfaces as a timeout.
+        // Both checks sit before stage 3: the failed request did not
+        // execute.
+        if qp.is_errored() {
+            handle
+                .sleep(error_delay(&cfg, one_way, CqeError::FlushErr))
+                .await;
+            complete_error(&node, &qp, wr.wr_id, CqeError::FlushErr, actor);
+            return;
+        }
+        if blade.is_crashed() {
+            handle
+                .sleep(error_delay(&cfg, one_way, CqeError::Timeout))
+                .await;
+            complete_error(&node, &qp, wr.wr_id, CqeError::Timeout, actor);
+            return;
+        }
+
+        // --- 3. responder -------------------------------------------------
         blade
-            .egress
-            .transfer_as(resp_wire, actor, Category::Fabric, "egress")
+            .responder
+            .use_for_as(
+                cfg.responder_service,
+                actor,
+                Category::Pipeline,
+                "responder",
+            )
             .await;
-    }
-    handle.with_tracer(|t| {
-        t.span(
-            handle.now().as_nanos(),
-            one_way.as_nanos() as u64,
-            actor,
-            Category::Fabric,
-            "net_resp",
-            Args::NONE,
-        );
-    });
-    handle.sleep(one_way).await;
+        if wr.op.is_atomic() {
+            blade
+                .atomic_unit
+                .use_for_as(cfg.atomic_service, actor, Category::Pipeline, "atomic_unit")
+                .await;
+        }
+        let result = match &wr.op {
+            OneSidedOp::Read { addr, len } => {
+                OpResult::Read(blade.read_bytes(addr.offset_bytes, *len as u64))
+            }
+            OneSidedOp::Write {
+                addr,
+                data,
+                persistent,
+            } => {
+                blade.write_bytes(addr.offset_bytes, data);
+                if *persistent {
+                    let nvm = blade.nvm_write_latency;
+                    handle.with_tracer(|t| {
+                        t.span(
+                            handle.now().as_nanos(),
+                            nvm.as_nanos() as u64,
+                            actor,
+                            Category::Pipeline,
+                            "nvm_write",
+                            Args::NONE,
+                        );
+                    });
+                    handle.sleep(nvm).await;
+                }
+                OpResult::Write
+            }
+            OneSidedOp::Cas { addr, expect, swap } => {
+                OpResult::Atomic(blade.cas_u64(addr.offset_bytes, *expect, *swap))
+            }
+            OneSidedOp::Faa { addr, add } => {
+                OpResult::Atomic(blade.faa_u64(addr.offset_bytes, *add))
+            }
+        };
+        blade.count_op();
+
+        // --- 4. response leg ----------------------------------------------
+        let resp_wire = header + resp_payload;
+        if resp_wire >= cfg.small_payload_cutoff {
+            blade
+                .egress
+                .transfer_as(resp_wire, actor, Category::Fabric, "egress")
+                .await;
+        }
+        handle.with_tracer(|t| {
+            t.span(
+                handle.now().as_nanos(),
+                one_way.as_nanos() as u64,
+                actor,
+                Category::Fabric,
+                "net_resp",
+                Args::NONE,
+            );
+        });
+        handle.sleep(one_way).await;
+        result
+    };
     node.dram_bytes.add(resp_payload);
     if resp_payload >= cfg.small_payload_cutoff {
         node.pcie

@@ -1,0 +1,297 @@
+//! # DetMap — O(1) point-lookup map for `u64` ids, iteration-free by design
+//!
+//! The hot paths of the WR lifecycle (`SmartCoro::in_flight`, the
+//! completion-hub claim table) only ever *insert*, *probe* and *remove*
+//! entries keyed by a dense-ish `u64` id; they never iterate. The seed
+//! used `BTreeMap` for those tables, paying `O(log n)` pointer chasing
+//! per completion. `DetMap` replaces them with an open-addressed hash
+//! table (linear probing, power-of-two capacity, splitmix64-style key
+//! mixing) that:
+//!
+//! * performs all point operations in expected `O(1)`,
+//! * exposes **no iteration API at all**, so map order can never leak
+//!   into simulation results — the determinism lint's `unordered-iter`
+//!   rule has nothing to flag because there is nothing to iterate, and
+//! * rebuilds itself on growth with the same deterministic probe
+//!   sequence on every host, making behaviour reproducible by
+//!   construction (not that order could be observed anyway).
+//!
+//! Deletion uses tombstones; a table rehashes in place once live+dead
+//! slots pass the load limit, which keeps probe chains short without
+//! backward-shift bookkeeping.
+
+/// Slot states for the open-addressed table.
+#[derive(Clone)]
+enum Slot<V> {
+    /// Never used since the last rehash — terminates probe chains.
+    Empty,
+    /// Previously occupied; probing continues past it.
+    Tombstone,
+    /// Live entry.
+    Full(u64, V),
+}
+
+/// An open-addressed `u64 → V` map with `O(1)` point operations and no
+/// iteration surface.
+///
+/// ```rust
+/// use smart_rt::detmap::DetMap;
+///
+/// let mut m: DetMap<&'static str> = DetMap::new();
+/// m.insert(7, "seven");
+/// assert_eq!(m.get(&7), Some(&"seven"));
+/// assert_eq!(m.remove(&7), Some("seven"));
+/// assert!(m.is_empty());
+/// ```
+pub struct DetMap<V> {
+    slots: Vec<Slot<V>>,
+    /// Live entries.
+    len: usize,
+    /// Live entries plus tombstones — drives the rehash decision.
+    used: usize,
+}
+
+/// Initial capacity on the first insert (power of two).
+const INITIAL_CAPACITY: usize = 16;
+
+/// Finalizer of splitmix64: a full-avalanche `u64 → u64` mix so that
+/// sequential wr_ids spread across the table instead of clustering.
+#[inline]
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<V> DetMap<V> {
+    /// Creates an empty map; no allocation happens until the first insert.
+    pub fn new() -> Self {
+        DetMap {
+            slots: Vec::new(),
+            len: 0,
+            used: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the map holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Index of the slot holding `key`, if present.
+    fn find(&self, key: u64) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (mix(key) as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                Slot::Empty => return None,
+                Slot::Full(k, _) if *k == key => return Some(i),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Grows (or compacts tombstones) so at least one more entry fits
+    /// within the 7/8 load limit.
+    fn rehash(&mut self, min_capacity: usize) {
+        let mut cap = INITIAL_CAPACITY;
+        while cap < min_capacity {
+            cap *= 2;
+        }
+        let old = std::mem::take(&mut self.slots);
+        self.slots.resize_with(cap, || Slot::Empty);
+        self.used = self.len;
+        let mask = cap - 1;
+        for slot in old {
+            if let Slot::Full(k, v) = slot {
+                let mut i = (mix(k) as usize) & mask;
+                while let Slot::Full(..) = &self.slots[i] {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = Slot::Full(k, v);
+            }
+        }
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if the
+    /// key was already present.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        if let Some(i) = self.find(key) {
+            let old = std::mem::replace(&mut self.slots[i], Slot::Full(key, value));
+            match old {
+                Slot::Full(_, v) => return Some(v),
+                _ => unreachable!("find returned a non-full slot"),
+            }
+        }
+        // Keep used (live + tombstones) under 7/8 of capacity.
+        if self.slots.is_empty() || (self.used + 1) * 8 > self.slots.len() * 7 {
+            self.rehash((self.len + 1) * 2);
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (mix(key) as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                Slot::Empty => {
+                    self.used += 1;
+                    break;
+                }
+                Slot::Tombstone => break,
+                Slot::Full(..) => i = (i + 1) & mask,
+            }
+        }
+        self.slots[i] = Slot::Full(key, value);
+        self.len += 1;
+        None
+    }
+
+    /// Borrow of the value stored under `key`.
+    pub fn get(&self, key: &u64) -> Option<&V> {
+        self.find(*key).map(|i| match &self.slots[i] {
+            Slot::Full(_, v) => v,
+            _ => unreachable!("find returned a non-full slot"),
+        })
+    }
+
+    /// Mutable borrow of the value stored under `key`.
+    pub fn get_mut(&mut self, key: &u64) -> Option<&mut V> {
+        match self.find(*key) {
+            Some(i) => match &mut self.slots[i] {
+                Slot::Full(_, v) => Some(v),
+                _ => unreachable!("find returned a non-full slot"),
+            },
+            None => None,
+        }
+    }
+
+    /// True when `key` has a live entry.
+    pub fn contains_key(&self, key: &u64) -> bool {
+        self.find(*key).is_some()
+    }
+
+    /// Removes and returns the value stored under `key`.
+    pub fn remove(&mut self, key: &u64) -> Option<V> {
+        let i = self.find(*key)?;
+        let old = std::mem::replace(&mut self.slots[i], Slot::Tombstone);
+        self.len -= 1;
+        match old {
+            Slot::Full(_, v) => Some(v),
+            _ => unreachable!("find returned a non-full slot"),
+        }
+    }
+
+    /// Inserts `value` only if `key` is absent, then returns a mutable
+    /// borrow of the (old or new) entry — the `entry(..).or_insert(..)`
+    /// shape the recovery path needs.
+    pub fn get_or_insert_with(&mut self, key: u64, value: impl FnOnce() -> V) -> &mut V {
+        if !self.contains_key(&key) {
+            self.insert(key, value());
+        }
+        self.get_mut(&key).expect("entry just ensured")
+    }
+}
+
+impl<V> Default for DetMap<V> {
+    fn default() -> Self {
+        DetMap::new()
+    }
+}
+
+impl<V> std::fmt::Debug for DetMap<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Deliberately summary-only: rendering entries would require
+        // iteration, which this type refuses to expose.
+        f.debug_struct("DetMap").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = DetMap::new();
+        assert!(m.is_empty());
+        for k in 0..100u64 {
+            assert_eq!(m.insert(k, k * 3), None);
+        }
+        assert_eq!(m.len(), 100);
+        for k in 0..100u64 {
+            assert_eq!(m.get(&k), Some(&(k * 3)));
+            assert!(m.contains_key(&k));
+        }
+        assert_eq!(m.get(&1000), None);
+        for k in (0..100u64).step_by(2) {
+            assert_eq!(m.remove(&k), Some(k * 3));
+        }
+        assert_eq!(m.len(), 50);
+        for k in 0..100u64 {
+            assert_eq!(m.contains_key(&k), k % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn reinsert_over_tombstones_and_grow() {
+        let mut m = DetMap::new();
+        // Churn far past the initial capacity to exercise rehash with
+        // tombstones present.
+        for round in 0..50u64 {
+            for k in 0..64u64 {
+                m.insert(round * 64 + k, round);
+            }
+            for k in 0..64u64 {
+                assert_eq!(m.remove(&(round * 64 + k)), Some(round));
+            }
+        }
+        assert!(m.is_empty());
+        m.insert(7, 7);
+        assert_eq!(m.get(&7), Some(&7));
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut m = DetMap::new();
+        assert_eq!(m.insert(9, "a"), None);
+        assert_eq!(m.insert(9, "b"), Some("a"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&9), Some(&"b"));
+    }
+
+    #[test]
+    fn get_or_insert_with_matches_entry_semantics() {
+        let mut m: DetMap<u64> = DetMap::new();
+        *m.get_or_insert_with(5, || 10) += 1;
+        *m.get_or_insert_with(5, || 999) += 1;
+        assert_eq!(m.get(&5), Some(&12));
+    }
+
+    #[test]
+    fn colliding_keys_probe_correctly() {
+        // Keys an exact table-capacity apart collide after masking only
+        // if the mix fails to spread them; either way probing must keep
+        // them distinct.
+        let mut m = DetMap::new();
+        for k in (0..2048u64).map(|i| i << 32) {
+            m.insert(k, k);
+        }
+        for k in (0..2048u64).map(|i| i << 32) {
+            assert_eq!(m.get(&k), Some(&k));
+        }
+    }
+
+    #[test]
+    fn debug_is_summary_only() {
+        let mut m = DetMap::new();
+        m.insert(1, 1);
+        assert_eq!(format!("{m:?}"), "DetMap { len: 1 }");
+    }
+}

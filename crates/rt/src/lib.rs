@@ -41,6 +41,7 @@
 //! assert_eq!(out, 3_000);
 //! ```
 
+pub mod detmap;
 mod executor;
 mod join;
 pub mod metrics;

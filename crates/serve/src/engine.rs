@@ -109,15 +109,15 @@ impl ServeSpec {
 }
 
 /// Shared per-run accumulators the dispatcher and workers write into.
-struct Accum {
-    phases: RefCell<Vec<PhaseStats>>,
-    digest: Cell<u64>,
+pub(crate) struct Accum {
+    pub(crate) phases: RefCell<Vec<PhaseStats>>,
+    pub(crate) digest: Cell<u64>,
     /// Wrapping sum of every FAA delta that was confirmed applied.
-    ledger: Cell<u64>,
+    pub(crate) ledger: Cell<u64>,
 }
 
 impl Accum {
-    fn new(plan: &RatePlan) -> Accum {
+    pub(crate) fn new(plan: &RatePlan) -> Accum {
         Accum {
             phases: RefCell::new(
                 plan.phases()
@@ -136,17 +136,17 @@ impl Accum {
 }
 
 /// Fixed-layout addressing of one account's balance cell.
-struct Slabs {
+pub(crate) struct Slabs {
     /// `bases[shard][blade]` — byte offset of the shard's slab on that
     /// blade. Every blade hosts a replica slab for every shard, so any
     /// membership view has a home cell ready.
-    bases: Vec<Vec<u64>>,
-    shards: usize,
-    cells_per_shard: u64,
+    pub(crate) bases: Vec<Vec<u64>>,
+    pub(crate) shards: usize,
+    pub(crate) cells_per_shard: u64,
 }
 
 impl Slabs {
-    fn carve(blades: &[Rc<MemoryBlade>], shards: usize, accounts: u64) -> Slabs {
+    pub(crate) fn carve(blades: &[Rc<MemoryBlade>], shards: usize, accounts: u64) -> Slabs {
         let cells_per_shard = accounts.div_ceil(shards as u64);
         let bases = (0..shards)
             .map(|_| {
@@ -163,24 +163,29 @@ impl Slabs {
         }
     }
 
-    fn shard_of(&self, account: u64) -> usize {
+    pub(crate) fn shard_of(&self, account: u64) -> usize {
         (account % self.shards as u64) as usize
     }
 
-    fn cell(&self, account: u64, blade: usize) -> u64 {
+    pub(crate) fn cell(&self, account: u64, blade: usize) -> u64 {
         let idx = account / self.shards as u64;
         debug_assert!(idx < self.cells_per_shard);
         self.bases[self.shard_of(account)][blade] + idx * 8
     }
 
     /// The account's cell at its *current* home under `router`'s view.
-    fn addr(&self, account: u64, router: &ShardRouter, blades: &[Rc<MemoryBlade>]) -> RemoteAddr {
+    pub(crate) fn addr(
+        &self,
+        account: u64,
+        router: &ShardRouter,
+        blades: &[Rc<MemoryBlade>],
+    ) -> RemoteAddr {
         let home = router.home(self.shard_of(account));
         RemoteAddr::new(blades[home].id(), self.cell(account, home))
     }
 }
 
-fn describe_admission(admission: &Option<AdmissionConfig>) -> String {
+pub(crate) fn describe_admission(admission: &Option<AdmissionConfig>) -> String {
     match admission {
         None => "open (no controller)".to_string(),
         Some(c) if c.is_unlimited() => "controller present, unlimited".to_string(),
@@ -197,7 +202,7 @@ fn describe_admission(admission: &Option<AdmissionConfig>) -> String {
 
 /// Executes one admitted request; `Ok(delta)` carries the wrapping sum
 /// of the FAA deltas that were applied (0 for probes).
-async fn execute(
+pub(crate) async fn execute(
     coro: &smart::SmartCoro,
     req: &Request,
     slabs: &Slabs,
@@ -576,7 +581,7 @@ pub(crate) fn run_serve_inline(spec: &ServeSpec) -> ServeReport {
     }
 }
 
-fn op_word(op: &ServeOp) -> u64 {
+pub(crate) fn op_word(op: &ServeOp) -> u64 {
     match *op {
         ServeOp::Probe { account } => account << 1,
         ServeOp::Transfer { from, to, amount } => {

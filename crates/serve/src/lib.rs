@@ -24,10 +24,13 @@
 //! * [`membership`] — scripted blade leave/join windows lowered onto
 //!   the router and the fault layer;
 //! * [`engine`] — the scenario driver gluing it all together;
+//! * [`decomposed`] — the same scenario with memory blades running as
+//!   real PDES engine domains behind typed request/completion channels;
 //! * [`report`] — per-phase SLO stats and the byte-stable report.
 
 pub mod admission;
 pub mod arrival;
+pub mod decomposed;
 pub mod engine;
 pub mod membership;
 pub mod report;
@@ -35,6 +38,7 @@ pub mod session;
 
 pub use admission::{AdmissionConfig, AdmissionController, Rejected};
 pub use arrival::{Arrival, ArrivalEngine, PhaseSpec, RatePlan, ServeOp};
+pub use decomposed::{run_serve_decomposed, DecomposedServe};
 pub use engine::{run_serve, ServeSpec};
 pub use membership::{MembershipEvent, MembershipPlan};
 pub use report::{PhaseStats, ServeReport};

@@ -17,15 +17,26 @@
 //! stack, a serve phase and an 8-seed chaos sweep) runs at 1, 2 and 4
 //! simulation workers, and the `workers > 1` legs must reproduce the
 //! sequential report fingerprints and trace JSON byte-for-byte.
+//!
+//! The third section is the **decomposed-plan matrix** gating the blade
+//! engine domains: fig07 and fig_serve run under `per_blade` and
+//! `for_workers` partitions at 1/2/4/8 engine workers, and every leg —
+//! report bytes, blade-domain artifacts, epoch/envelope counters and
+//! trace JSON — must reproduce the 1-worker reference exactly. The
+//! reference fingerprints are published under `target/equiv/` for the
+//! CI `pdes` job to upload.
 
 use std::path::PathBuf;
 
 use smart_bench::{
-    run_ht, run_ht_hosted, run_microbench_hosted, run_serve_hosted, serve_spec, HtParams, RunReport,
+    run_ht, run_ht_decomposed, run_ht_hosted, run_microbench_hosted, run_serve_hosted, serve_spec,
+    HtParams, RunReport,
 };
 use smart_lab::smart::{run_microbench, MicroOp, MicrobenchSpec, QpPolicy, SmartConfig};
 use smart_lab::smart_fault::FaultPlan;
+use smart_lab::smart_rnic::DomainPlan;
 use smart_lab::smart_rt::{Duration, SchedulePolicy};
+use smart_lab::smart_serve::run_serve_decomposed;
 use smart_lab::smart_trace::TraceSink;
 use smart_lab::smart_workloads::ycsb::Mix;
 
@@ -285,6 +296,132 @@ fn matrix_serve_phase_is_byte_identical_across_workers() {
         let (report, trace) = run_serve_hosted(&spec, true);
         (format!("{}\n{report:?}\n", report.render()), trace.unwrap())
     });
+}
+
+// ---------------------------------------------------------------------------
+// Decomposed-plan differential matrix (blades as real engine domains)
+// ---------------------------------------------------------------------------
+
+/// Engine worker counts every decomposed cell runs at. Unlike the hosted
+/// matrix — where `workers` picks the *partition* — a decomposed cell
+/// fixes its [`DomainPlan`] up front, so every count here executes the
+/// identical partition and the bytes must not move at all.
+const ENGINE_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Writes the reference fingerprint under `target/equiv/` so the CI
+/// `pdes` job can upload the whole matrix as a build artifact.
+fn publish_fingerprint(name: &str, fp: &str) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/equiv");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join(name), fp);
+    }
+}
+
+/// Runs one decomposed cell at every engine worker count and asserts the
+/// full fingerprint (report bytes, blade artifacts, engine counters and
+/// trace JSON) is byte-identical to the 1-worker reference.
+fn assert_decomposed_equivalent<F>(label: &str, run: F)
+where
+    F: Fn(usize) -> String,
+{
+    let ref_fp = run(ENGINE_WORKERS[0]);
+    assert!(
+        !ref_fp.is_empty(),
+        "{label}: sequential leg produced an empty fingerprint"
+    );
+    publish_fingerprint(&format!("{label}.fp.txt"), &ref_fp);
+    for &workers in &ENGINE_WORKERS[1..] {
+        let fp = run(workers);
+        assert_eq!(
+            fp, ref_fp,
+            "{label}: decomposed bytes diverged between 1 and {workers} engine workers"
+        );
+    }
+}
+
+#[test]
+fn matrix_fig07_decomposed_plans_are_byte_identical_across_engine_workers() {
+    let mut p = HtParams::new(SmartConfig::smart_full(4), 4, 2_000, Mix::WriteHeavy);
+    p.warmup = Duration::from_micros(500);
+    p.measure = Duration::from_millis(1);
+    p.seed = 42;
+    let blades = p.blades as u32;
+    for (pname, plan) in [
+        ("per_blade", DomainPlan::per_blade(1, blades)),
+        ("for_workers4", DomainPlan::for_workers(4, 1, blades)),
+    ] {
+        let p = p.clone();
+        assert_decomposed_equivalent(&format!("fig07_decomposed_{pname}"), move |workers| {
+            let d = run_ht_decomposed(&p, &plan, workers, true);
+            format!(
+                "{}blade_log:\n{}epochs={} envelopes={} blade_requests={}\ntrace:\n{}\n",
+                report_fingerprint(&d.report),
+                d.blade_log,
+                d.epochs,
+                d.envelopes,
+                d.blade_requests,
+                d.trace.as_deref().unwrap_or("")
+            )
+        });
+    }
+}
+
+#[test]
+fn matrix_serve_decomposed_plans_are_byte_identical_across_engine_workers() {
+    let mut spec = serve_spec(800, 0.05, 42);
+    spec.threads = 2;
+    spec.depth = 4;
+    let blades = spec.blades as u32;
+    for (pname, plan) in [
+        ("per_blade", DomainPlan::per_blade(1, blades)),
+        ("for_workers4", DomainPlan::for_workers(4, 1, blades)),
+    ] {
+        let spec = spec.clone();
+        assert_decomposed_equivalent(&format!("fig_serve_decomposed_{pname}"), move |workers| {
+            let d = run_serve_decomposed(&spec, &plan, workers, true);
+            format!(
+                "{}\n{:?}\nblade_log:\n{}epochs={} envelopes={}\ntrace:\n{}\n",
+                d.report.render(),
+                d.report,
+                d.blade_log,
+                d.epochs,
+                d.envelopes,
+                d.trace.as_deref().unwrap_or("")
+            )
+        });
+    }
+}
+
+#[test]
+fn decomposed_envelope_accounting_matches_cross_domain_wrs() {
+    // Fault-free runs in the two pinned bench shapes: every work request
+    // that crosses the partition becomes exactly one request envelope at
+    // its blade domain (plus one completion envelope back), and the
+    // node-side crossing counter agrees with the engine's delivery count.
+    for (label, cfg) in [
+        (
+            "fig03",
+            SmartConfig::baseline(QpPolicy::ThreadAwareDoorbell, 2),
+        ),
+        ("fig07", SmartConfig::smart_full(2)),
+    ] {
+        let mut p = HtParams::new(cfg, 2, 500, Mix::ReadHeavy);
+        p.warmup = Duration::from_micros(300);
+        p.measure = Duration::from_millis(1);
+        p.seed = 7;
+        let plan = DomainPlan::per_blade(1, p.blades as u32);
+        let d = run_ht_decomposed(&p, &plan, 2, false);
+        assert!(d.report.ops > 0, "{label}: no ops through blade domains");
+        assert_eq!(
+            d.cross_domain_wrs, d.blade_requests,
+            "{label}: node crossing counter != request envelopes delivered"
+        );
+        assert_eq!(
+            d.envelopes,
+            2 * d.blade_requests,
+            "{label}: request/completion envelope pairing broken"
+        );
+    }
 }
 
 #[test]
